@@ -1,0 +1,62 @@
+// Ablation: the value of the full-scale features (Table 1) one at a time —
+// SACK, delayed ACKs, TCP timestamps, and the in-place reassembly queue —
+// measured as bulk goodput over a 5%-lossy single hop.
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+double runWith(void (*tweak)(tcp::TcpConfig&), std::uint64_t seed) {
+    harness::TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.linkLoss = 0.05;
+    cfg.nodeDefaults.macConfig.retryDelayMax = sim::fromMillis(20);
+    cfg.nodeDefaults.macConfig.maxFrameRetries = 2;  // let TCP see the loss
+    cfg.nodeDefaults.queueConfig.capacityPackets = 24;
+    auto tb = harness::Testbed::line(1, cfg);
+
+    mesh::Node& mote = *tb->findNode(10);
+    tcp::TcpStack moteStack(mote);
+    tcp::TcpStack cloudStack(tb->cloud());
+    app::GoodputMeter meter(tb->simulator());
+
+    tcp::TcpConfig clientCfg = moteTcpConfig(mssForFrames(5));
+    tcp::TcpConfig servCfg = serverTcpConfig(mssForFrames(5));
+    tweak(clientCfg);
+    tweak(servCfg);
+
+    cloudStack.listen(80, servCfg, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& client = moteStack.createSocket(clientCfg);
+    app::BulkSender sender(client, 60000);
+    client.connect(tb->cloud().address(), 80);
+    tb->simulator().runUntil(40 * sim::kMinute);
+    return meter.goodputKbps();
+}
+
+double average(void (*tweak)(tcp::TcpConfig&)) {
+    double sum = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) sum += runWith(tweak, seed);
+    return sum / 3;
+}
+}  // namespace
+
+int main() {
+    printHeader("Ablation: full-scale TCP features under 5% frame loss");
+    std::printf("%-34s %14s\n", "Configuration", "Goodput kb/s");
+    std::printf("%-34s %14.1f\n", "full TCPlp (baseline)",
+                average(+[](tcp::TcpConfig&) {}));
+    std::printf("%-34s %14.1f\n", "no SACK",
+                average(+[](tcp::TcpConfig& c) { c.sack = false; }));
+    std::printf("%-34s %14.1f\n", "no delayed ACKs",
+                average(+[](tcp::TcpConfig& c) { c.delayedAck = false; }));
+    std::printf("%-34s %14.1f\n", "no timestamps",
+                average(+[](tcp::TcpConfig& c) { c.timestamps = false; }));
+    std::printf("%-34s %14.1f\n", "drop out-of-order (uIP-style)",
+                average(+[](tcp::TcpConfig& c) { c.dropOutOfOrder = true; }));
+    std::printf("\nShape: dropping reassembly costs the most under loss; SACK and\n"
+                "delayed ACKs contribute smaller but visible gains.\n");
+    return 0;
+}

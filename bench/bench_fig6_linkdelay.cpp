@@ -1,0 +1,60 @@
+// Figure 6: effect of the random delay d between link-layer retries.
+//
+//  (a) one hop:    goodput falls slowly with d; segment loss stays ~0.
+//  (b) three hops: segment loss is high at d=0 (hidden terminals) and
+//                  collapses once d reaches a few tens of ms; goodput is
+//                  surprisingly flat (§7.3's robustness result).
+//  (c) RTT grows with d.
+//  (d) total frames transmitted falls with d (fewer link retries).
+//
+// The "Pred." column is Equation 2 evaluated with the measured RTT and
+// segment loss — the dotted lines of Figs. 6(a)/6(b).
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+void sweep(std::size_t hops, std::size_t totalBytes) {
+    std::printf("\n-- %zu hop(s) --\n", hops);
+    std::printf("%-8s %12s %10s %10s %12s %12s\n", "d(ms)", "Goodput", "SegLoss", "RTT ms",
+                "Frames", "Pred kb/s");
+    const std::uint16_t mss = mssForFrames(5);
+    for (int d : {0, 5, 10, 20, 30, 40, 60, 80, 100}) {
+        double goodput = 0, loss = 0, rtt = 0, frames = 0;
+        const int kSeeds = 3;
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            BulkOptions o;
+            o.hops = hops;
+            o.totalBytes = totalBytes;
+            o.retryDelayMax = sim::fromMillis(d);
+            o.mss = mss;
+            o.seed = seed;
+            const BulkResult r = runBulkTransfer(o);
+            goodput += r.goodputKbps;
+            loss += r.segmentLoss;
+            rtt += r.rttMedianMs;
+            frames += double(r.framesTransmitted);
+        }
+        goodput /= kSeeds;
+        loss /= kSeeds;
+        rtt /= kSeeds;
+        frames /= kSeeds;
+        // Equation 2 with w = 4 segments, measured RTT and loss.
+        const double predicted =
+            model::llnGoodput(double(mss), rtt / 1000.0, loss, 4.0) * 8.0 / 1000.0;
+        std::printf("%-8d %9.1f kb/s %9.3f %10.0f %12.0f %12.1f\n", d, goodput, loss, rtt,
+                    frames, predicted);
+    }
+}
+}  // namespace
+
+int main() {
+    printHeader("Figure 6: link-retry delay sweep (goodput/loss/RTT/frames + Eq. 2)");
+    sweep(1, 120000);
+    sweep(3, 50000);
+    std::printf(
+        "\nPaper shape: 3-hop segment loss ~6%% at d=0 vs <1%% at d>=30 ms, with\n"
+        "nearly unchanged goodput (small windows recover instantly, §7.3); the\n"
+        "frame count falls with d as fewer link retries are spent per frame.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7: congestion behavior over three wireless hops.
+//
+//  (a) cwnd trace at d=0: unlike the classic saw-tooth, cwnd sits pinned at
+//      the (small) buffer cap and snaps back immediately after loss (§7.3).
+//  (b) loss-recovery mix vs d: fast retransmissions shrink as d grows
+//      (hidden-terminal losses disappear); timeouts stay roughly flat.
+#include "bench/common.hpp"
+
+using namespace bench;
+
+int main() {
+    printHeader("Figure 7(a): cwnd trace, 3 hops, d = 0 (sampled transitions)");
+    const std::uint16_t mss = mssForFrames(5);
+
+    std::vector<std::pair<double, std::uint32_t>> trace;
+    BulkOptions o;
+    o.hops = 3;
+    o.totalBytes = 60000;
+    o.retryDelayMax = 0;
+    o.mss = mss;
+    o.seed = 2;
+    o.cwndTracer = [&trace](sim::Time t, std::uint32_t cwnd, std::uint32_t) {
+        trace.emplace_back(sim::toSeconds(t), cwnd);
+    };
+    const BulkResult r0 = runBulkTransfer(o);
+
+    // Print a decimated trace plus summary statistics.
+    const std::uint32_t cap = std::uint32_t(4 * mss);
+    std::size_t atCap = 0;
+    for (const auto& [t, c] : trace) atCap += (c >= cap);
+    std::printf("trace points=%zu, fraction at max window=%0.2f (paper: \"almost always "
+                "maxed out\")\n",
+                trace.size(), trace.empty() ? 0.0 : double(atCap) / double(trace.size()));
+    for (std::size_t i = 0; i < trace.size(); i += std::max<std::size_t>(1, trace.size() / 24))
+        std::printf("  t=%7.2fs cwnd=%5u\n", trace[i].first, trace[i].second);
+    std::printf("(transfer: %.1f kb/s, fast rexmits=%llu, timeouts=%llu)\n", r0.goodputKbps,
+                (unsigned long long)r0.fastRetransmissions, (unsigned long long)r0.timeouts);
+
+    printHeader("Figure 7(b): loss recovery mix vs link-retry delay, 3 hops");
+    std::printf("%-8s %18s %10s\n", "d(ms)", "FastRetransmits", "Timeouts");
+    for (int d : {0, 10, 20, 40, 60, 100}) {
+        std::uint64_t fast = 0, rto = 0;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            BulkOptions opt;
+            opt.hops = 3;
+            opt.totalBytes = 40000;
+            opt.retryDelayMax = sim::fromMillis(d);
+            opt.mss = mss;
+            opt.seed = seed;
+            const BulkResult r = runBulkTransfer(opt);
+            fast += r.fastRetransmissions;
+            rto += r.timeouts;
+        }
+        std::printf("%-8d %18llu %10llu\n", d, (unsigned long long)fast,
+                    (unsigned long long)rto);
+    }
+    std::printf("\nPaper shape: fast retransmissions dominate at d=0 and fall with d;\n"
+                "timeouts come from other loss sources and stay roughly constant.\n");
+    return 0;
+}

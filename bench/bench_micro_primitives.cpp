@@ -1,0 +1,97 @@
+// Microbenchmarks (google-benchmark) of the per-packet primitives on the
+// TCPlp datapath: segment codec, IPHC compression, fragmentation, and the
+// two specialized buffers. These bound the CPU cost per segment that §6.4
+// argues is not the throughput bottleneck.
+#include <benchmark/benchmark.h>
+
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/lowpan/frag.hpp"
+#include "tcplp/lowpan/iphc.hpp"
+#include "tcplp/phy/frame.hpp"
+#include "tcplp/tcp/recv_buffer.hpp"
+#include "tcplp/tcp/segment.hpp"
+#include "tcplp/tcp/send_buffer.hpp"
+
+using namespace tcplp;
+
+namespace {
+
+tcp::Segment makeSegment(std::size_t payload) {
+    tcp::Segment s;
+    s.srcPort = 49152;
+    s.dstPort = 80;
+    s.seq = 12345;
+    s.ack = 67890;
+    s.flags.ack = true;
+    s.timestamps = tcp::Timestamps{111, 222};
+    s.payload = patternBytes(0, payload);
+    return s;
+}
+
+void BM_SegmentEncode(benchmark::State& state) {
+    const tcp::Segment s = makeSegment(std::size_t(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(s.encode());
+}
+BENCHMARK(BM_SegmentEncode)->Arg(0)->Arg(462);
+
+void BM_SegmentDecode(benchmark::State& state) {
+    const Bytes wire = makeSegment(std::size_t(state.range(0))).encode();
+    for (auto _ : state) benchmark::DoNotOptimize(tcp::Segment::decode(wire));
+}
+BENCHMARK(BM_SegmentDecode)->Arg(0)->Arg(462);
+
+void BM_IphcCompress(benchmark::State& state) {
+    ip6::Packet p;
+    p.src = ip6::Address::meshLocal(10);
+    p.dst = ip6::Address::cloud(1000);
+    p.nextHeader = ip6::kProtoTcp;
+    for (auto _ : state) benchmark::DoNotOptimize(lowpan::compressHeader(p, 10, 1));
+}
+BENCHMARK(BM_IphcCompress);
+
+void BM_Fragment5Frames(benchmark::State& state) {
+    ip6::Packet p;
+    p.src = ip6::Address::meshLocal(10);
+    p.dst = ip6::Address::cloud(1000);
+    p.nextHeader = ip6::kProtoTcp;
+    p.payload = makeSegment(424).encode();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lowpan::encodeDatagram(p, 10, 1, 7, phy::kMaxMacPayloadBytes));
+}
+BENCHMARK(BM_Fragment5Frames);
+
+void BM_RecvBufferInOrder(benchmark::State& state) {
+    tcp::RecvBuffer rb(2048);
+    const Bytes seg = patternBytes(0, 462);
+    for (auto _ : state) {
+        rb.insert(0, seg);
+        rb.read(462);
+    }
+}
+BENCHMARK(BM_RecvBufferInOrder);
+
+void BM_RecvBufferOutOfOrderCommit(benchmark::State& state) {
+    const Bytes seg = patternBytes(0, 462);
+    for (auto _ : state) {
+        tcp::RecvBuffer rb(2048);
+        rb.insert(462, seg);  // hole
+        rb.insert(0, seg);    // fill + commit both
+        benchmark::DoNotOptimize(rb.read(924));
+    }
+}
+BENCHMARK(BM_RecvBufferOutOfOrderCommit);
+
+void BM_SendBufferZeroCopy(benchmark::State& state) {
+    auto chunk = std::make_shared<const Bytes>(patternBytes(0, 462));
+    for (auto _ : state) {
+        tcp::SendBuffer sb(2048);
+        sb.appendShared(chunk);
+        benchmark::DoNotOptimize(sb.read(0, 462));
+        sb.ack(462);
+    }
+}
+BENCHMARK(BM_SendBufferZeroCopy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// §7.2 + §6.4: goodput vs hop count against the analytical bounds.
+//
+// Expected shape: one-hop goodput near (but under) the 82 kb/s §6.4 bound,
+// then B/2 at two hops and ~B/3 at three or more (radio scheduling).
+#include "bench/common.hpp"
+
+using namespace bench;
+
+int main() {
+    printHeader("Sec. 7.2: goodput vs hop count (d = 40 ms)");
+    const std::uint16_t mss = mssForFrames(5);
+    const double bound1 = model::singleHopUpperBound(double(mss), 5.0) * 8.0 / 1000.0;
+    std::printf("Single-hop upper bound (Sec. 6.4 analysis): %.1f kb/s (paper: 82)\n\n", bound1);
+    std::printf("%-6s %14s %16s %14s\n", "Hops", "Goodput kb/s", "Bound B/min(h,3)", "Paper kb/s");
+
+    const double paper[] = {64.1, 28.3, 19.5, 17.5};
+    double b1 = 0.0;
+    for (std::size_t hops = 1; hops <= 4; ++hops) {
+        double goodput = 0.0;
+        const int kSeeds = 2;
+        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+            BulkOptions o;
+            o.hops = hops;
+            o.totalBytes = hops == 1 ? 120000 : 50000;
+            o.retryDelayMax = sim::fromMillis(40);
+            o.mss = mss;
+            // §7.2: four hops need a larger window to fill the longer pipe.
+            o.windowSegments = hops >= 4 ? 6 : 4;
+            o.seed = seed;
+            goodput += runBulkTransfer(o).goodputKbps;
+        }
+        goodput /= kSeeds;
+        if (hops == 1) b1 = goodput;
+        std::printf("%-6zu %14.1f %16.1f %14.1f\n", hops, goodput,
+                    b1 * model::multihopFactor(hops), paper[hops - 1]);
+    }
+    std::printf("\nThe measured curve should track B, ~B/2, ~B/3, ~B/3.\n");
+    return 0;
+}

@@ -1,0 +1,132 @@
+// Shared experiment runners for the bench binaries. Each bench regenerates
+// one table or figure from the paper (see DESIGN.md §3); the helpers here
+// encapsulate the recurring setups: bulk transfers over line topologies and
+// the anemometer application over the office testbed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tcplp/app/bulk.hpp"
+#include "tcplp/app/sensor.hpp"
+#include "tcplp/coap/coap.hpp"
+#include "tcplp/harness/testbed.hpp"
+#include "tcplp/model/models.hpp"
+#include "tcplp/tcp/tcp.hpp"
+#include "tcplp/transport/embedded_tcp.hpp"
+
+namespace bench {
+
+using namespace tcplp;
+
+inline tcp::TcpConfig moteTcpConfig(std::uint16_t mss = 462, std::size_t segments = 4) {
+    tcp::TcpConfig c;
+    c.mss = mss;
+    c.sendBufferBytes = segments * mss;
+    c.recvBufferBytes = segments * mss;
+    return c;
+}
+
+inline tcp::TcpConfig serverTcpConfig(std::uint16_t mss = 462) {
+    tcp::TcpConfig c;
+    c.mss = mss;
+    c.sendBufferBytes = 16384;
+    c.recvBufferBytes = 16384;
+    return c;
+}
+
+struct BulkResult {
+    double goodputKbps = 0.0;
+    double rttMedianMs = 0.0;
+    double segmentLoss = 0.0;  // TCP-level loss (not masked by link retries)
+    std::uint64_t framesTransmitted = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t fastRetransmissions = 0;
+    std::size_t bytes = 0;
+    bool contentOk = false;
+};
+
+struct BulkOptions {
+    std::size_t hops = 1;
+    std::size_t totalBytes = 150000;
+    sim::Time retryDelayMax = sim::fromMillis(40);
+    std::uint16_t mss = 462;
+    std::size_t windowSegments = 4;
+    bool uplink = true;  // mote -> cloud, else cloud -> mote
+    std::uint64_t seed = 1;
+    double linkLoss = 0.0;
+    sim::Time timeLimit = 40 * sim::kMinute;
+    tcp::TcpSocket::CwndTracer cwndTracer;
+};
+
+/// Bulk TCP transfer over a line topology; the workhorse of §6/§7 benches.
+inline BulkResult runBulkTransfer(const BulkOptions& opt) {
+    harness::TestbedConfig cfg;
+    cfg.seed = opt.seed;
+    cfg.linkLoss = opt.linkLoss;
+    cfg.nodeDefaults.macConfig.retryDelayMax = opt.retryDelayMax;
+    // Small-MSS sweeps put more packets than the default queue depth in
+    // flight; size the forwarding queues to the largest window used.
+    cfg.nodeDefaults.queueConfig.capacityPackets = 24;
+    auto tb = harness::Testbed::line(opt.hops, cfg);
+
+    mesh::Node& mote = *tb->findNode(phy::NodeId(9 + opt.hops));
+    tcp::TcpStack moteStack(mote);
+    tcp::TcpStack cloudStack(tb->cloud());
+
+    app::GoodputMeter meter(tb->simulator());
+    tcp::TcpStack& senderStack = opt.uplink ? moteStack : cloudStack;
+    tcp::TcpStack& receiverStack = opt.uplink ? cloudStack : moteStack;
+    const tcp::TcpConfig senderCfg =
+        opt.uplink ? moteTcpConfig(opt.mss, opt.windowSegments) : serverTcpConfig(opt.mss);
+    const tcp::TcpConfig receiverCfg =
+        opt.uplink ? serverTcpConfig(opt.mss) : moteTcpConfig(opt.mss, opt.windowSegments);
+
+    receiverStack.listen(80, receiverCfg, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& sender = senderStack.createSocket(senderCfg);
+    if (opt.cwndTracer) sender.setCwndTracer(opt.cwndTracer);
+    app::BulkSender bulk(sender, opt.totalBytes);
+    const ip6::Address dst = opt.uplink ? tb->cloud().address() : mote.address();
+    sender.connect(dst, 80);
+    tb->simulator().runUntil(opt.timeLimit);
+
+    BulkResult r;
+    r.goodputKbps = meter.goodputKbps();
+    r.bytes = meter.bytes();
+    r.contentOk = meter.contentOk();
+    r.rttMedianMs = sender.stats().rttSamples.median();
+    r.framesTransmitted = tb->channel().framesTransmitted();
+    r.timeouts = sender.stats().timeouts;
+    r.fastRetransmissions = sender.stats().fastRetransmissions;
+    const auto sent = sender.stats().segsSent;
+    const auto rexmit = sender.stats().retransmissions;
+    r.segmentLoss = sent > 0 ? double(rexmit) / double(sent) : 0.0;
+    return r;
+}
+
+/// Computes the MSS (payload bytes) that makes a mote->cloud TCP segment
+/// occupy exactly `frames` 802.15.4 frames (§6.1's sweep axis).
+inline std::uint16_t mssForFrames(std::size_t frames) {
+    for (std::uint16_t mss = 1400; mss >= 16; --mss) {
+        tcp::Segment seg;
+        seg.timestamps = tcp::Timestamps{1, 2};
+        seg.payload = patternBytes(0, mss);
+        ip6::Packet p;
+        p.src = ip6::Address::meshLocal(10);
+        p.dst = ip6::Address::cloud(1000);
+        p.nextHeader = ip6::kProtoTcp;
+        p.payload = seg.encode();
+        if (lowpan::frameCountFor(p, 10, 1, phy::kMaxMacPayloadBytes) <= frames) return mss;
+    }
+    return 16;
+}
+
+inline void printHeader(const std::string& title) {
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench

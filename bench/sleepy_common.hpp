@@ -1,0 +1,79 @@
+// Shared setup for the Appendix C (duty-cycled link) benches: one sleepy
+// leaf attached to the border router, TCP to/from the cloud host.
+#pragma once
+
+#include "bench/common.hpp"
+
+namespace bench {
+
+struct SleepyRun {
+    double goodputKbps = 0.0;
+    std::size_t bytes = 0;
+    Summary rttMs;          // sender-side RTT samples
+    double idleRadioDc = 0.0;  // duty cycle measured over a quiet tail
+};
+
+struct SleepyOptions {
+    mac::SleepyConfig sleepy{};
+    bool uplink = true;
+    std::size_t totalBytes = 40000;
+    std::size_t windowSegments = 4;
+    std::uint64_t seed = 1;
+    sim::Time timeLimit = 30 * sim::kMinute;
+    sim::Time idleTail = 0;  // extra quiet time to measure idle duty cycle
+};
+
+inline SleepyRun runSleepyTransfer(const SleepyOptions& opt) {
+    harness::TestbedConfig cfg;
+    cfg.seed = opt.seed;
+    auto tb = std::make_unique<harness::Testbed>(cfg);
+
+    mesh::NodeConfig rc = cfg.nodeDefaults;
+    tb->addBorderRouterAndCloud(1, {0.0, 0.0}, rc);
+
+    mesh::NodeConfig lc = cfg.nodeDefaults;
+    lc.role = mesh::Role::kLeaf;
+    lc.sleepyConfig = opt.sleepy;
+    lc.macConfig.sleepDuringRetryDelay = true;
+    mesh::Node& leaf = tb->addNode(10, {10.0, 0.0}, lc);
+    leaf.setParent(1);
+    tb->borderRouter().adoptSleepyChild(10);
+    tb->borderRouter().addRoute(10, 10);
+    leaf.start();
+
+    const std::uint16_t mss = mssForFrames(5);
+    tcp::TcpStack leafStack(leaf);
+    tcp::TcpStack cloudStack(tb->cloud());
+
+    app::GoodputMeter meter(tb->simulator());
+    tcp::TcpStack& senderStack = opt.uplink ? leafStack : cloudStack;
+    tcp::TcpStack& receiverStack = opt.uplink ? cloudStack : leafStack;
+    tcp::TcpConfig senderCfg =
+        opt.uplink ? moteTcpConfig(mss, opt.windowSegments) : serverTcpConfig(mss);
+    tcp::TcpConfig receiverCfg =
+        opt.uplink ? serverTcpConfig(mss) : moteTcpConfig(mss, opt.windowSegments);
+
+    receiverStack.listen(80, receiverCfg, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& sender = senderStack.createSocket(senderCfg);
+    app::BulkSender bulk(sender, opt.totalBytes);
+    sender.connect(opt.uplink ? tb->cloud().address() : leaf.address(), 80);
+    tb->simulator().runUntil(opt.timeLimit);
+
+    SleepyRun r;
+    r.goodputKbps = meter.goodputKbps();
+    r.bytes = meter.bytes();
+    r.rttMs = sender.stats().rttSamples;
+
+    if (opt.idleTail > 0) {
+        phy::Radio* radio = leaf.radio();
+        radio->energy().resetWindow(radio->state(), tb->simulator().now());
+        tb->simulator().runUntil(tb->simulator().now() + opt.idleTail);
+        r.idleRadioDc = radio->energy().radioDutyCycle(radio->state(), tb->simulator().now());
+    }
+    return r;
+}
+
+}  // namespace bench

@@ -1,0 +1,1 @@
+// Anchor translation unit for the app library.

@@ -1,0 +1,107 @@
+// Bulk-transfer workloads for the throughput studies (§6, §7): a sender that
+// keeps the TCP send buffer full of pattern bytes, and a receiver that
+// verifies content and measures goodput.
+#pragma once
+
+#include <cstdint>
+
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/sim/simulator.hpp"
+#include "tcplp/tcp/tcp.hpp"
+#include "tcplp/transport/embedded_tcp.hpp"
+
+namespace tcplp::app {
+
+/// Saturating sender over full-scale TCP.
+class BulkSender {
+public:
+    BulkSender(tcp::TcpSocket& socket, std::size_t totalBytes)
+        : socket_(socket), total_(totalBytes) {
+        socket_.setOnSendSpace([this] { pump(); });
+        socket_.setOnConnected([this] { pump(); });
+    }
+
+    void pump() {
+        while (offset_ < total_) {
+            const std::size_t chunk = std::min<std::size_t>(512, total_ - offset_);
+            const Bytes data = patternBytes(offset_, chunk);
+            const std::size_t n = socket_.send(data);
+            if (n == 0) return;
+            offset_ += n;
+        }
+        if (offset_ >= total_ && !closed_) {
+            closed_ = true;
+            socket_.close();
+        }
+    }
+
+    std::size_t offered() const { return offset_; }
+
+private:
+    tcp::TcpSocket& socket_;
+    std::size_t total_;
+    std::size_t offset_ = 0;
+    bool closed_ = false;
+};
+
+/// Saturating sender over the stop-and-wait embedded baselines.
+class EmbeddedBulkSender {
+public:
+    EmbeddedBulkSender(transport::EmbeddedTcpSocket& socket, std::size_t totalBytes)
+        : socket_(socket), total_(totalBytes) {
+        socket_.setOnConnected([this] { pump(); });
+    }
+
+    /// Must be called periodically (the simple stack has no space callback).
+    void pump() {
+        while (offset_ < total_) {
+            const std::size_t chunk = std::min<std::size_t>(256, total_ - offset_);
+            const Bytes data = patternBytes(offset_, chunk);
+            const std::size_t n = socket_.send(data);
+            if (n == 0) return;
+            offset_ += n;
+        }
+    }
+
+    std::size_t offered() const { return offset_; }
+
+private:
+    transport::EmbeddedTcpSocket& socket_;
+    std::size_t total_;
+    std::size_t offset_ = 0;
+};
+
+/// Receiver-side goodput meter: counts verified application bytes between
+/// the first and last delivery.
+class GoodputMeter {
+public:
+    explicit GoodputMeter(sim::Simulator& simulator) : simulator_(simulator) {}
+
+    void onData(BytesView data) {
+        if (bytes_ == 0) first_ = simulator_.now();
+        contentOk_ = contentOk_ && matchesPattern(bytes_, data);
+        bytes_ += data.size();
+        last_ = simulator_.now();
+    }
+
+    std::size_t bytes() const { return bytes_; }
+    bool contentOk() const { return contentOk_; }
+    sim::Time firstAt() const { return first_; }
+    sim::Time lastAt() const { return last_; }
+
+    /// Goodput in kb/s over the delivery interval.
+    double goodputKbps() const {
+        const sim::Time span = last_ - first_;
+        if (span <= 0) return 0.0;
+        return double(bytes_) * 8.0 / 1000.0 / sim::toSeconds(span);
+    }
+
+private:
+    sim::Simulator& simulator_;
+    std::size_t bytes_ = 0;
+    bool contentOk_ = true;
+    sim::Time first_ = 0;
+    sim::Time last_ = 0;
+};
+
+}  // namespace tcplp::app

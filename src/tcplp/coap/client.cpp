@@ -1,0 +1,156 @@
+#include <algorithm>
+
+#include "tcplp/coap/coap.hpp"
+#include "tcplp/common/log.hpp"
+
+namespace tcplp::coap {
+
+CoapClient::CoapClient(transport::UdpStack& udp, const ip6::Address& dst,
+                       std::uint16_t dstPort, CoapConfig config)
+    : udp_(udp),
+      dst_(dst),
+      dstPort_(dstPort),
+      srcPort_(udp.allocatePort()),
+      config_(config),
+      cocoa_(config.cocoaInitialRto),
+      plainRto_(config.ackTimeout),
+      timer_(udp.simulator(), [this] { onTimeout(); }) {
+    udp_.bind(srcPort_, [this](const transport::UdpDatagram& d) { input(d); });
+}
+
+sim::Time CoapClient::currentRto() const {
+    return config_.cocoa ? cocoa_.rto() : plainRto_;
+}
+
+sim::Time CoapClient::initialRto() {
+    if (config_.cocoa) return cocoa_.rto();
+    // Uniform in [ACK_TIMEOUT, ACK_TIMEOUT * ACK_RANDOM_FACTOR].
+    const double f = 1.0 + udp_.simulator().rng().uniform() * (config_.ackRandomFactor - 1.0);
+    return sim::Time(double(config_.ackTimeout) * f);
+}
+
+void CoapClient::postConfirmable(Bytes payload, DoneCallback done, std::optional<Block> block) {
+    Exchange ex;
+    ex.message.type = Type::kConfirmable;
+    ex.message.code = kCodePost;
+    ex.message.messageId = nextMessageId_++;
+    ex.message.token = nextToken_++;
+    ex.message.block1 = block;
+    ex.message.payload = std::move(payload);
+    ex.done = std::move(done);
+    queue_.push_back(std::move(ex));
+    ++stats_.exchangesStarted;
+    startNext();
+}
+
+void CoapClient::postNonConfirmable(Bytes payload) {
+    Message m;
+    m.type = Type::kNonConfirmable;
+    m.code = kCodePost;
+    m.messageId = nextMessageId_++;
+    m.token = nextToken_++;
+    m.payload = std::move(payload);
+    ++stats_.nonsSent;
+    udp_.sendTo(dst_, dstPort_, srcPort_, m.encode());
+}
+
+void CoapClient::startNext() {
+    if (current_ || queue_.empty()) return;  // NSTART = 1
+    current_ = std::make_unique<Exchange>(std::move(queue_.front()));
+    queue_.pop_front();
+    current_->rto = initialRto();
+    current_->firstTx = udp_.simulator().now();
+    transmitCurrent();
+}
+
+void CoapClient::transmitCurrent() {
+    ++current_->transmissions;
+    udp_.sendTo(dst_, dstPort_, srcPort_, current_->message.encode());
+    udp_.netif().setExpectingResponse(true);
+    timer_.start(current_->rto);
+}
+
+void CoapClient::onTimeout() {
+    if (!current_) return;
+    if (current_->transmissions > config_.maxRetransmit) {
+        // Give up; reset RTO (§9.4) and move to the next message.
+        ++stats_.exchangesFailed;
+        plainRto_ = config_.ackTimeout;
+        auto done = std::move(current_->done);
+        current_.reset();
+        udp_.netif().setExpectingResponse(pendingExchanges() > 0);
+        if (done) done(false);
+        startNext();
+        return;
+    }
+    ++stats_.retransmissions;
+    current_->rto = config_.cocoa ? CocoaEstimator::backoff(current_->rto)
+                                  : current_->rto * 2;
+    transmitCurrent();
+}
+
+void CoapClient::input(const transport::UdpDatagram& d) {
+    const auto msg = Message::decode(d.payload);
+    if (!msg) return;
+    if (msg->type != Type::kAck) return;
+    if (!current_ || msg->messageId != current_->message.messageId) return;
+
+    timer_.stop();
+    ++stats_.exchangesDelivered;
+    const sim::Time now = udp_.simulator().now();
+    if (config_.cocoa) {
+        // CoCoA samples: strong from clean exchanges, weak (measured from
+        // the first transmission!) from exchanges with <= 2 retransmissions.
+        const sim::Time rttFromFirst = now - current_->firstTx;
+        if (current_->transmissions == 1) {
+            cocoa_.strongSample(rttFromFirst);
+        } else if (current_->transmissions <= 3) {
+            cocoa_.weakSample(rttFromFirst);
+        }
+    }
+    auto done = std::move(current_->done);
+    current_.reset();
+    udp_.netif().setExpectingResponse(pendingExchanges() > 0);
+    if (done) done(true);
+    startNext();
+}
+
+// ---------------------------------------------------------------------------
+
+CoapServer::CoapServer(transport::UdpStack& udp, std::uint16_t port)
+    : udp_(udp), port_(port) {
+    udp_.bind(port_, [this](const transport::UdpDatagram& d) { input(d); });
+}
+
+void CoapServer::input(const transport::UdpDatagram& d) {
+    const auto msg = Message::decode(d.payload);
+    if (!msg) return;
+    if (msg->type != Type::kConfirmable && msg->type != Type::kNonConfirmable) return;
+
+    bool duplicate = false;
+    if (msg->type == Type::kConfirmable) {
+        auto& recent = recentMids_[d.srcAddr];
+        duplicate = std::find(recent.begin(), recent.end(), msg->messageId) != recent.end();
+        if (!duplicate) {
+            recent.push_back(msg->messageId);
+            if (recent.size() > 32) recent.pop_front();
+        }
+        // Piggybacked ACK response (sent for duplicates too: the original
+        // ACK may have been lost).
+        Message ack;
+        ack.type = Type::kAck;
+        ack.code = msg->block1 && msg->block1->more ? kCodeContinue : kCodeChanged;
+        ack.messageId = msg->messageId;
+        ack.token = msg->token;
+        ack.tokenLength = msg->tokenLength;
+        udp_.sendTo(d.srcAddr, d.srcPort, port_, ack.encode());
+    }
+    if (duplicate) {
+        ++duplicatesSuppressed_;
+        return;
+    }
+    ++requestsReceived_;
+    if (onRequest_) onRequest_(*msg, d.srcAddr);
+}
+
+}  // namespace tcplp::coap

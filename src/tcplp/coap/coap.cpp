@@ -1,0 +1,1 @@
+// Anchor translation unit for the coap library (filled by coap.hpp et al.).

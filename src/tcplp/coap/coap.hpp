@@ -1,0 +1,179 @@
+// CoAP client/server message-layer reliability, plus the CoCoA variant.
+//
+// Client behavior per RFC 7252 §4.2: a confirmable message is retransmitted
+// up to MAX_RETRANSMIT (4) times, initial timeout uniform in
+// [ACK_TIMEOUT, ACK_TIMEOUT * ACK_RANDOM_FACTOR], doubling per retry.
+// NSTART = 1: one outstanding exchange per peer; further messages queue.
+// On giving up, the paper notes CoAP "resets its RTO to 3 seconds ... and
+// mov[es] to the next packet" (§9.4) — we model exactly that.
+//
+// CoCoA (Betzler et al., §9.1/§9.4) replaces the fixed timeout with RTT
+// estimators: a *strong* estimator fed by exchanges that completed without
+// retransmission, and a *weak* estimator fed by retransmitted exchanges —
+// measured, conservatively, from the FIRST transmission. That inflated weak
+// sample is the failure mode §9.4 exposes at 15 % loss. Variable backoff:
+// RTO < 1 s doubles... x3, 1-3 s x2, > 3 s x1.5.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "tcplp/coap/message.hpp"
+#include "tcplp/sim/simulator.hpp"
+#include "tcplp/transport/udp.hpp"
+
+namespace tcplp::coap {
+
+struct CoapConfig {
+    sim::Time ackTimeout = 2 * sim::kSecond;
+    double ackRandomFactor = 1.5;
+    int maxRetransmit = 4;
+    bool cocoa = false;
+    sim::Time giveUpResetRto = 3 * sim::kSecond;
+    /// CoCoA initial overall RTO.
+    sim::Time cocoaInitialRto = 2 * sim::kSecond;
+};
+
+struct CoapStats {
+    std::uint64_t exchangesStarted = 0;
+    std::uint64_t exchangesDelivered = 0;
+    std::uint64_t exchangesFailed = 0;  // gave up after MAX_RETRANSMIT
+    std::uint64_t retransmissions = 0;
+    std::uint64_t nonsSent = 0;  // non-confirmable messages (no ARQ)
+};
+
+/// CoCoA RTO state per destination.
+class CocoaEstimator {
+public:
+    explicit CocoaEstimator(sim::Time initialRto) : overallRto_(initialRto) {}
+
+    sim::Time rto() const { return overallRto_; }
+
+    /// Exchange completed without retransmission: strong sample.
+    void strongSample(sim::Time rtt) {
+        update(strong_, rtt, 4);
+        overallRto_ = (rtoOf(strong_) + overallRto_) / 2;  // 0.5 / 0.5
+    }
+
+    /// Exchange needed retransmission; `rtt` measured from the FIRST
+    /// transmission (the conservative choice the paper criticizes). K=4 as
+    /// in er-cocoa, the implementation the paper adapted — together with
+    /// the first-transmission-relative sample this is the positive feedback
+    /// loop that inflates the RTO under sustained loss (§9.4).
+    void weakSample(sim::Time rtt) {
+        update(weak_, rtt, 4);
+        overallRto_ = (rtoOf(weak_) + 3 * overallRto_) / 4;  // 0.25 / 0.75
+    }
+
+    /// Variable backoff factor (x1000 to stay integral).
+    static sim::Time backoff(sim::Time rto) {
+        if (rto < 1 * sim::kSecond) return rto * 3;
+        if (rto > 3 * sim::kSecond) return rto * 3 / 2;
+        return rto * 2;
+    }
+
+private:
+    struct Estimator {
+        sim::Time srtt = 0;
+        sim::Time rttvar = 0;
+        bool primed = false;
+        int k = 4;
+    };
+
+    static void update(Estimator& e, sim::Time rtt, int k) {
+        e.k = k;
+        if (!e.primed) {
+            e.srtt = rtt;
+            e.rttvar = rtt / 2;
+            e.primed = true;
+            return;
+        }
+        const sim::Time err = rtt - e.srtt;
+        e.srtt += err / 8;
+        e.rttvar += ((err < 0 ? -err : err) - e.rttvar) / 4;
+    }
+    static sim::Time rtoOf(const Estimator& e) { return e.srtt + e.k * e.rttvar; }
+
+    Estimator strong_;
+    Estimator weak_;
+    sim::Time overallRto_;
+};
+
+/// One-destination CoAP client with NSTART=1 queueing.
+class CoapClient {
+public:
+    /// done(delivered): delivered=false means gave up after retries.
+    using DoneCallback = std::function<void(bool delivered)>;
+
+    CoapClient(transport::UdpStack& udp, const ip6::Address& dst, std::uint16_t dstPort,
+               CoapConfig config = {});
+
+    /// Sends a confirmable POST carrying `payload`.
+    void postConfirmable(Bytes payload, DoneCallback done, std::optional<Block> block = {});
+    /// Sends a non-confirmable POST (fire and forget, §9.6).
+    void postNonConfirmable(Bytes payload);
+
+    const CoapStats& stats() const { return stats_; }
+    std::size_t pendingExchanges() const { return queue_.size() + (current_ ? 1 : 0); }
+    sim::Time currentRto() const;
+    sim::Simulator& simulator() { return udp_.simulator(); }
+
+private:
+    struct Exchange {
+        Message message;
+        DoneCallback done;
+        int transmissions = 0;
+        sim::Time firstTx = 0;
+        sim::Time rto = 0;
+    };
+
+    void startNext();
+    void transmitCurrent();
+    void onTimeout();
+    void input(const transport::UdpDatagram& d);
+    sim::Time initialRto();
+
+    transport::UdpStack& udp_;
+    ip6::Address dst_;
+    std::uint16_t dstPort_;
+    std::uint16_t srcPort_;
+    CoapConfig config_;
+    CoapStats stats_;
+    CocoaEstimator cocoa_;
+    sim::Time plainRto_;  // non-CoCoA current RTO (reset per exchange)
+
+    std::uint16_t nextMessageId_ = 1;
+    std::uint64_t nextToken_ = 1;
+    std::deque<Exchange> queue_;
+    std::unique_ptr<Exchange> current_;
+    sim::Timer timer_;
+};
+
+/// CoAP server: acknowledges confirmables, deduplicates by message id, and
+/// hands request payloads to the application (our Californium stand-in).
+class CoapServer {
+public:
+    using RequestHandler =
+        std::function<void(const Message&, const ip6::Address& from)>;
+
+    CoapServer(transport::UdpStack& udp, std::uint16_t port);
+
+    void setOnRequest(RequestHandler handler) { onRequest_ = std::move(handler); }
+    std::uint64_t requestsReceived() const { return requestsReceived_; }
+    std::uint64_t duplicatesSuppressed() const { return duplicatesSuppressed_; }
+
+private:
+    void input(const transport::UdpDatagram& d);
+
+    transport::UdpStack& udp_;
+    std::uint16_t port_;
+    RequestHandler onRequest_;
+    std::uint64_t requestsReceived_ = 0;
+    std::uint64_t duplicatesSuppressed_ = 0;
+    // Recent (source, messageId) pairs for deduplication.
+    std::map<ip6::Address, std::deque<std::uint16_t>> recentMids_;
+};
+
+}  // namespace tcplp::coap

@@ -1,0 +1,97 @@
+#include "tcplp/coap/message.hpp"
+
+#include "tcplp/common/assert.hpp"
+
+namespace tcplp::coap {
+namespace {
+constexpr std::uint8_t kOptionBlock1 = 27;
+constexpr std::uint8_t kPayloadMarker = 0xff;
+
+void putOptionHeader(Bytes& out, std::uint32_t delta, std::size_t length) {
+    // Deltas/lengths < 13 only (all we need for Block1 = 27 from zero... 27
+    // exceeds 12, so support the one-byte extended form).
+    std::uint8_t d = delta < 13 ? std::uint8_t(delta) : 13;
+    std::uint8_t l = std::uint8_t(length);
+    TCPLP_ASSERT(length < 13);
+    out.push_back(std::uint8_t((d << 4) | l));
+    if (d == 13) out.push_back(std::uint8_t(delta - 13));
+}
+}  // namespace
+
+Bytes Message::encode() const {
+    Bytes out;
+    out.push_back(std::uint8_t((1u << 6) | (std::uint8_t(type) << 4) | tokenLength));
+    out.push_back(code);
+    putU16(out, messageId);
+    for (int i = tokenLength - 1; i >= 0; --i)
+        out.push_back(std::uint8_t(token >> (8 * i)));
+
+    if (block1) {
+        // Block1 value: num(20) | more(1) | szx(3), minimal-length encoding.
+        const std::uint32_t v = (block1->num << 4) | (std::uint32_t(block1->more) << 3) |
+                                block1->szx;
+        Bytes val;
+        if (v >= 0x10000) {
+            val.push_back(std::uint8_t(v >> 16));
+            val.push_back(std::uint8_t(v >> 8));
+            val.push_back(std::uint8_t(v));
+        } else if (v >= 0x100) {
+            val.push_back(std::uint8_t(v >> 8));
+            val.push_back(std::uint8_t(v));
+        } else {
+            val.push_back(std::uint8_t(v));
+        }
+        putOptionHeader(out, kOptionBlock1, val.size());
+        append(out, val);
+    }
+    if (!payload.empty()) {
+        out.push_back(kPayloadMarker);
+        append(out, payload);
+    }
+    return out;
+}
+
+std::optional<Message> Message::decode(BytesView in) {
+    if (in.size() < 4) return std::nullopt;
+    if ((in[0] >> 6) != 1) return std::nullopt;  // version
+    Message m;
+    m.type = static_cast<Type>((in[0] >> 4) & 0x3);
+    m.tokenLength = in[0] & 0x0f;
+    if (m.tokenLength > 8) return std::nullopt;
+    m.code = in[1];
+    m.messageId = getU16(in, 2);
+    std::size_t off = 4;
+    if (off + m.tokenLength > in.size()) return std::nullopt;
+    m.token = 0;
+    for (int i = 0; i < m.tokenLength; ++i) m.token = (m.token << 8) | in[off++];
+
+    std::uint32_t optionNumber = 0;
+    while (off < in.size() && in[off] != kPayloadMarker) {
+        std::uint32_t delta = in[off] >> 4;
+        std::uint32_t length = in[off] & 0x0f;
+        ++off;
+        if (delta == 13) {
+            if (off >= in.size()) return std::nullopt;
+            delta = 13 + in[off++];
+        } else if (delta >= 14) {
+            return std::nullopt;  // unsupported extended forms
+        }
+        if (length >= 13) return std::nullopt;
+        if (off + length > in.size()) return std::nullopt;
+        optionNumber += delta;
+        if (optionNumber == kOptionBlock1) {
+            std::uint32_t v = 0;
+            for (std::uint32_t i = 0; i < length; ++i) v = (v << 8) | in[off + i];
+            m.block1 = Block{v >> 4, ((v >> 3) & 1) != 0, std::uint8_t(v & 0x7)};
+        }
+        off += length;
+    }
+    if (off < in.size() && in[off] == kPayloadMarker) {
+        ++off;
+        if (off >= in.size()) return std::nullopt;  // marker with no payload
+        m.payload.assign(in.begin() + long(off), in.end());
+    }
+    return m;
+}
+
+}  // namespace tcplp::coap

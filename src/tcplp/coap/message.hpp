@@ -1,0 +1,47 @@
+// CoAP message model and wire codec (RFC 7252 subset + Block1, RFC 7959).
+//
+// The evaluation (§9) uses CoAP as the representative LLN-specialized
+// reliability protocol: confirmable POSTs carrying sensor readings, with
+// blockwise transfer for batches. The codec produces real bytes (4-byte
+// fixed header, token, delta-encoded options, 0xFF payload marker) so frame
+// counts and header overhead are faithful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tcplp/common/bytes.hpp"
+
+namespace tcplp::coap {
+
+enum class Type : std::uint8_t { kConfirmable = 0, kNonConfirmable = 1, kAck = 2, kReset = 3 };
+
+// Codes: class.detail packed as (cls << 5) | detail.
+constexpr std::uint8_t kCodeEmpty = 0;
+constexpr std::uint8_t kCodePost = 0x02;           // 0.02
+constexpr std::uint8_t kCodeChanged = 0x44;        // 2.04
+constexpr std::uint8_t kCodeContinue = 0x5f;       // 2.31 (blockwise)
+
+/// Block1 option (RFC 7959): block number, more flag, size exponent.
+struct Block {
+    std::uint32_t num = 0;
+    bool more = false;
+    std::uint8_t szx = 6;  // block size = 2^(szx+4); szx 6 = 1024 B
+
+    std::uint32_t sizeBytes() const { return 1u << (szx + 4); }
+};
+
+struct Message {
+    Type type = Type::kConfirmable;
+    std::uint8_t code = kCodePost;
+    std::uint16_t messageId = 0;
+    std::uint64_t token = 0;   // up to 8 bytes on the wire
+    std::uint8_t tokenLength = 4;
+    std::optional<Block> block1;
+    Bytes payload;
+
+    Bytes encode() const;
+    static std::optional<Message> decode(BytesView in);
+};
+
+}  // namespace tcplp::coap

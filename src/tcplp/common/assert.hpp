@@ -1,0 +1,17 @@
+// Always-on invariant checking. The simulator is a measurement instrument:
+// a silently-corrupted invariant would invalidate experiment output, so
+// these checks stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcplp::detail {
+[[noreturn]] inline void assertFail(const char* expr, const char* file, int line) {
+    std::fprintf(stderr, "tcplp invariant failed: %s at %s:%d\n", expr, file, line);
+    std::abort();
+}
+}  // namespace tcplp::detail
+
+#define TCPLP_ASSERT(expr) \
+    ((expr) ? void(0) : ::tcplp::detail::assertFail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,65 @@
+// Dynamic bitmap with range operations.
+//
+// TCPlp's in-place reassembly queue (paper section 4.3.2, Figure 1b) records
+// which bytes past the in-sequence data are valid out-of-order data using a
+// bitmap; this is that bitmap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tcplp/common/assert.hpp"
+
+namespace tcplp {
+
+class Bitmap {
+public:
+    explicit Bitmap(std::size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+    std::size_t size() const { return bits_; }
+
+    bool test(std::size_t i) const {
+        TCPLP_ASSERT(i < bits_);
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void set(std::size_t i) {
+        TCPLP_ASSERT(i < bits_);
+        words_[i >> 6] |= std::uint64_t(1) << (i & 63);
+    }
+
+    void clear(std::size_t i) {
+        TCPLP_ASSERT(i < bits_);
+        words_[i >> 6] &= ~(std::uint64_t(1) << (i & 63));
+    }
+
+    void setRange(std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) set(i);
+    }
+
+    void clearRange(std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) clear(i);
+    }
+
+    void clearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+    /// Length of the run of set bits starting at `begin`.
+    std::size_t countContiguousFrom(std::size_t begin) const {
+        std::size_t n = 0;
+        while (begin + n < bits_ && test(begin + n)) ++n;
+        return n;
+    }
+
+    std::size_t popcount() const {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < bits_; ++i) n += test(i);
+        return n;
+    }
+
+private:
+    std::size_t bits_;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace tcplp

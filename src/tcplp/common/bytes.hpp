@@ -1,0 +1,74 @@
+// Byte-buffer utilities shared across the stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tcplp {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a byte vector from an ASCII string (test/workload convenience).
+inline Bytes toBytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+/// Renders bytes as ASCII, replacing non-printable bytes with '.'.
+inline std::string toPrintable(BytesView b) {
+    std::string out;
+    out.reserve(b.size());
+    for (std::uint8_t c : b) out.push_back((c >= 0x20 && c < 0x7f) ? char(c) : '.');
+    return out;
+}
+
+/// Generates `n` deterministic pattern bytes starting at stream offset
+/// `offset`. Used by bulk-transfer workloads so receivers can verify
+/// content integrity without keeping a copy of the sent stream.
+inline Bytes patternBytes(std::size_t offset, std::size_t n) {
+    Bytes out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t pos = offset + i;
+        out[i] = static_cast<std::uint8_t>((pos * 131) ^ (pos >> 8) ^ 0x5a);
+    }
+    return out;
+}
+
+/// Checks that `data` equals the pattern stream at `offset`.
+inline bool matchesPattern(std::size_t offset, BytesView data) {
+    const Bytes expect = patternBytes(offset, data.size());
+    return data.size() == expect.size() &&
+           std::memcmp(data.data(), expect.data(), data.size()) == 0;
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// Big-endian (network order) scalar encode/decode helpers used by the
+// header codecs (6LoWPAN, IPv6, TCP, CoAP).
+inline void putU16(Bytes& b, std::uint16_t v) {
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+    b.push_back(static_cast<std::uint8_t>(v));
+}
+inline void putU32(Bytes& b, std::uint32_t v) {
+    b.push_back(static_cast<std::uint8_t>(v >> 24));
+    b.push_back(static_cast<std::uint8_t>(v >> 16));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+    b.push_back(static_cast<std::uint8_t>(v));
+}
+inline std::uint16_t getU16(BytesView b, std::size_t off) {
+    return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+inline std::uint32_t getU32(BytesView b, std::size_t off) {
+    return (std::uint32_t(b[off]) << 24) | (std::uint32_t(b[off + 1]) << 16) |
+           (std::uint32_t(b[off + 2]) << 8) | std::uint32_t(b[off + 3]);
+}
+
+}  // namespace tcplp

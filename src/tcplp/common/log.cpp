@@ -1,0 +1,33 @@
+#include "tcplp/common/log.hpp"
+
+#include <cstdio>
+
+namespace tcplp {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* tag(LogLevel level) {
+    switch (level) {
+        case LogLevel::kError: return "E";
+        case LogLevel::kWarn: return "W";
+        case LogLevel::kInfo: return "I";
+        case LogLevel::kDebug: return "D";
+        case LogLevel::kTrace: return "T";
+        default: return "?";
+    }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+    std::fprintf(stderr, "[%s] ", tag(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace tcplp

@@ -1,0 +1,29 @@
+// Minimal leveled logging. Experiments run with logging off by default;
+// tests flip it on to debug protocol traces.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace tcplp {
+
+enum class LogLevel : std::uint8_t { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Process-wide log threshold; messages above it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// printf-style logging to stderr, prefixed with the level tag.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define TCPLP_LOG(level, ...)                                       \
+    do {                                                            \
+        if (static_cast<int>(level) <= static_cast<int>(::tcplp::logLevel())) \
+            ::tcplp::logf(level, __VA_ARGS__);                      \
+    } while (0)
+
+#define TCPLP_DEBUG(...) TCPLP_LOG(::tcplp::LogLevel::kDebug, __VA_ARGS__)
+#define TCPLP_INFO(...) TCPLP_LOG(::tcplp::LogLevel::kInfo, __VA_ARGS__)
+#define TCPLP_WARN(...) TCPLP_LOG(::tcplp::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace tcplp

@@ -1,0 +1,93 @@
+// Fixed-capacity circular byte buffer.
+//
+// This is the storage primitive behind TCPlp's receive buffer (the paper's
+// "flat array-based circular buffer", section 4.3.2): capacity is reserved
+// up front, so memory use is deterministic regardless of how fragmented the
+// arriving byte stream is.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "tcplp/common/assert.hpp"
+#include "tcplp/common/bytes.hpp"
+
+namespace tcplp {
+
+class RingBuffer {
+public:
+    explicit RingBuffer(std::size_t capacity) : data_(capacity) {}
+
+    std::size_t capacity() const { return data_.size(); }
+    std::size_t size() const { return size_; }
+    std::size_t free() const { return capacity() - size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// Appends up to `src.size()` bytes; returns the number written.
+    std::size_t write(BytesView src) {
+        const std::size_t n = std::min(src.size(), free());
+        for (std::size_t i = 0; i < n; ++i)
+            data_[wrap(head_ + size_ + i)] = src[i];
+        size_ += n;
+        return n;
+    }
+
+    /// Writes `src` at byte offset `off` past the current tail, without
+    /// advancing size. Used by the in-place reassembly queue to deposit
+    /// out-of-order data into its eventual position (paper Figure 1b).
+    void writeAt(std::size_t off, BytesView src) {
+        TCPLP_ASSERT(off + src.size() <= capacity());
+        for (std::size_t i = 0; i < src.size(); ++i)
+            data_[wrap(head_ + size_ + off + i)] = src[i];
+    }
+
+    /// Marks `n` bytes previously deposited via writeAt() as in-sequence.
+    void commit(std::size_t n) {
+        TCPLP_ASSERT(size_ + n <= capacity());
+        size_ += n;
+    }
+
+    /// Copies up to `dst.size()` bytes from the front without consuming.
+    std::size_t peek(std::span<std::uint8_t> dst) const {
+        const std::size_t n = std::min(dst.size(), size_);
+        for (std::size_t i = 0; i < n; ++i) dst[i] = data_[wrap(head_ + i)];
+        return n;
+    }
+
+    /// Removes and returns up to `n` bytes from the front.
+    Bytes read(std::size_t n) {
+        n = std::min(n, size_);
+        Bytes out(n);
+        for (std::size_t i = 0; i < n; ++i) out[i] = data_[wrap(head_ + i)];
+        consume(n);
+        return out;
+    }
+
+    /// Drops `n` bytes from the front.
+    void consume(std::size_t n) {
+        TCPLP_ASSERT(n <= size_);
+        head_ = wrap(head_ + n);
+        size_ -= n;
+    }
+
+    /// Random access relative to the front (0 = oldest byte).
+    std::uint8_t at(std::size_t i) const {
+        TCPLP_ASSERT(i < size_);
+        return data_[wrap(head_ + i)];
+    }
+
+    void clear() {
+        head_ = 0;
+        size_ = 0;
+    }
+
+private:
+    std::size_t wrap(std::size_t i) const { return i % data_.size(); }
+
+    Bytes data_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace tcplp

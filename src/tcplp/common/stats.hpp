@@ -1,0 +1,82 @@
+// Streaming summary statistics used by every experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tcplp {
+
+/// Accumulates samples and answers mean / percentile / min / max queries.
+/// Keeps all samples (experiments produce at most a few million).
+class Summary {
+public:
+    void add(double x) {
+        samples_.push_back(x);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+
+    double mean() const {
+        if (samples_.empty()) return 0.0;
+        double s = 0.0;
+        for (double x : samples_) s += x;
+        return s / double(samples_.size());
+    }
+
+    double stddev() const {
+        if (samples_.size() < 2) return 0.0;
+        const double m = mean();
+        double s = 0.0;
+        for (double x : samples_) s += (x - m) * (x - m);
+        return std::sqrt(s / double(samples_.size() - 1));
+    }
+
+    double min() const { return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end()); }
+    double max() const { return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end()); }
+
+    /// Percentile in [0,100] by nearest-rank on the sorted samples.
+    double percentile(double p) const {
+        if (samples_.empty()) return 0.0;
+        sort();
+        const double rank = p / 100.0 * double(samples_.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+        const double frac = rank - double(lo);
+        return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    }
+
+    double median() const { return percentile(50.0); }
+
+    const std::vector<double>& samples() const {
+        sort();
+        return samples_;
+    }
+
+    /// Histogram with `bins` equal-width buckets over [lo, hi); returns counts.
+    std::vector<std::size_t> histogram(double lo, double hi, std::size_t bins) const {
+        std::vector<std::size_t> out(bins, 0);
+        if (hi <= lo || bins == 0) return out;
+        for (double x : samples_) {
+            if (x < lo || x >= hi) continue;
+            auto b = static_cast<std::size_t>((x - lo) / (hi - lo) * double(bins));
+            out[std::min(b, bins - 1)]++;
+        }
+        return out;
+    }
+
+private:
+    void sort() const {
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+    }
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+}  // namespace tcplp

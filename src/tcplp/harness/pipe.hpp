@@ -1,0 +1,119 @@
+// In-memory point-to-point NetIf pair: lets transport layers (TCP, UDP,
+// CoAP) be exercised with precise control over delay, loss, reordering and
+// ECN marking — no radio, MAC or 6LoWPAN involved. Used heavily by the unit
+// tests and by the model-validation bench (§8), where packet loss must be an
+// exact, independently-set probability.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "tcplp/ip6/netif.hpp"
+#include "tcplp/sim/simulator.hpp"
+
+namespace tcplp::harness {
+
+class PipeEndpoint;
+
+struct PipeConfig {
+    sim::Time oneWayDelay = 50 * sim::kMillisecond;
+    double lossAtoB = 0.0;  // drop probability per packet
+    double lossBtoA = 0.0;
+    /// Bits/second; 0 = infinite. Serializes packets FIFO.
+    double bandwidthBps = 0.0;
+    /// Mark instead of dropping (RED/ECN-style) with this probability.
+    double ceMarkProbability = 0.0;
+};
+
+/// A bidirectional lossy pipe between two endpoints.
+class Pipe {
+public:
+    using Config = PipeConfig;
+
+    explicit Pipe(sim::Simulator& simulator, Config config = {});
+
+    PipeEndpoint& a() { return *a_; }
+    PipeEndpoint& b() { return *b_; }
+    Config& config() { return config_; }
+
+    std::uint64_t deliveredPackets() const { return delivered_; }
+    std::uint64_t droppedPackets() const { return dropped_; }
+
+private:
+    friend class PipeEndpoint;
+    void transfer(const PipeEndpoint* from, ip6::Packet packet);
+
+    sim::Simulator& simulator_;
+    Config config_;
+    std::unique_ptr<PipeEndpoint> a_;
+    std::unique_ptr<PipeEndpoint> b_;
+    sim::Time nextFreeA_ = 0;  // serialization cursor per direction
+    sim::Time nextFreeB_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+class PipeEndpoint : public ip6::NetIf {
+public:
+    PipeEndpoint(Pipe& pipe, sim::Simulator& simulator, ip6::Address addr)
+        : pipe_(pipe), simulator_(simulator), addr_(addr) {}
+
+    ip6::Address address() const override { return addr_; }
+    sim::Simulator& simulator() override { return simulator_; }
+
+    void sendPacket(ip6::Packet packet) override {
+        if (packet.src == ip6::Address{}) packet.src = addr_;
+        pipe_.transfer(this, std::move(packet));
+    }
+
+    void registerProtocol(std::uint8_t nextHeader, ProtocolHandler handler) override {
+        handlers_[nextHeader] = std::move(handler);
+    }
+
+    void deliver(const ip6::Packet& packet) {
+        auto it = handlers_.find(packet.nextHeader);
+        if (it != handlers_.end()) it->second(packet);
+    }
+
+private:
+    Pipe& pipe_;
+    sim::Simulator& simulator_;
+    ip6::Address addr_;
+    std::map<std::uint8_t, ProtocolHandler> handlers_;
+};
+
+inline Pipe::Pipe(sim::Simulator& simulator, Config config)
+    : simulator_(simulator), config_(config) {
+    a_ = std::make_unique<PipeEndpoint>(*this, simulator, ip6::Address::meshLocal(1));
+    b_ = std::make_unique<PipeEndpoint>(*this, simulator, ip6::Address::meshLocal(2));
+}
+
+inline void Pipe::transfer(const PipeEndpoint* from, ip6::Packet packet) {
+    const bool aToB = (from == a_.get());
+    const double loss = aToB ? config_.lossAtoB : config_.lossBtoA;
+    if (simulator_.rng().chance(loss)) {
+        ++dropped_;
+        return;
+    }
+    if (config_.ceMarkProbability > 0.0 && packet.ecn() != ip6::Ecn::kNotCapable &&
+        simulator_.rng().chance(config_.ceMarkProbability)) {
+        packet.setEcn(ip6::Ecn::kCongestionExperienced);
+    }
+
+    sim::Time depart = simulator_.now();
+    if (config_.bandwidthBps > 0.0) {
+        const sim::Time txTime =
+            sim::fromSeconds(double(packet.uncompressedSize()) * 8.0 / config_.bandwidthBps);
+        sim::Time& cursor = aToB ? nextFreeA_ : nextFreeB_;
+        depart = std::max(depart, cursor) + txTime;
+        cursor = depart;
+    }
+    PipeEndpoint* to = aToB ? b_.get() : a_.get();
+    simulator_.scheduleAt(depart + config_.oneWayDelay,
+                          [this, to, packet = std::move(packet)]() mutable {
+                              ++delivered_;
+                              to->deliver(packet);
+                          });
+}
+
+}  // namespace tcplp::harness

@@ -1,0 +1,74 @@
+// IPv6 addresses as used in the simulated Thread-style network.
+//
+// Three address families appear in the experiments, chosen because they
+// exercise the three 6LoWPAN IPHC compression levels (Table 6's "2 B to
+// 28 B" range):
+//  * link-local (fe80::/64) with an IID derived from the 16-bit short MAC
+//    address — fully elidable under IPHC;
+//  * mesh-local ULA (fd00::/64, a shared compression context) — prefix
+//    elided, IID carried;
+//  * off-mesh "cloud" addresses (2001:db8::/64, no context) — carried whole.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tcplp::ip6 {
+
+using ShortAddr = std::uint16_t;  // equals phy::NodeId for mesh nodes
+
+struct Address {
+    std::array<std::uint8_t, 16> bytes{};
+
+    auto operator<=>(const Address&) const = default;
+
+    static Address linkLocal(ShortAddr node) {
+        Address a;
+        a.bytes[0] = 0xfe;
+        a.bytes[1] = 0x80;
+        a.bytes[14] = std::uint8_t(node >> 8);
+        a.bytes[15] = std::uint8_t(node);
+        return a;
+    }
+
+    static Address meshLocal(ShortAddr node) {
+        Address a;
+        a.bytes[0] = 0xfd;
+        a.bytes[8] = 0x11;  // non-MAC-derived IID: prefix elided, IID inline
+        a.bytes[14] = std::uint8_t(node >> 8);
+        a.bytes[15] = std::uint8_t(node);
+        return a;
+    }
+
+    static Address cloud(std::uint16_t host) {
+        Address a;
+        a.bytes[0] = 0x20;
+        a.bytes[1] = 0x01;
+        a.bytes[2] = 0x0d;
+        a.bytes[3] = 0xb8;
+        a.bytes[14] = std::uint8_t(host >> 8);
+        a.bytes[15] = std::uint8_t(host);
+        return a;
+    }
+
+    bool isLinkLocal() const { return bytes[0] == 0xfe && bytes[1] == 0x80; }
+    bool isMeshLocal() const { return bytes[0] == 0xfd; }
+    bool isCloud() const { return bytes[0] == 0x20; }
+
+    /// Node/host number carried in the last two bytes.
+    ShortAddr shortAddr() const {
+        return ShortAddr((bytes[14] << 8) | bytes[15]);
+    }
+
+    std::string str() const {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%02x%02x::%02x%02x", bytes[0], bytes[1], bytes[14],
+                      bytes[15]);
+        return buf;
+    }
+};
+
+}  // namespace tcplp::ip6

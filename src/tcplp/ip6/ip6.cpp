@@ -1,0 +1,3 @@
+// The ip6 module is header-only; this translation unit anchors the library.
+#include "tcplp/ip6/packet.hpp"
+#include "tcplp/ip6/red_queue.hpp"

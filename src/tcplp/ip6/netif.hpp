@@ -1,0 +1,36 @@
+// Interface the transport layers (TCP, UDP) use to reach the network.
+//
+// Implemented by mesh::Node for simulated motes/routers/cloud hosts, and by
+// in-memory pipes in unit tests so TCP can be exercised without a radio.
+#pragma once
+
+#include <functional>
+
+#include "tcplp/ip6/packet.hpp"
+#include "tcplp/sim/simulator.hpp"
+
+namespace tcplp::ip6 {
+
+class NetIf {
+public:
+    using ProtocolHandler = std::function<void(const Packet&)>;
+
+    virtual ~NetIf() = default;
+
+    /// Primary address of this interface (packet sources default to it).
+    virtual Address address() const = 0;
+
+    /// Queues a packet for transmission toward `packet.dst`.
+    virtual void sendPacket(Packet packet) = 0;
+
+    /// Registers the upper-layer handler for a next-header value.
+    virtual void registerProtocol(std::uint8_t nextHeader, ProtocolHandler handler) = 0;
+
+    virtual sim::Simulator& simulator() = 0;
+
+    /// Duty-cycle hint (§9.2): the transport expects a response soon, so a
+    /// sleepy MAC should poll its parent rapidly. No-op on always-on nodes.
+    virtual void setExpectingResponse(bool) {}
+};
+
+}  // namespace tcplp::ip6

@@ -1,0 +1,45 @@
+// IPv6 packet representation used across the stack.
+#pragma once
+
+#include <cstdint>
+
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/ip6/address.hpp"
+
+namespace tcplp::ip6 {
+
+constexpr std::size_t kUncompressedHeaderBytes = 40;
+
+enum NextHeader : std::uint8_t {
+    kProtoTcp = 6,
+    kProtoUdp = 17,
+    kProtoIcmp = 58,
+};
+
+/// ECN codepoints (RFC 3168), carried in the low two bits of traffic class.
+enum class Ecn : std::uint8_t {
+    kNotCapable = 0b00,
+    kCapable0 = 0b10,
+    kCapable1 = 0b01,
+    kCongestionExperienced = 0b11,
+};
+
+struct Packet {
+    Address src;
+    Address dst;
+    std::uint8_t nextHeader = kProtoUdp;
+    std::uint8_t hopLimit = 64;
+    std::uint8_t trafficClass = 0;
+    Bytes payload;  // encoded transport segment
+
+    Ecn ecn() const { return static_cast<Ecn>(trafficClass & 0b11); }
+    void setEcn(Ecn e) {
+        trafficClass = std::uint8_t((trafficClass & ~0b11) | static_cast<std::uint8_t>(e));
+    }
+
+    /// Size on an uncompressed wire (used for queue accounting and the
+    /// Table 6 comparison against IPHC).
+    std::size_t uncompressedSize() const { return kUncompressedHeaderBytes + payload.size(); }
+};
+
+}  // namespace tcplp::ip6

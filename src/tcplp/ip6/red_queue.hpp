@@ -1,0 +1,98 @@
+// Relay forwarding queue: tail-drop or RED, with optional ECN marking.
+//
+// Appendix A: with buffers of 7 segments, two competing TCP flows shared the
+// path unfairly because of tail drops at a relay; Random Early Detection
+// (RFC-style, Floyd & Jacobson) with ECN marking restored fairness and kept
+// RTTs near 1 s. This queue implements both disciplines so the Table 9
+// bench can compare them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "tcplp/ip6/packet.hpp"
+#include "tcplp/sim/rng.hpp"
+
+namespace tcplp::ip6 {
+
+enum class QueueDiscipline : std::uint8_t { kTailDrop, kRed };
+
+struct RedConfig {
+    QueueDiscipline discipline = QueueDiscipline::kTailDrop;
+    std::size_t capacityPackets = 8;  // hard limit (mote packet heap is small)
+    // RED parameters, in packets.
+    double minThreshold = 1.5;
+    double maxThreshold = 4.5;
+    double maxMarkProbability = 0.1;
+    double weight = 0.25;  // EWMA weight for average queue size
+    bool ecnMarking = true;  // mark CE instead of dropping when ECT
+};
+
+struct QueueStats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t tailDropped = 0;
+    std::uint64_t redDropped = 0;
+    std::uint64_t ecnMarked = 0;
+};
+
+class RedQueue {
+public:
+    RedQueue(sim::Rng& rng, RedConfig config = {}) : rng_(rng), config_(config) {}
+
+    const RedConfig& config() const { return config_; }
+    RedConfig& mutableConfig() { return config_; }
+    const QueueStats& stats() const { return stats_; }
+    std::size_t size() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+
+    /// Attempts to enqueue; returns false if the packet was dropped.
+    bool push(Packet packet) {
+        updateAverage();
+        if (config_.discipline == QueueDiscipline::kRed) {
+            const double mark = markProbability();
+            if (mark > 0.0 && rng_.chance(mark)) {
+                if (config_.ecnMarking && packet.ecn() != Ecn::kNotCapable) {
+                    packet.setEcn(Ecn::kCongestionExperienced);
+                    ++stats_.ecnMarked;
+                } else {
+                    ++stats_.redDropped;
+                    return false;
+                }
+            }
+        }
+        if (queue_.size() >= config_.capacityPackets) {
+            ++stats_.tailDropped;
+            return false;
+        }
+        queue_.push_back(std::move(packet));
+        ++stats_.enqueued;
+        return true;
+    }
+
+    Packet pop() {
+        Packet p = std::move(queue_.front());
+        queue_.pop_front();
+        return p;
+    }
+
+private:
+    void updateAverage() {
+        avg_ = (1.0 - config_.weight) * avg_ + config_.weight * double(queue_.size());
+    }
+
+    double markProbability() const {
+        if (avg_ < config_.minThreshold) return 0.0;
+        if (avg_ >= config_.maxThreshold) return 1.0;
+        return config_.maxMarkProbability * (avg_ - config_.minThreshold) /
+               (config_.maxThreshold - config_.minThreshold);
+    }
+
+    sim::Rng& rng_;
+    RedConfig config_;
+    QueueStats stats_;
+    std::deque<Packet> queue_;
+    double avg_ = 0.0;
+};
+
+}  // namespace tcplp::ip6

@@ -1,0 +1,164 @@
+#include "tcplp/lowpan/frag.hpp"
+
+#include "tcplp/common/assert.hpp"
+#include "tcplp/common/log.hpp"
+
+namespace tcplp::lowpan {
+namespace {
+constexpr std::uint8_t kFrag1Dispatch = 0b1100'0000;
+constexpr std::uint8_t kFragNDispatch = 0b1110'0000;
+constexpr std::uint8_t kDispatchMask = 0b1111'1000;
+}  // namespace
+
+std::optional<FragInfo> parseFragmentHeader(BytesView macPayload) {
+    if (macPayload.empty()) return std::nullopt;
+    FragInfo info;
+    const std::uint8_t dispatch = macPayload[0] & kDispatchMask;  // high 5 bits
+    if (dispatch == kFrag1Dispatch) {
+        if (macPayload.size() < kFrag1HeaderBytes) return std::nullopt;
+        info.isFragment = true;
+        info.isFirst = true;
+        info.datagramSize = std::uint16_t(((macPayload[0] & 0x07) << 8) | macPayload[1]);
+        info.tag = getU16(macPayload, 2);
+        info.headerLen = kFrag1HeaderBytes;
+        return info;
+    }
+    if (dispatch == kFragNDispatch) {
+        if (macPayload.size() < kFragNHeaderBytes) return std::nullopt;
+        info.isFragment = true;
+        info.isFirst = false;
+        info.datagramSize = std::uint16_t(((macPayload[0] & 0x07) << 8) | macPayload[1]);
+        info.tag = getU16(macPayload, 2);
+        info.offsetBytes = std::uint16_t(macPayload[4]) * 8;
+        info.headerLen = kFragNHeaderBytes;
+        return info;
+    }
+    // Unfragmented IPHC datagram.
+    info.isFragment = false;
+    info.headerLen = 0;
+    return info;
+}
+
+std::vector<Bytes> encodeDatagram(const ip6::Packet& p, ip6::ShortAddr macSrc,
+                                  ip6::ShortAddr macDst, std::uint16_t tag,
+                                  std::size_t maxMacPayload) {
+    const IphcResult iphc = compressHeader(p, macSrc, macDst);
+    std::vector<Bytes> frames;
+
+    // Fits without fragmentation?
+    if (iphc.size() + p.payload.size() <= maxMacPayload) {
+        Bytes f = iphc.bytes;
+        append(f, p.payload);
+        frames.push_back(std::move(f));
+        return frames;
+    }
+
+    const std::size_t datagramSize = p.uncompressedSize();
+    TCPLP_ASSERT(datagramSize < (1u << 11));
+
+    // FRAG1: header + IPHC + leading payload. The uncompressed prefix it
+    // covers (40-byte IPv6 header + carried payload) must be 8-aligned.
+    std::size_t room = maxMacPayload - kFrag1HeaderBytes - iphc.size();
+    std::size_t firstPayload = ((ip6::kUncompressedHeaderBytes + room) / 8) * 8 -
+                               ip6::kUncompressedHeaderBytes;
+    firstPayload = std::min(firstPayload, p.payload.size());
+
+    Bytes f1;
+    f1.push_back(std::uint8_t(kFrag1Dispatch | ((datagramSize >> 8) & 0x07)));
+    f1.push_back(std::uint8_t(datagramSize & 0xff));
+    putU16(f1, tag);
+    append(f1, iphc.bytes);
+    append(f1, BytesView(p.payload.data(), firstPayload));
+    frames.push_back(std::move(f1));
+
+    std::size_t sent = firstPayload;
+    while (sent < p.payload.size()) {
+        const std::size_t offset = ip6::kUncompressedHeaderBytes + sent;
+        TCPLP_ASSERT(offset % 8 == 0);
+        std::size_t chunk = ((maxMacPayload - kFragNHeaderBytes) / 8) * 8;
+        chunk = std::min(chunk, p.payload.size() - sent);
+        Bytes fn;
+        fn.push_back(std::uint8_t(kFragNDispatch | ((datagramSize >> 8) & 0x07)));
+        fn.push_back(std::uint8_t(datagramSize & 0xff));
+        putU16(fn, tag);
+        fn.push_back(std::uint8_t(offset / 8));
+        append(fn, BytesView(p.payload.data() + sent, chunk));
+        frames.push_back(std::move(fn));
+        sent += chunk;
+    }
+    return frames;
+}
+
+std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
+                          std::size_t maxMacPayload) {
+    return encodeDatagram(p, macSrc, macDst, 0, maxMacPayload).size();
+}
+
+void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
+                        const Bytes& macPayload) {
+    expire();
+    const auto info = parseFragmentHeader(macPayload);
+    if (!info) return;
+
+    if (!info->isFragment) {
+        ip6::Packet p;
+        const auto consumed = decompressHeader(macPayload, macSrc, macDst, p);
+        if (!consumed) return;
+        p.payload.assign(macPayload.begin() + long(*consumed), macPayload.end());
+        ++stats_.delivered;
+        deliver_(std::move(p), macSrc);
+        return;
+    }
+
+    const auto key = std::make_pair(macSrc, info->tag);
+    if (info->isFirst) {
+        Partial part;
+        BytesView rest(macPayload.data() + info->headerLen,
+                       macPayload.size() - info->headerLen);
+        const auto consumed = decompressHeader(rest, macSrc, macDst, part.packet);
+        if (!consumed) return;
+        part.packet.payload.assign(rest.begin() + long(*consumed), rest.end());
+        part.expectedSize = info->datagramSize;
+        part.receivedUncompressed = ip6::kUncompressedHeaderBytes + part.packet.payload.size();
+        part.lastActivity = simulator_.now();
+        partials_[key] = std::move(part);  // new FRAG1 replaces any stale one
+        return;
+    }
+
+    auto it = partials_.find(key);
+    if (it == partials_.end()) return;  // FRAG1 lost: datagram unrecoverable
+    Partial& part = it->second;
+    if (info->offsetBytes != part.receivedUncompressed) {
+        // Gap or duplicate: a fragment was lost despite link retries.
+        ++stats_.dropped;
+        partials_.erase(it);
+        return;
+    }
+    part.packet.payload.insert(part.packet.payload.end(),
+                               macPayload.begin() + long(info->headerLen),
+                               macPayload.end());
+    part.receivedUncompressed =
+        ip6::kUncompressedHeaderBytes + part.packet.payload.size();
+    part.lastActivity = simulator_.now();
+
+    if (part.receivedUncompressed >= part.expectedSize) {
+        ip6::Packet done = std::move(part.packet);
+        partials_.erase(it);
+        ++stats_.delivered;
+        deliver_(std::move(done), macSrc);
+    }
+}
+
+void Reassembler::expire() {
+    const sim::Time now = simulator_.now();
+    for (auto it = partials_.begin(); it != partials_.end();) {
+        if (now - it->second.lastActivity > timeout_) {
+            ++stats_.timedOut;
+            it = partials_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace tcplp::lowpan

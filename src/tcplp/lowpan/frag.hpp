@@ -1,0 +1,86 @@
+// 6LoWPAN fragmentation and reassembly (RFC 4944 style).
+//
+// A compressed IPv6 datagram larger than one 802.15.4 MAC payload is split
+// into a FRAG1 frame (4-byte header + IPHC + leading payload) and FRAGN
+// frames (5-byte header + continuation). Offsets are in 8-byte units of the
+// *uncompressed* datagram. Losing any fragment loses the whole datagram —
+// the reliability/MSS trade-off at the heart of the paper's §6.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "tcplp/ip6/packet.hpp"
+#include "tcplp/lowpan/iphc.hpp"
+#include "tcplp/sim/simulator.hpp"
+
+namespace tcplp::lowpan {
+
+constexpr std::size_t kFrag1HeaderBytes = 4;
+constexpr std::size_t kFragNHeaderBytes = 5;
+
+struct FragInfo {
+    bool isFragment = false;
+    bool isFirst = false;
+    std::uint16_t datagramSize = 0;  // uncompressed bytes (40 + payload)
+    std::uint16_t tag = 0;
+    std::uint16_t offsetBytes = 0;   // uncompressed offset
+    std::size_t headerLen = 0;       // bytes of FRAG header to skip
+};
+
+/// Classifies a MAC payload: FRAG1 / FRAGN / unfragmented IPHC.
+std::optional<FragInfo> parseFragmentHeader(BytesView macPayload);
+
+/// Compresses and (if needed) fragments `p` into MAC payloads no larger
+/// than `maxMacPayload`. `tag` must be unique per (source, datagram).
+std::vector<Bytes> encodeDatagram(const ip6::Packet& p, ip6::ShortAddr macSrc,
+                                  ip6::ShortAddr macDst, std::uint16_t tag,
+                                  std::size_t maxMacPayload);
+
+/// Number of frames `encodeDatagram` would produce (MSS planning, §6.1).
+std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
+                          std::size_t maxMacPayload);
+
+struct ReassemblyStats {
+    std::uint64_t delivered = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t dropped = 0;  // out-of-order / overlapping fragments
+};
+
+/// Per-node reassembly state machine. Fragments of a datagram must arrive
+/// in order (the MAC's ARQ provides this on a single hop); a gap or timeout
+/// discards the partial datagram.
+class Reassembler {
+public:
+    using Deliver = std::function<void(ip6::Packet, ip6::ShortAddr macSrc)>;
+
+    Reassembler(sim::Simulator& simulator, Deliver deliver,
+                sim::Time timeout = 5 * sim::kSecond)
+        : simulator_(simulator), deliver_(std::move(deliver)), timeout_(timeout) {}
+
+    /// Feeds one received MAC payload (fragment or whole datagram).
+    void input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst, const Bytes& macPayload);
+
+    const ReassemblyStats& stats() const { return stats_; }
+
+private:
+    struct Partial {
+        ip6::Packet packet;        // header decoded from FRAG1
+        std::uint16_t expectedSize = 0;
+        std::size_t receivedUncompressed = 0;  // 40 + payload bytes so far
+        sim::Time lastActivity = 0;
+    };
+
+    void expire();
+
+    sim::Simulator& simulator_;
+    Deliver deliver_;
+    sim::Time timeout_;
+    ReassemblyStats stats_;
+    std::map<std::pair<ip6::ShortAddr, std::uint16_t>, Partial> partials_;
+};
+
+}  // namespace tcplp::lowpan

@@ -1,0 +1,115 @@
+#include "tcplp/lowpan/iphc.hpp"
+
+#include "tcplp/common/assert.hpp"
+
+namespace tcplp::lowpan {
+namespace {
+
+constexpr std::uint8_t kIphcDispatch = 0b011'00000;  // high 3 bits of byte 0
+
+AddrMode modeFor(const ip6::Address& addr, ip6::ShortAddr macAddr) {
+    if (addr.isLinkLocal() && addr.shortAddr() == macAddr) return AddrMode::kElided;
+    if (addr.isMeshLocal()) return AddrMode::kContext8;
+    return AddrMode::kInline16;
+}
+
+void putAddress(Bytes& out, const ip6::Address& addr, AddrMode mode) {
+    switch (mode) {
+        case AddrMode::kInline16:
+            out.insert(out.end(), addr.bytes.begin(), addr.bytes.end());
+            break;
+        case AddrMode::kContext8:
+            out.insert(out.end(), addr.bytes.begin() + 8, addr.bytes.end());
+            break;
+        case AddrMode::kElided:
+            break;
+    }
+}
+
+bool getAddress(BytesView in, std::size_t& off, AddrMode mode, ip6::ShortAddr macAddr,
+                bool meshContext, ip6::Address& out) {
+    switch (mode) {
+        case AddrMode::kInline16:
+            if (off + 16 > in.size()) return false;
+            for (int i = 0; i < 16; ++i) out.bytes[std::size_t(i)] = in[off + std::size_t(i)];
+            off += 16;
+            return true;
+        case AddrMode::kContext8: {
+            if (off + 8 > in.size()) return false;
+            out = ip6::Address{};
+            out.bytes[0] = 0xfd;  // mesh-local context prefix
+            for (int i = 0; i < 8; ++i) out.bytes[std::size_t(8 + i)] = in[off + std::size_t(i)];
+            off += 8;
+            (void)meshContext;
+            return true;
+        }
+        case AddrMode::kElided:
+            out = ip6::Address::linkLocal(macAddr);
+            return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+IphcResult compressHeader(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst) {
+    IphcResult r;
+    Bytes& out = r.bytes;
+
+    const AddrMode sm = modeFor(p.src, macSrc);
+    const AddrMode dm = modeFor(p.dst, macDst);
+    const bool tcInline = p.trafficClass != 0;
+    std::uint8_t hlimMode;  // 0=inline 1=1 2=64 3=255
+    switch (p.hopLimit) {
+        case 1: hlimMode = 1; break;
+        case 64: hlimMode = 2; break;
+        case 255: hlimMode = 3; break;
+        default: hlimMode = 0; break;
+    }
+
+    // Byte 0: dispatch(3) | tcInline(1) | reserved(2) | hlim(2)
+    out.push_back(std::uint8_t(kIphcDispatch | (tcInline ? 0x10 : 0) | hlimMode));
+    // Byte 1: srcMode(4) | dstMode(4)
+    out.push_back(std::uint8_t((static_cast<std::uint8_t>(sm) << 4) |
+                               static_cast<std::uint8_t>(dm)));
+    if (tcInline) out.push_back(p.trafficClass);
+    out.push_back(p.nextHeader);  // no NHC for TCP (§Table 1: TCP is the point)
+    if (hlimMode == 0) out.push_back(p.hopLimit);
+    putAddress(out, p.src, sm);
+    putAddress(out, p.dst, dm);
+    return r;
+}
+
+std::optional<std::size_t> decompressHeader(BytesView in, ip6::ShortAddr macSrc,
+                                            ip6::ShortAddr macDst, ip6::Packet& out) {
+    if (in.size() < 3) return std::nullopt;
+    if ((in[0] & 0b1110'0000) != kIphcDispatch) return std::nullopt;
+
+    const bool tcInline = (in[0] & 0x10) != 0;
+    const std::uint8_t hlimMode = in[0] & 0b11;
+    const auto sm = static_cast<AddrMode>(in[1] >> 4);
+    const auto dm = static_cast<AddrMode>(in[1] & 0x0f);
+
+    std::size_t off = 2;
+    out.trafficClass = 0;
+    if (tcInline) {
+        if (off >= in.size()) return std::nullopt;
+        out.trafficClass = in[off++];
+    }
+    if (off >= in.size()) return std::nullopt;
+    out.nextHeader = in[off++];
+    switch (hlimMode) {
+        case 0:
+            if (off >= in.size()) return std::nullopt;
+            out.hopLimit = in[off++];
+            break;
+        case 1: out.hopLimit = 1; break;
+        case 2: out.hopLimit = 64; break;
+        case 3: out.hopLimit = 255; break;
+    }
+    if (!getAddress(in, off, sm, macSrc, true, out.src)) return std::nullopt;
+    if (!getAddress(in, off, dm, macDst, true, out.dst)) return std::nullopt;
+    return off;
+}
+
+}  // namespace tcplp::lowpan

@@ -1,0 +1,43 @@
+// 6LoWPAN IPHC header compression (RFC 6282 subset).
+//
+// Encodes an IPv6 header into 2–28 bytes depending on how much can be elided
+// (paper Table 6). Supported compression cases:
+//  * traffic class elided when zero; 1 byte inline when ECN/DSCP set;
+//  * next header always carried inline (1 byte — TCP has no NHC);
+//  * hop limit elided for 1/64/255, else inline;
+//  * addresses: elided (link-local, IID == MAC short address),
+//    8-byte IID (mesh-local context), or 16 bytes inline (no context).
+//
+// The decoder needs the MAC-layer source/destination to reconstruct elided
+// addresses, exactly as real 6LoWPAN does.
+#pragma once
+
+#include <optional>
+
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/ip6/packet.hpp"
+
+namespace tcplp::lowpan {
+
+/// Address compression modes (2 bits each in the IPHC encoding byte).
+enum class AddrMode : std::uint8_t {
+    kInline16 = 0,  // full address inline
+    kContext8 = 1,  // shared-prefix context, 8-byte IID inline
+    kElided = 2,    // derived from the MAC address
+};
+
+struct IphcResult {
+    Bytes bytes;           // compressed header
+    std::size_t size() const { return bytes.size(); }
+};
+
+/// Compresses `header fields of p` (payload not included).
+IphcResult compressHeader(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst);
+
+/// Decompresses an IPHC header at the front of `in`; returns the number of
+/// bytes consumed and fills everything except payload. Returns nullopt on a
+/// malformed header.
+std::optional<std::size_t> decompressHeader(BytesView in, ip6::ShortAddr macSrc,
+                                            ip6::ShortAddr macDst, ip6::Packet& out);
+
+}  // namespace tcplp::lowpan

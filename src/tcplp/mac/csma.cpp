@@ -1,0 +1,311 @@
+#include "tcplp/mac/csma.hpp"
+
+#include <algorithm>
+
+#include "tcplp/common/assert.hpp"
+#include "tcplp/common/log.hpp"
+
+namespace tcplp::mac {
+
+namespace {
+sim::Time ackAirTime() {
+    Frame ack;
+    ack.type = FrameType::kAck;
+    return ack.airTime();
+}
+}  // namespace
+
+CsmaMac::CsmaMac(phy::Radio& radio, CsmaConfig config)
+    : radio_(radio), config_(config) {
+    radio_.setReceiveCallback([this](const Frame& f) { handleFrame(f); });
+    // Hardware auto-ACK pending bit: set when any frame for the polling
+    // sleepy child is held anywhere in the MAC (§3.2).
+    radio_.setPendingBitProvider([this](NodeId src, FrameType) {
+        return isSleepyChild(src) && hasTrafficFor(src);
+    });
+}
+
+void CsmaMac::send(NodeId dst, Bytes payload, SendCallback done) {
+    TCPLP_ASSERT(payload.size() <= phy::kMaxMacPayloadBytes);
+    SendOp op;
+    op.frame.type = FrameType::kData;
+    op.frame.src = id();
+    op.frame.dst = dst;
+    op.frame.seq = ++txSeq_;
+    op.frame.ackRequest = (dst != phy::kBroadcast);
+    op.frame.payload = std::move(payload);
+    op.done = std::move(done);
+    ++stats_.dataSent;
+
+    if (isSleepyChild(dst)) {
+        // Thread-style indirect message: hold until the child polls (§3.2).
+        // Exception: if the child polled moments ago its receive window is
+        // still open — deliver immediately and chain with the pending bit
+        // (§9.5's "prioritize indirect messages").
+        const auto lastPoll = lastPollAt_.find(dst);
+        if (lastPoll != lastPollAt_.end() &&
+            simulator().now() - lastPoll->second < 25 * sim::kMillisecond) {
+            op.indirect = true;
+            queue_.push_front(std::move(op));
+            if (!current_) startNext();
+            return;
+        }
+        indirectQueues_[dst].push_back(std::move(op));
+        return;
+    }
+    queue_.push_back(std::move(op));
+    if (!current_) startNext();
+}
+
+void CsmaMac::sendDataRequest(NodeId parent, std::function<void(bool, bool)> done) {
+    SendOp op;
+    op.frame.type = FrameType::kDataRequest;
+    op.frame.src = id();
+    op.frame.dst = parent;
+    op.frame.seq = ++txSeq_;
+    op.frame.ackRequest = true;
+    op.pollDone = std::move(done);
+    op.indirect = true;  // polls use the rapid-retry policy (§9.5)
+    queue_.push_front(std::move(op));
+    if (!current_) startNext();
+}
+
+void CsmaMac::registerSleepyChild(NodeId child) { sleepyChildren_.insert(child); }
+
+void CsmaMac::unregisterSleepyChild(NodeId child) {
+    sleepyChildren_.erase(child);
+    // Release anything queued for the (now always-on) child.
+    auto it = indirectQueues_.find(child);
+    if (it == indirectQueues_.end()) return;
+    for (auto& op : it->second) queue_.push_back(std::move(op));
+    indirectQueues_.erase(it);
+    if (!current_) startNext();
+}
+
+std::size_t CsmaMac::indirectQueueDepth(NodeId child) const {
+    auto it = indirectQueues_.find(child);
+    return it == indirectQueues_.end() ? 0 : it->second.size();
+}
+
+bool CsmaMac::hasTrafficFor(NodeId child) const {
+    if (indirectQueueDepth(child) > 0) return true;
+    if (current_ && current_->frame.type == FrameType::kData && current_->frame.dst == child)
+        return true;
+    for (const SendOp& op : queue_)
+        if (op.frame.type == FrameType::kData && op.frame.dst == child) return true;
+    return false;
+}
+
+void CsmaMac::startNext() {
+    if (current_ || queue_.empty()) {
+        if (!current_ && queue_.empty() && idleCallback_) idleCallback_();
+        return;
+    }
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    current_->csmaBackoffs = 0;
+    current_->be = config_.minBe;
+    csmaAttempt();
+}
+
+void CsmaMac::csmaAttempt() {
+    TCPLP_ASSERT(current_);
+    const sim::Time backoff =
+        sim::Time(simulator().rng().uniformInt(1ULL << current_->be)) * config_.backoffUnit;
+
+    if (!config_.softwareCsma) {
+        // Deaf listening: hardware CSMA parks the radio in a low-power state
+        // during backoff, so incoming frames are missed (§4).
+        radio_.setSleeping(true);
+    } else {
+        radio_.setSleeping(false);
+    }
+
+    backoffTimerStart(backoff);
+}
+
+void CsmaMac::backoffTimerStart(sim::Time backoff) {
+    waitThen(backoff, [this] {
+        radio_.setSleeping(false);  // CCA requires the receiver on
+        waitThen(config_.ccaTime, [this] {
+            if (!current_) return;
+            if (radio_.channelClear()) {
+                transmitCurrent();
+                return;
+            }
+            ++current_->csmaBackoffs;
+            current_->be = std::min(current_->be + 1, config_.maxBe);
+            if (current_->csmaBackoffs > config_.maxCsmaBackoffs) {
+                ++stats_.ccaFailures;
+                scheduleRetry(*current_);
+            } else {
+                csmaAttempt();
+            }
+        });
+    });
+}
+
+void CsmaMac::waitThen(sim::Time delay, std::function<void()> fn) {
+    waitHandle_.cancel();
+    waitHandle_ = simulator().schedule(delay, std::move(fn));
+}
+
+void CsmaMac::transmitCurrent() {
+    TCPLP_ASSERT(current_);
+    radio_.transmit(current_->frame, [this](bool radiated) {
+        if (!current_) return;
+        if (!radiated) {
+            // Channel went busy during the frame upload: another CSMA round.
+            ++current_->csmaBackoffs;
+            current_->be = std::min(current_->be + 1, config_.maxBe);
+            if (current_->csmaBackoffs > config_.maxCsmaBackoffs) {
+                ++stats_.ccaFailures;
+                scheduleRetry(*current_);
+            } else {
+                csmaAttempt();
+            }
+            return;
+        }
+        ++stats_.transmissions;
+        ++current_->transmissions;
+        if (!current_->frame.ackRequest) {
+            finishCurrent(true);
+            return;
+        }
+        awaitingAck_ = true;
+        waitThen(config_.turnaround + ackAirTime() + config_.ackTimeout,
+                 [this] { ackTimedOut(); });
+    });
+}
+
+void CsmaMac::ackTimedOut() {
+    if (!current_ || !awaitingAck_) return;
+    awaitingAck_ = false;
+    scheduleRetry(*current_);
+}
+
+int CsmaMac::maxRetriesFor(const SendOp& op) const {
+    return op.indirect ? config_.indirectMaxRetries : config_.maxFrameRetries;
+}
+
+sim::Time CsmaMac::retryDelayFor(const SendOp& op) {
+    const sim::Time d = op.indirect ? config_.indirectRetryDelayMax : config_.retryDelayMax;
+    if (d <= 0) return 0;
+    return simulator().rng().uniformRange(0, d);
+}
+
+void CsmaMac::scheduleRetry(SendOp& op) {
+    ++op.retries;
+    if (op.retries > maxRetriesFor(op)) {
+        finishCurrent(false);
+        return;
+    }
+    ++stats_.retries;
+    op.csmaBackoffs = 0;
+    op.be = config_.minBe;
+    // The random inter-retry delay that defuses hidden terminals (§7.1).
+    const sim::Time delay = retryDelayFor(op);
+    if (!config_.softwareCsma || config_.sleepDuringRetryDelay)
+        radio_.setSleeping(true);
+    waitThen(delay, [this] {
+        if (current_) csmaAttempt();
+    });
+}
+
+void CsmaMac::finishCurrent(bool success) {
+    TCPLP_ASSERT(current_);
+    SendOp op = std::move(*current_);
+    current_.reset();
+    awaitingAck_ = false;
+    waitHandle_.cancel();
+
+    // A failed indirect data frame usually means the sleepy child's listen
+    // window closed; park it back in the indirect queue for the next data
+    // request instead of dropping (§9.5's indirect-message improvements).
+    if (!success && op.indirect && op.frame.type == FrameType::kData &&
+        isSleepyChild(op.frame.dst) && op.requeues < config_.indirectRequeueLimit) {
+        ++op.requeues;
+        op.retries = 0;
+        op.transmissions = 0;
+        indirectQueues_[op.frame.dst].push_front(std::move(op));
+        startNext();
+        return;
+    }
+
+    if (op.frame.type == FrameType::kData) {
+        if (success)
+            ++stats_.dataDelivered;
+        else
+            ++stats_.dataFailed;
+    }
+    if (op.pollDone) op.pollDone(success, lastAckPending_);
+    if (op.done) op.done(SendResult{success, op.transmissions});
+    startNext();
+}
+
+void CsmaMac::handleFrame(const Frame& frame) {
+    radio_.energy().addCpuBusy(config_.cpuPerFrame);
+
+    if (frame.type == FrameType::kAck) {
+        if (awaitingAck_ && current_ && frame.src == current_->frame.dst &&
+            frame.seq == current_->frame.seq) {
+            awaitingAck_ = false;
+            lastAckPending_ = frame.framePending;
+            finishCurrent(true);
+        }
+        return;
+    }
+
+    if (frame.dst != id() && frame.dst != phy::kBroadcast) return;
+
+    // Note: acknowledgment of unicast frames happens in radio hardware
+    // (phy::Radio auto-ACK), as on the AT86RF233.
+
+    if (frame.type == FrameType::kDataRequest) {
+        ++stats_.dataRequestsHeard;
+        lastPollAt_[frame.src] = simulator().now();
+        serveDataRequest(frame.src);
+        return;
+    }
+
+    // Data frame.
+    auto it = lastDeliveredSeq_.find(frame.src);
+    if (it != lastDeliveredSeq_.end() && it->second == frame.seq) {
+        // Link-layer retransmission of a frame whose ACK was lost.
+        ++stats_.duplicatesSuppressed;
+        return;
+    }
+    lastDeliveredSeq_[frame.src] = frame.seq;
+    deliverData(frame);
+}
+
+void CsmaMac::deliverData(const Frame& frame) {
+    if (receiveCallback_) receiveCallback_(frame.src, frame.payload);
+}
+
+void CsmaMac::serveDataRequest(NodeId child) {
+    auto it = indirectQueues_.find(child);
+    if (it == indirectQueues_.end() || it->second.empty()) return;
+
+    // Appendix C: unlike stock OpenThread (one frame per poll), flush the
+    // whole queue, chaining frames with the pending bit so the child keeps
+    // listening until the burst ends.
+    std::deque<SendOp>& q = it->second;
+    std::size_t remaining = q.size();
+    std::deque<SendOp> batch;
+    while (!q.empty()) {
+        SendOp op = std::move(q.front());
+        q.pop_front();
+        --remaining;
+        op.indirect = true;
+        op.frame.framePending = remaining > 0;
+        batch.push_back(std::move(op));
+    }
+    // Indirect frames jump the queue (§9.5 improvement: prioritize indirect
+    // messages so the child's listen window is not wasted).
+    for (auto rit = batch.rbegin(); rit != batch.rend(); ++rit)
+        queue_.push_front(std::move(*rit));
+    if (!current_) startNext();
+}
+
+}  // namespace tcplp::mac

@@ -1,0 +1,181 @@
+// CSMA-CA MAC with software link retries.
+//
+// Reproduces the paper's two MAC-level contributions:
+//
+//  1. *Software CSMA* (§4): the AT86RF233's hardware CSMA puts the radio in a
+//     low-power state during backoff ("deaf listening"), so a node running
+//     hardware CSMA misses incoming frames — fatal for TCP, which needs data
+//     and ACKs flowing in opposite directions. TCPlp performs CSMA and link
+//     retries in software, keeping the radio listening between attempts.
+//     `Config::softwareCsma=false` restores the deaf behavior for ablation.
+//
+//  2. *Random delay between link retries* (§7.1): after a failed transmission
+//     the sender waits uniform [0, d] before retrying, decorrelating
+//     hidden-terminal collisions. `Config::retryDelayMax` is d.
+//
+// The MAC also implements the router side of Thread-style indirect
+// messaging (§3.2): frames destined to a registered sleepy child are queued
+// until the child polls with an 802.15.4 Data Request; the MAC ACK's
+// "frame pending" bit tells the child whether to stay awake.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "tcplp/phy/radio.hpp"
+#include "tcplp/sim/simulator.hpp"
+
+namespace tcplp::mac {
+
+using phy::Frame;
+using phy::FrameType;
+using phy::NodeId;
+
+struct CsmaConfig {
+    // IEEE 802.15.4 unslotted CSMA-CA constants.
+    int minBe = 3;
+    int maxBe = 5;
+    int maxCsmaBackoffs = 4;
+    sim::Time backoffUnit = 320;   // aUnitBackoffPeriod = 20 symbols
+    sim::Time ccaTime = 128;       // 8 symbols
+    sim::Time turnaround = 192;    // aTurnaroundTime = 12 symbols
+    sim::Time ackTimeout = 864;    // macAckWaitDuration = 54 symbols
+
+    // Software link-retry policy (§7.1).
+    int maxFrameRetries = 7;       // retransmissions after the first attempt
+    sim::Time retryDelayMax = 0;   // "d": uniform extra delay between retries
+
+    // false = emulate hardware CSMA's deaf listening (§4 ablation).
+    bool softwareCsma = true;
+    /// Sleepy end devices may park the radio during the long inter-retry
+    /// delay (they expect no unsolicited frames); routers keep listening.
+    bool sleepDuringRetryDelay = false;
+
+    // Retry policy for indirect (queued-for-sleepy-child) frames. The paper
+    // §9.5 enables link retries for indirect messages and retries them more
+    // rapidly; they are capped by the child's wakeup window instead of d.
+    int indirectMaxRetries = 4;
+    sim::Time indirectRetryDelayMax = 4 * sim::kMillisecond;
+    /// After in-window retries fail (the child fell back asleep), the frame
+    /// returns to the indirect queue to ride the child's next data request —
+    /// up to this many times before being dropped.
+    int indirectRequeueLimit = 4;
+
+    // CPU cost charged per MAC frame handled (header parsing, queueing).
+    sim::Time cpuPerFrame = 80;
+};
+
+struct MacStats {
+    std::uint64_t dataSent = 0;           // unique payloads attempted
+    std::uint64_t dataDelivered = 0;      // payloads ACKed by peer
+    std::uint64_t dataFailed = 0;         // payloads dropped after retries
+    std::uint64_t transmissions = 0;      // frames radiated (incl. retries)
+    std::uint64_t retries = 0;            // retransmission attempts
+    std::uint64_t ccaFailures = 0;        // channel-access failures
+    std::uint64_t acksSent = 0;
+    std::uint64_t dataRequestsHeard = 0;
+    std::uint64_t duplicatesSuppressed = 0;
+};
+
+/// Result of a MAC send, reported to the layer above.
+struct SendResult {
+    bool success = false;
+    int transmissions = 0;  // CSMA attempts that radiated the frame
+};
+
+class CsmaMac {
+public:
+    using SendCallback = std::function<void(const SendResult&)>;
+    using ReceiveCallback = std::function<void(NodeId src, const Bytes& payload)>;
+
+    CsmaMac(phy::Radio& radio, CsmaConfig config = {});
+
+    NodeId id() const { return radio_.id(); }
+    phy::Radio& radio() { return radio_; }
+    const CsmaConfig& config() const { return config_; }
+    CsmaConfig& mutableConfig() { return config_; }
+    const MacStats& stats() const { return stats_; }
+    sim::Simulator& simulator() { return radio_.simulator(); }
+
+    /// Queues a payload for `dst`. Payload must fit one frame (the 6LoWPAN
+    /// layer fragments above this). `done` fires on final success/failure.
+    void send(NodeId dst, Bytes payload, SendCallback done = nullptr);
+
+    /// Payloads from frames addressed to this node (or broadcast).
+    void setReceiveCallback(ReceiveCallback cb) { receiveCallback_ = std::move(cb); }
+
+    /// Fires whenever the TX queue drains (used by the sleepy wrapper to
+    /// decide when the radio may sleep).
+    void setIdleCallback(std::function<void()> cb) { idleCallback_ = std::move(cb); }
+
+    /// Called by a duty-cycled child's MAC: emit a Data Request poll to
+    /// `parent` and report whether the parent's ACK had the pending bit.
+    void sendDataRequest(NodeId parent, std::function<void(bool acked, bool pending)> done);
+
+    // --- Router-side duty-cycling support (indirect messages, §3.2) ------
+    void registerSleepyChild(NodeId child);
+    void unregisterSleepyChild(NodeId child);
+    bool isSleepyChild(NodeId child) const { return sleepyChildren_.count(child) > 0; }
+    std::size_t indirectQueueDepth(NodeId child) const;
+    /// Any frame for `child` anywhere in the MAC (indirect queue, main
+    /// queue, or in flight)? Drives the pending bit on poll ACKs.
+    bool hasTrafficFor(NodeId child) const;
+
+    /// Pending-bit observed on the most recent ACK received for a frame we
+    /// sent (a polling child uses this to decide whether to keep listening).
+    bool lastAckPending() const { return lastAckPending_; }
+
+    bool busy() const { return current_.has_value() || !queue_.empty(); }
+
+private:
+    struct SendOp {
+        Frame frame;
+        SendCallback done;
+        bool indirect = false;   // being delivered in response to a poll
+        int csmaBackoffs = 0;    // NB in the 802.15.4 state machine
+        int be = 3;
+        int retries = 0;
+        int transmissions = 0;
+        int requeues = 0;        // times returned to the indirect queue
+        std::function<void(bool, bool)> pollDone;  // for data requests
+    };
+
+    void startNext();
+    void csmaAttempt();
+    void backoffTimerStart(sim::Time backoff);
+    void waitThen(sim::Time delay, std::function<void()> fn);
+    void transmitCurrent();
+    void ackTimedOut();
+    void scheduleRetry(SendOp& op);
+    void finishCurrent(bool success);
+    void handleFrame(const Frame& frame);
+    void deliverData(const Frame& frame);
+    void serveDataRequest(NodeId child);
+    int maxRetriesFor(const SendOp& op) const;
+    sim::Time retryDelayFor(const SendOp& op);
+
+    phy::Radio& radio_;
+    CsmaConfig config_;
+    MacStats stats_;
+    ReceiveCallback receiveCallback_;
+    std::function<void()> idleCallback_;
+
+    std::deque<SendOp> queue_;
+    std::optional<SendOp> current_;
+    sim::EventHandle waitHandle_;  // drives backoff / retry / ack-wait waits
+    bool awaitingAck_ = false;
+    std::uint8_t txSeq_ = 0;
+    bool lastAckPending_ = false;
+
+    // Duplicate suppression: last delivered sequence number per neighbor.
+    std::map<NodeId, std::uint8_t> lastDeliveredSeq_;
+    std::set<NodeId> sleepyChildren_;
+    std::map<NodeId, std::deque<SendOp>> indirectQueues_;
+    std::map<NodeId, sim::Time> lastPollAt_;
+};
+
+}  // namespace tcplp::mac

@@ -1,0 +1,173 @@
+// A complete simulated network node: radio + MAC + 6LoWPAN + IPv6
+// forwarding, assembled per role.
+//
+//  * kRouter      — always-on Thread router; forwards; may parent leaves.
+//  * kLeaf        — duty-cycled sleepy end device (SleepyMac).
+//  * kBorderRouter— router that also owns a wired link to the cloud host.
+//  * kCloudHost   — no radio; wired link only (the EC2 server of §9.2).
+//
+// Forwarding modes (Appendix A): by default relays forward 6LoWPAN
+// *fragments* without reassembly, as stock OpenThread does; with
+// `perHopReassembly` the node reassembles whole IPv6 packets at each hop and
+// runs them through a RED/ECN queue — the paper's fix for multi-flow
+// unfairness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "tcplp/ip6/netif.hpp"
+#include "tcplp/ip6/red_queue.hpp"
+#include "tcplp/lowpan/frag.hpp"
+#include "tcplp/mac/csma.hpp"
+#include "tcplp/mac/sleepy.hpp"
+#include "tcplp/phy/radio.hpp"
+
+namespace tcplp::mesh {
+
+using phy::NodeId;
+
+enum class Role : std::uint8_t { kRouter, kLeaf, kBorderRouter, kCloudHost };
+
+struct NodeConfig {
+    Role role = Role::kRouter;
+    mac::CsmaConfig macConfig{};
+    mac::SleepyConfig sleepyConfig{};
+    ip6::RedConfig queueConfig{};
+    bool perHopReassembly = false;
+    /// CPU charge per IPv6 datagram processed above the MAC.
+    sim::Time cpuPerPacket = 150;
+
+    // --- Network-stack profile emulation (§6.3) ------------------------
+    /// Usable MAC payload per frame; smaller values emulate stacks with
+    /// more per-frame header overhead (e.g. GNRC vs OpenThread).
+    std::size_t macPayloadBudget = phy::kMaxMacPayloadBytes;
+    /// Per-datagram processing latency before frames reach the MAC
+    /// (thread-per-layer IPC in GNRC, event queue in BLIP).
+    sim::Time txProcessingDelay = 0;
+};
+
+struct NodeStats {
+    std::uint64_t packetsSent = 0;
+    std::uint64_t packetsForwarded = 0;
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t forwardDrops = 0;  // queue overflow / RED drops
+    std::uint64_t noRouteDrops = 0;
+};
+
+class Node;
+
+/// Point-to-point wired link between the border router and the cloud host
+/// (the paper's border-router-to-EC2 path, RTT ~12 ms, §9.2).
+class WiredLink {
+public:
+    WiredLink(sim::Simulator& simulator, sim::Time oneWayDelay = 6 * sim::kMillisecond)
+        : simulator_(simulator), delay_(oneWayDelay) {}
+
+    void attach(Node* a, Node* b) {
+        a_ = a;
+        b_ = b;
+    }
+    void transfer(const Node* from, ip6::Packet packet);
+
+    /// Uniform packet drop across this link — the paper's "injected loss at
+    /// the border router" (§9.4, Fig. 9). Applied to both directions.
+    void setLossRate(double p) { lossRate_ = p; }
+    double lossRate() const { return lossRate_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+private:
+    sim::Simulator& simulator_;
+    sim::Time delay_;
+    double lossRate_ = 0.0;
+    std::uint64_t dropped_ = 0;
+    Node* a_ = nullptr;
+    Node* b_ = nullptr;
+};
+
+class Node : public ip6::NetIf {
+public:
+    Node(sim::Simulator& simulator, phy::Channel* channel, NodeId id, phy::Position pos,
+         NodeConfig config);
+    ~Node() override;
+
+    NodeId id() const { return id_; }
+    Role role() const { return config_.role; }
+    const NodeStats& stats() const { return stats_; }
+    NodeConfig& config() { return config_; }
+
+    phy::Radio* radio() { return radio_.get(); }
+    mac::CsmaMac* macLayer() { return mac_.get(); }
+    mac::SleepyMac* sleepyMac() { return sleepy_.get(); }
+    ip6::RedQueue* forwardQueue() { return queue_.get(); }
+    const lowpan::Reassembler* reassembler() const { return reassembler_.get(); }
+
+    // --- Topology wiring -------------------------------------------------
+    /// Route packets for `dst` (short address) via neighbor `nextHop`.
+    void addRoute(ip6::ShortAddr dst, NodeId nextHop);
+    /// Route anything without a specific route via `nextHop` (mesh side).
+    void setDefaultRoute(NodeId nextHop);
+    /// Attach the wired link (border router / cloud host roles).
+    void attachWired(WiredLink* link);
+    /// Declare `child` as a duty-cycled child (parent queues indirectly).
+    void adoptSleepyChild(NodeId child);
+    /// Leaf only: set/replace the parent used for polls.
+    void setParent(NodeId parent);
+
+    // --- NetIf -----------------------------------------------------------
+    ip6::Address address() const override { return address_; }
+    void sendPacket(ip6::Packet packet) override;
+    void registerProtocol(std::uint8_t nextHeader, ProtocolHandler handler) override;
+    sim::Simulator& simulator() override { return simulator_; }
+    void setExpectingResponse(bool expecting) override;
+
+    /// Wired-link ingress (called by WiredLink).
+    void wiredInput(ip6::Packet packet);
+
+    /// Starts duty cycling (leaf role).
+    void start();
+
+private:
+    void macInput(NodeId macSrc, const Bytes& macPayload);
+    void handleAssembled(ip6::Packet packet, ip6::ShortAddr macSrc);
+    void deliverLocal(const ip6::Packet& packet);
+    void routePacket(ip6::Packet packet, bool forwarded);
+    void enqueueMeshPacket(ip6::Packet packet, NodeId nextHop);
+    void drainQueue();
+    void sendDatagramFrames(std::vector<Bytes> frames, NodeId nextHop);
+    void forwardRawFragment(const Bytes& macPayload, const lowpan::FragInfo& info,
+                            NodeId macSrc);
+    std::optional<NodeId> lookupRoute(const ip6::Address& dst) const;
+    void macSend(NodeId dst, Bytes payload, mac::CsmaMac::SendCallback done);
+
+    sim::Simulator& simulator_;
+    NodeId id_;
+    NodeConfig config_;
+    ip6::Address address_;
+    NodeStats stats_;
+
+    std::unique_ptr<phy::Radio> radio_;
+    std::unique_ptr<mac::CsmaMac> mac_;
+    std::unique_ptr<mac::SleepyMac> sleepy_;
+    std::unique_ptr<lowpan::Reassembler> reassembler_;
+    std::unique_ptr<ip6::RedQueue> queue_;
+    WiredLink* wired_ = nullptr;
+
+    std::map<ip6::ShortAddr, NodeId> routes_;
+    std::optional<NodeId> defaultRoute_;
+    std::optional<NodeId> parent_;
+    std::map<std::uint8_t, ProtocolHandler> protocols_;
+
+    std::uint16_t nextTag_ = 1;
+    bool draining_ = false;
+    // Fragment-forwarding state: (origin MAC, origin tag) -> (new tag, hop).
+    struct FragRoute {
+        std::uint16_t newTag;
+        NodeId nextHop;
+    };
+    std::map<std::pair<NodeId, std::uint16_t>, FragRoute> fragRoutes_;
+};
+
+}  // namespace tcplp::mesh

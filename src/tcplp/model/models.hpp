@@ -1,0 +1,70 @@
+// Analytical models from the paper.
+//
+//  * Equation 1 (§8): the classic Mathis et al. macroscopic model,
+//        B = MSS/RTT * sqrt(3/(2p)),
+//    which assumes cwnd is loss-limited — the assumption §7.3 shows fails
+//    in LLNs.
+//  * Equation 2 (§8, derived in Appendix B): the paper's LLN model,
+//        B = MSS/RTT * 1/(1/w + 2p),
+//    where w is the window size in segments (sized to the BDP) and p the
+//    segment loss rate. Robustness to small p comes from the 1/w term.
+//  * §6.4's single-hop goodput upper bound and §7.2's 1/min(h,3) multihop
+//    scheduling bound.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace tcplp::model {
+
+/// Equation 1 (Mathis): goodput in bytes/second.
+inline double mathisGoodput(double mssBytes, double rttSeconds, double lossRate) {
+    if (rttSeconds <= 0.0 || lossRate <= 0.0) return 0.0;
+    return mssBytes / rttSeconds * std::sqrt(3.0 / (2.0 * lossRate));
+}
+
+/// Equation 2 (paper): goodput in bytes/second, window `w` in segments.
+inline double llnGoodput(double mssBytes, double rttSeconds, double lossRate, double w) {
+    if (rttSeconds <= 0.0 || w <= 0.0) return 0.0;
+    return mssBytes / rttSeconds * (1.0 / (1.0 / w + 2.0 * lossRate));
+}
+
+/// Appendix B, Equation 3 (pre-simplification): burst-based derivation with
+/// recovery time trec and per-window loss probability pwin = w*p, b = 1/pwin.
+inline double llnGoodputBurst(double mssBytes, double rttSeconds, double lossRate, double w,
+                              double trecSeconds) {
+    if (rttSeconds <= 0.0 || w <= 0.0) return 0.0;
+    const double pwin = std::min(1.0, w * lossRate);
+    if (pwin <= 0.0) return w * mssBytes / rttSeconds;
+    const double b = 1.0 / pwin;
+    return (w * b * mssBytes) / (b * rttSeconds + trecSeconds);
+}
+
+struct LinkTiming {
+    double frameAirSeconds = 0.004256;     // 133 B at 250 kb/s
+    double frameEffectiveSeconds = 0.0085; // incl. SPI overhead (§6.4)
+};
+
+/// §6.4 upper bound on single-hop TCP goodput in bytes/second:
+/// segmentBytes of app data cost `framesPerSegment` effective frame times,
+/// plus half a frame of delayed-ACK overhead per segment.
+inline double singleHopUpperBound(double segmentBytes, double framesPerSegment,
+                                  LinkTiming timing = {}) {
+    const double perSegment =
+        framesPerSegment * timing.frameEffectiveSeconds + 0.5 * timing.frameEffectiveSeconds;
+    return segmentBytes / perSegment;
+}
+
+/// §7.2: radio scheduling limits h-hop bandwidth to B / min(h, 3).
+inline double multihopFactor(std::size_t hops) {
+    if (hops == 0) return 0.0;
+    return 1.0 / double(std::min<std::size_t>(hops, 3));
+}
+
+/// Bandwidth-delay product in bytes (§6.2's ~1.6 KiB for one hop).
+inline double bdpBytes(double bandwidthBitsPerSec, double rttSeconds) {
+    return bandwidthBitsPerSec / 8.0 * rttSeconds;
+}
+
+}  // namespace tcplp::model

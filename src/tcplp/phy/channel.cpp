@@ -1,0 +1,72 @@
+#include "tcplp/phy/channel.hpp"
+
+#include <cmath>
+
+#include "tcplp/common/log.hpp"
+#include "tcplp/phy/radio.hpp"
+
+namespace tcplp::phy {
+
+void Channel::addRadio(Radio* radio) { radios_.push_back(radio); }
+
+void Channel::setLinkLoss(NodeId a, NodeId b, double probability) {
+    linkLoss_[{a, b}] = probability;
+    linkLoss_[{b, a}] = probability;
+}
+
+bool Channel::inRange(const Radio* a, const Radio* b) const {
+    const double dx = a->position().x - b->position().x;
+    const double dy = a->position().y - b->position().y;
+    return std::sqrt(dx * dx + dy * dy) <= range_;
+}
+
+bool Channel::clearAt(const Radio* listener) const {
+    for (const Transmission& t : active_) {
+        if (t.transmitter != listener && inRange(listener, t.transmitter)) return false;
+    }
+    return true;
+}
+
+double Channel::lossFor(NodeId src, NodeId dst, sim::Time now) const {
+    double p = defaultLoss_;
+    if (auto it = linkLoss_.find({src, dst}); it != linkLoss_.end()) p = it->second;
+    if (ambientLoss_) {
+        // Combine independent loss processes: survive both to be received.
+        const double ambient = ambientLoss_(now, dst);
+        p = 1.0 - (1.0 - p) * (1.0 - ambient);
+    }
+    return p;
+}
+
+void Channel::startTransmission(Radio* transmitter, const Frame& frame) {
+    ++framesTransmitted_;
+    const std::uint64_t txId = nextTxId_++;
+    active_.push_back(Transmission{transmitter, frame, simulator_.now() + frame.airTime()});
+    active_.back().frame.seq = frame.seq;
+
+    // Let every other in-range radio react to the rising carrier.
+    for (Radio* r : radios_) {
+        if (r == transmitter || !inRange(r, transmitter)) continue;
+        r->airStarted(txId);
+    }
+
+    simulator_.schedule(frame.airTime(), [this, txId, transmitter, frame] {
+        // Remove from the active list first so CCA during delivery
+        // callbacks sees the carrier down.
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+            if (active_[i].transmitter == transmitter && active_[i].end == simulator_.now()) {
+                active_.erase(active_.begin() + long(i));
+                break;
+            }
+        }
+        for (Radio* r : radios_) {
+            if (r == transmitter || !inRange(r, transmitter)) continue;
+            const bool faded =
+                simulator_.rng().chance(lossFor(transmitter->id(), r->id(), simulator_.now()));
+            if (faded) ++framesLostToFading_;
+            r->airFinished(txId, frame, faded);
+        }
+    });
+}
+
+}  // namespace tcplp::phy

@@ -1,0 +1,96 @@
+// Shared wireless medium.
+//
+// Unit-disk propagation: a transmission is audible at every radio within
+// `range` meters of the transmitter. Two overlapping audible transmissions
+// corrupt each other at a listener — which is exactly how hidden terminals
+// damage TCP flows in the paper's multihop experiments (§7.1): two nodes out
+// of carrier-sense range of each other transmit to a common relay and their
+// frames collide there.
+//
+// On top of geometry the channel supports per-link Bernoulli loss and a
+// time-varying ambient loss function, used to model the office testbed's
+// daytime interference (Fig. 10) and the injected-loss experiment (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "tcplp/phy/frame.hpp"
+#include "tcplp/sim/simulator.hpp"
+
+namespace tcplp::phy {
+
+class Radio;
+
+struct Position {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+class Channel {
+public:
+    explicit Channel(sim::Simulator& simulator, double range = 12.0)
+        : simulator_(simulator), range_(range) {}
+
+    sim::Simulator& simulator() { return simulator_; }
+    double range() const { return range_; }
+
+    void addRadio(Radio* radio);
+
+    /// Per-link frame error probability (applied after geometry/collisions),
+    /// set symmetrically.
+    void setLinkLoss(NodeId a, NodeId b, double probability);
+    /// One-direction loss (src -> dst only), e.g. asymmetric links.
+    void setLinkLossDirectional(NodeId src, NodeId dst, double probability) {
+        linkLoss_[{src, dst}] = probability;
+    }
+    /// Baseline frame error probability for all links.
+    void setDefaultLoss(double probability) { defaultLoss_ = probability; }
+    /// Ambient time/node dependent extra loss (diurnal interference model).
+    void setAmbientLoss(std::function<double(sim::Time, NodeId)> fn) {
+        ambientLoss_ = std::move(fn);
+    }
+
+    /// Called by a radio when its carrier actually starts radiating.
+    void startTransmission(Radio* transmitter, const Frame& frame);
+
+    /// Clear-channel assessment at `listener`: true if no audible carrier.
+    bool clearAt(const Radio* listener) const;
+
+    /// True when `a` can hear `b` (distance within range).
+    bool inRange(const Radio* a, const Radio* b) const;
+
+    // Aggregate statistics for Fig. 6(d) (total frames transmitted).
+    std::uint64_t framesTransmitted() const { return framesTransmitted_; }
+    std::uint64_t framesCollided() const { return framesCollided_; }
+    std::uint64_t framesLostToFading() const { return framesLostToFading_; }
+
+    /// Receiver-side collision report (called by Radio).
+    void noteCollision() { ++framesCollided_; }
+
+private:
+    struct Transmission {
+        Radio* transmitter;
+        Frame frame;
+        sim::Time end;
+    };
+
+    double lossFor(NodeId src, NodeId dst, sim::Time now) const;
+    void finishTransmission(std::size_t txIndex);
+
+    sim::Simulator& simulator_;
+    double range_;
+    double defaultLoss_ = 0.0;
+    std::vector<Radio*> radios_;
+    std::map<std::pair<NodeId, NodeId>, double> linkLoss_;
+    std::function<double(sim::Time, NodeId)> ambientLoss_;
+    std::vector<Transmission> active_;
+    std::uint64_t nextTxId_ = 1;
+    std::uint64_t framesTransmitted_ = 0;
+    std::uint64_t framesCollided_ = 0;
+    std::uint64_t framesLostToFading_ = 0;
+};
+
+}  // namespace tcplp::phy

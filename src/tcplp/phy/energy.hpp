@@ -1,0 +1,73 @@
+// Duty-cycle accounting — the paper's power-consumption proxy (§9.2):
+// "radio duty cycle, the proportion of time during which the radio was not
+// in its low-power sleep mode" and "CPU duty cycle, the proportion of time
+// during which a thread was executing".
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "tcplp/common/assert.hpp"
+#include "tcplp/sim/time.hpp"
+
+namespace tcplp::phy {
+
+enum class RadioState : std::uint8_t { kSleep, kListen, kRx, kTx };
+
+class EnergyMeter {
+public:
+    /// Called by the radio on every state transition.
+    void radioTransition(RadioState from, RadioState to, sim::Time now) {
+        accumulate(from, now);
+        (void)to;
+        lastChange_ = now;
+    }
+
+    /// Charges CPU busy time (SPI transfers, protocol processing).
+    void addCpuBusy(sim::Time duration) { cpuBusy_ += duration; }
+
+    /// Closes the books for the current state up to `now` and returns the
+    /// fraction of time since the last reset the radio spent out of SLEEP.
+    double radioDutyCycle(RadioState current, sim::Time now) const {
+        const sim::Time total = now - windowStart_;
+        if (total <= 0) return 0.0;
+        sim::Time active = stateTime_[idx(RadioState::kListen)] +
+                           stateTime_[idx(RadioState::kRx)] +
+                           stateTime_[idx(RadioState::kTx)];
+        if (current != RadioState::kSleep) active += now - lastChange_;
+        return double(active) / double(total);
+    }
+
+    double cpuDutyCycle(sim::Time now) const {
+        const sim::Time total = now - windowStart_;
+        return total > 0 ? double(cpuBusy_) / double(total) : 0.0;
+    }
+
+    sim::Time timeIn(RadioState s) const { return stateTime_[idx(s)]; }
+    sim::Time txTime() const { return stateTime_[idx(RadioState::kTx)]; }
+
+    /// Starts a fresh accounting window (used for hourly buckets in the
+    /// full-day experiment, Fig. 10).
+    void resetWindow(RadioState current, sim::Time now) {
+        accumulate(current, now);
+        stateTime_ = {};
+        cpuBusy_ = 0;
+        windowStart_ = now;
+        lastChange_ = now;
+    }
+
+private:
+    static std::size_t idx(RadioState s) { return static_cast<std::size_t>(s); }
+
+    void accumulate(RadioState state, sim::Time now) {
+        TCPLP_ASSERT(now >= lastChange_);
+        stateTime_[idx(state)] += now - lastChange_;
+    }
+
+    std::array<sim::Time, 4> stateTime_{};
+    sim::Time cpuBusy_ = 0;
+    sim::Time windowStart_ = 0;
+    sim::Time lastChange_ = 0;
+};
+
+}  // namespace tcplp::phy

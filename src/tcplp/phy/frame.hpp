@@ -1,0 +1,71 @@
+// IEEE 802.15.4 frame model.
+//
+// Frames carry real payload bytes; header sizes follow the paper's Table 6
+// (23 B MAC header on data frames). The PHY prepends a 6-byte synchronization
+// header (preamble + SFD + length), which matters for air-time accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/sim/time.hpp"
+
+namespace tcplp::phy {
+
+/// Short (16-bit) 802.15.4 address. The simulator uses one address per node.
+using NodeId = std::uint16_t;
+constexpr NodeId kBroadcast = 0xffff;
+
+enum class FrameType : std::uint8_t {
+    kData,         // MAC data frame (6LoWPAN payload)
+    kAck,          // immediate MAC acknowledgment
+    kDataRequest,  // 802.15.4 MAC command: poll parent for queued frames
+};
+
+/// IEEE 802.15.4 PHY constants at the standard 2.4 GHz O-QPSK rate used by
+/// the paper (250 kb/s; §5 notes the radio's faster proprietary rates are
+/// deliberately not used).
+constexpr double kBitsPerSecond = 250000.0;
+constexpr sim::Time kByteAirTime = 32;             // 8 bits / 250 kb/s = 32 us
+constexpr std::size_t kPhySyncHeaderBytes = 6;     // preamble(4)+SFD(1)+len(1)
+constexpr std::size_t kMaxFrameBytes = 127;        // max MPDU (Table 5)
+constexpr std::size_t kMacDataHeaderBytes = 23;    // Table 6, data frames
+constexpr std::size_t kAckMpduBytes = 5;           // imm-ack MPDU
+constexpr std::size_t kDataRequestMpduBytes = 12;  // MAC command frame
+constexpr std::size_t kMaxMacPayloadBytes = kMaxFrameBytes - kMacDataHeaderBytes;  // 104
+
+struct Frame {
+    FrameType type = FrameType::kData;
+    NodeId src = 0;
+    NodeId dst = kBroadcast;
+    std::uint8_t seq = 0;
+    bool ackRequest = false;
+    /// "Frame pending" header bit: tells a polling (duty-cycled) receiver
+    /// that more queued frames follow (paper §3.2, Appendix C).
+    bool framePending = false;
+    Bytes payload;  // MAC payload (6LoWPAN bytes) — empty for ACK/poll
+
+    /// MPDU size in bytes (MAC header + payload), excluding PHY sync header.
+    std::size_t mpduBytes() const {
+        switch (type) {
+            case FrameType::kAck: return kAckMpduBytes;
+            case FrameType::kDataRequest: return kDataRequestMpduBytes;
+            case FrameType::kData: return kMacDataHeaderBytes + payload.size();
+        }
+        return 0;
+    }
+
+    /// Time the frame occupies the air, including the PHY sync header.
+    sim::Time airTime() const {
+        return sim::Time(mpduBytes() + kPhySyncHeaderBytes) * kByteAirTime;
+    }
+};
+
+/// Air time of a maximum-size frame: (127+6)*32us = 4.256 ms, matching the
+/// paper's "4.1 ms" within PHY-header rounding (§6.4, Table 5).
+inline sim::Time maxFrameAirTime() {
+    return sim::Time(kMaxFrameBytes + kPhySyncHeaderBytes) * kByteAirTime;
+}
+
+}  // namespace tcplp::phy

@@ -1,0 +1,2 @@
+// The sim module is header-only; this translation unit anchors the library.
+#include "tcplp/sim/simulator.hpp"

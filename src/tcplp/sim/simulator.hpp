@@ -1,0 +1,155 @@
+// Discrete-event simulation core.
+//
+// The entire testbed — radios, MAC timers, TCP retransmission timers,
+// application sensors — runs as callbacks on this event queue. Events at the
+// same instant fire in scheduling order (a stable tiebreak), which keeps runs
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "tcplp/common/assert.hpp"
+#include "tcplp/sim/rng.hpp"
+#include "tcplp/sim/time.hpp"
+
+namespace tcplp::sim {
+
+class Simulator;
+
+/// Cancellable handle to a scheduled event. Copies share the same event.
+class EventHandle {
+public:
+    EventHandle() = default;
+
+    /// Cancels the event if it has not fired yet. Safe to call repeatedly.
+    void cancel() {
+        if (auto s = state_.lock()) s->cancelled = true;
+        state_.reset();
+    }
+
+    /// True if the event is still scheduled and will fire.
+    bool pending() const {
+        auto s = state_.lock();
+        return s && !s->cancelled && !s->fired;
+    }
+
+private:
+    friend class Simulator;
+    struct State {
+        bool cancelled = false;
+        bool fired = false;
+    };
+    explicit EventHandle(std::weak_ptr<State> state) : state_(std::move(state)) {}
+    std::weak_ptr<State> state_;
+};
+
+class Simulator {
+public:
+    explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    Time now() const { return now_; }
+    Rng& rng() { return rng_; }
+
+    /// Schedules `fn` to run `delay` microseconds from now.
+    EventHandle schedule(Time delay, std::function<void()> fn) {
+        return scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /// Schedules `fn` at absolute time `when` (>= now).
+    EventHandle scheduleAt(Time when, std::function<void()> fn) {
+        TCPLP_ASSERT(when >= now_);
+        auto state = std::make_shared<EventHandle::State>();
+        queue_.push(Event{when, nextSeq_++, state, std::move(fn)});
+        return EventHandle(state);
+    }
+
+    /// Runs events until the queue drains or simulated time reaches `until`.
+    void runUntil(Time until) {
+        while (!queue_.empty()) {
+            const Event& top = queue_.top();
+            if (top.when > until) break;
+            Event ev = std::move(const_cast<Event&>(top));
+            queue_.pop();
+            TCPLP_ASSERT(ev.when >= now_);
+            now_ = ev.when;
+            if (!ev.state->cancelled) {
+                ev.state->fired = true;
+                ev.fn();
+            }
+        }
+        if (now_ < until && queue_.empty()) now_ = until;
+        if (now_ < until && !queue_.empty()) now_ = until;
+    }
+
+    /// Runs until the event queue is exhausted (or `maxEvents` fired —
+    /// a guard against accidental infinite timer loops in tests).
+    void run(std::uint64_t maxEvents = UINT64_MAX) {
+        std::uint64_t fired = 0;
+        while (!queue_.empty() && fired < maxEvents) {
+            Event ev = std::move(const_cast<Event&>(queue_.top()));
+            queue_.pop();
+            now_ = ev.when;
+            if (!ev.state->cancelled) {
+                ev.state->fired = true;
+                ev.fn();
+                ++fired;
+            }
+        }
+    }
+
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+private:
+    struct Event {
+        Time when;
+        std::uint64_t seq;  // FIFO tiebreak for simultaneous events.
+        std::shared_ptr<EventHandle::State> state;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.when != b.when) return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Time now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    Rng rng_;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Restartable one-shot timer bound to a simulator — the idiom used by all
+/// protocol timers (TCP retransmit, delayed ACK, CoAP retransmit, MAC sleep).
+class Timer {
+public:
+    Timer(Simulator& simulator, std::function<void()> fn)
+        : simulator_(simulator), fn_(std::move(fn)) {}
+
+    ~Timer() { stop(); }
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+    /// (Re)arms the timer `delay` from now; any earlier arming is cancelled.
+    void start(Time delay) {
+        stop();
+        handle_ = simulator_.schedule(delay, [this] { fn_(); });
+    }
+
+    void stop() { handle_.cancel(); }
+    bool running() const { return handle_.pending(); }
+
+private:
+    Simulator& simulator_;
+    std::function<void()> fn_;
+    EventHandle handle_;
+};
+
+}  // namespace tcplp::sim

@@ -1,0 +1,23 @@
+// Simulated time. All protocol timing in the repository is expressed in
+// simulated microseconds; nothing reads the wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace tcplp::sim {
+
+/// Microseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kMicrosecond = 1;
+constexpr Time kMillisecond = 1000;
+constexpr Time kSecond = 1000 * kMillisecond;
+constexpr Time kMinute = 60 * kSecond;
+constexpr Time kHour = 60 * kMinute;
+
+constexpr double toSeconds(Time t) { return double(t) / double(kSecond); }
+constexpr double toMillis(Time t) { return double(t) / double(kMillisecond); }
+constexpr Time fromSeconds(double s) { return static_cast<Time>(s * double(kSecond)); }
+constexpr Time fromMillis(double ms) { return static_cast<Time>(ms * double(kMillisecond)); }
+
+}  // namespace tcplp::sim

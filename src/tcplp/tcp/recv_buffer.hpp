@@ -1,0 +1,94 @@
+// Receive buffer with in-place reassembly queue (paper §4.3.2, Figure 1b).
+//
+// A flat circular buffer sized at compile/construct time holds the
+// in-sequence stream; out-of-order segments are written directly into the
+// space past the received data — their eventual position — and a bitmap
+// records which of those bytes are valid. When the gap fills, the contiguous
+// run is "committed" into the in-sequence region without any copying.
+//
+// This gives deterministic memory use (the paper's motivation for rejecting
+// FreeBSD's mbuf-chain buffers): buffer space is reserved up front and no
+// packet-heap allocation happens on the receive path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcplp/common/bitmap.hpp"
+#include "tcplp/common/ring_buffer.hpp"
+
+namespace tcplp::tcp {
+
+struct RecvRange {
+    std::size_t begin;  // offset past rcv_nxt
+    std::size_t end;
+};
+
+class RecvBuffer {
+public:
+    explicit RecvBuffer(std::size_t capacity) : ring_(capacity), oooMap_(capacity) {}
+
+    std::size_t capacity() const { return ring_.capacity(); }
+    /// In-sequence bytes awaiting the application.
+    std::size_t readable() const { return ring_.size(); }
+    /// Advertisable receive window: free space not holding in-seq data.
+    std::size_t window() const { return ring_.capacity() - ring_.size(); }
+
+    /// Inserts segment data whose first byte is `offset` bytes past rcv_nxt
+    /// (offset 0 = exactly the next expected byte). Data beyond the window
+    /// is trimmed. Returns the number of bytes newly in sequence (the amount
+    /// rcv_nxt advances).
+    std::size_t insert(std::size_t offset, BytesView data) {
+        const std::size_t win = window();
+        if (offset >= win) return 0;
+        const std::size_t n = std::min(data.size(), win - offset);
+        if (n == 0) return 0;
+
+        ring_.writeAt(offset, BytesView(data.data(), n));
+        oooMap_.setRange(offset, offset + n);
+
+        const std::size_t run = oooMap_.countContiguousFrom(0);
+        if (run == 0) return 0;
+        ring_.commit(run);
+        shiftMap(run);
+        return run;
+    }
+
+    /// Application read: removes up to `n` in-sequence bytes.
+    Bytes read(std::size_t n) { return ring_.read(n); }
+
+    /// SACK blocks describing buffered out-of-order data, as offsets past
+    /// rcv_nxt, at most `maxBlocks` ranges (most recently useful first is
+    /// approximated by lowest-offset first).
+    std::vector<RecvRange> sackRanges(std::size_t maxBlocks = 3) const {
+        std::vector<RecvRange> out;
+        std::size_t i = 0;
+        const std::size_t limit = window();
+        while (i < limit && out.size() < maxBlocks) {
+            while (i < limit && !oooMap_.test(i)) ++i;
+            if (i >= limit) break;
+            std::size_t j = i;
+            while (j < limit && oooMap_.test(j)) ++j;
+            out.push_back(RecvRange{i, j});
+            i = j;
+        }
+        return out;
+    }
+
+    /// Total out-of-order bytes currently parked past the in-seq data.
+    std::size_t outOfOrderBytes() const { return oooMap_.popcount(); }
+
+private:
+    void shiftMap(std::size_t by) {
+        // The bitmap is indexed relative to rcv_nxt; advance the origin.
+        Bitmap next(oooMap_.size());
+        for (std::size_t i = by; i < oooMap_.size(); ++i)
+            if (oooMap_.test(i)) next.set(i - by);
+        oooMap_ = std::move(next);
+    }
+
+    RingBuffer ring_;
+    Bitmap oooMap_;
+};
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,124 @@
+#include "tcplp/tcp/segment.hpp"
+
+#include "tcplp/common/assert.hpp"
+
+namespace tcplp::tcp {
+namespace {
+constexpr std::uint8_t kOptEnd = 0;
+constexpr std::uint8_t kOptNop = 1;
+constexpr std::uint8_t kOptMss = 2;
+constexpr std::uint8_t kOptSackPermitted = 4;
+constexpr std::uint8_t kOptSack = 5;
+constexpr std::uint8_t kOptTimestamps = 8;
+}  // namespace
+
+std::size_t Segment::optionBytes() const {
+    std::size_t n = 0;
+    if (mssOption) n += 4;
+    if (sackPermitted) n += 2;
+    if (timestamps) n += 10;
+    if (!sackBlocks.empty()) n += 2 + sackBlocks.size() * 8;
+    return (n + 3) & ~std::size_t(3);  // pad to 32-bit boundary
+}
+
+Bytes Segment::encode() const {
+    Bytes out;
+    out.reserve(totalBytes());
+    putU16(out, srcPort);
+    putU16(out, dstPort);
+    putU32(out, seq);
+    putU32(out, ack);
+    const std::size_t headerWords = headerBytes() / 4;
+    TCPLP_ASSERT(headerWords <= 15);
+    out.push_back(std::uint8_t(headerWords << 4));
+    out.push_back(flags.encode());
+    putU16(out, window);
+    putU16(out, 0);  // checksum: the simulated medium models corruption as loss
+    putU16(out, 0);  // urgent pointer: unsupported, as in TCPlp (§4.1)
+
+    const std::size_t optStart = out.size();
+    if (mssOption) {
+        out.push_back(kOptMss);
+        out.push_back(4);
+        putU16(out, *mssOption);
+    }
+    if (sackPermitted) {
+        out.push_back(kOptSackPermitted);
+        out.push_back(2);
+    }
+    if (timestamps) {
+        out.push_back(kOptTimestamps);
+        out.push_back(10);
+        putU32(out, timestamps->value);
+        putU32(out, timestamps->echo);
+    }
+    if (!sackBlocks.empty()) {
+        TCPLP_ASSERT(sackBlocks.size() <= 3);
+        out.push_back(kOptSack);
+        out.push_back(std::uint8_t(2 + sackBlocks.size() * 8));
+        for (const SackBlock& b : sackBlocks) {
+            putU32(out, b.begin);
+            putU32(out, b.end);
+        }
+    }
+    while ((out.size() - optStart) % 4 != 0) out.push_back(kOptNop);
+    TCPLP_ASSERT(out.size() == headerBytes());
+    append(out, payload);
+    return out;
+}
+
+std::optional<Segment> Segment::decode(BytesView in) {
+    if (in.size() < 20) return std::nullopt;
+    Segment s;
+    s.srcPort = getU16(in, 0);
+    s.dstPort = getU16(in, 2);
+    s.seq = getU32(in, 4);
+    s.ack = getU32(in, 8);
+    const std::size_t headerLen = std::size_t(in[12] >> 4) * 4;
+    if (headerLen < 20 || headerLen > in.size()) return std::nullopt;
+    s.flags = Flags::decode(in[13]);
+    s.window = getU16(in, 14);
+
+    std::size_t off = 20;
+    while (off < headerLen) {
+        const std::uint8_t kind = in[off];
+        if (kind == kOptEnd) break;
+        if (kind == kOptNop) {
+            ++off;
+            continue;
+        }
+        if (off + 1 >= headerLen) return std::nullopt;
+        const std::uint8_t len = in[off + 1];
+        if (len < 2 || off + len > headerLen) return std::nullopt;
+        switch (kind) {
+            case kOptMss:
+                if (len != 4) return std::nullopt;
+                s.mssOption = getU16(in, off + 2);
+                break;
+            case kOptSackPermitted:
+                if (len != 2) return std::nullopt;
+                s.sackPermitted = true;
+                break;
+            case kOptTimestamps:
+                if (len != 10) return std::nullopt;
+                s.timestamps = Timestamps{getU32(in, off + 2), getU32(in, off + 6)};
+                break;
+            case kOptSack: {
+                if ((len - 2) % 8 != 0) return std::nullopt;
+                const std::size_t count = (len - 2u) / 8;
+                for (std::size_t i = 0; i < count; ++i) {
+                    s.sackBlocks.push_back(SackBlock{getU32(in, off + 2 + i * 8),
+                                                     getU32(in, off + 6 + i * 8)});
+                }
+                break;
+            }
+            default:
+                break;  // unknown option: skip
+        }
+        off += len;
+    }
+    s.payload.assign(in.begin() + long(headerLen), in.end());
+    return s;
+}
+
+}  // namespace tcplp::tcp

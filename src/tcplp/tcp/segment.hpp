@@ -1,0 +1,82 @@
+// TCP segment representation and wire codec.
+//
+// Segments are encoded to real header bytes (20-byte base header + options,
+// padded to 4-byte words) so that header-overhead numbers (Table 6) and the
+// MSS-vs-frame-count trade-off (§6.1) fall out of actual encodings rather
+// than constants. Option kinds follow the RFCs: MSS (2), SACK-permitted (4),
+// SACK (5), Timestamps (8).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/tcp/seq.hpp"
+
+namespace tcplp::tcp {
+
+struct Flags {
+    bool fin = false;
+    bool syn = false;
+    bool rst = false;
+    bool psh = false;
+    bool ack = false;
+    bool ece = false;  // ECN-Echo (RFC 3168)
+    bool cwr = false;  // Congestion Window Reduced
+
+    std::uint8_t encode() const {
+        return std::uint8_t((fin << 0) | (syn << 1) | (rst << 2) | (psh << 3) | (ack << 4) |
+                            (ece << 6) | (cwr << 7));
+    }
+    static Flags decode(std::uint8_t b) {
+        Flags f;
+        f.fin = b & 0x01;
+        f.syn = b & 0x02;
+        f.rst = b & 0x04;
+        f.psh = b & 0x08;
+        f.ack = b & 0x10;
+        f.ece = b & 0x40;
+        f.cwr = b & 0x80;
+        return f;
+    }
+};
+
+struct SackBlock {
+    Seq begin = 0;  // first sequence number of the block
+    Seq end = 0;    // one past the last
+    bool operator==(const SackBlock&) const = default;
+};
+
+struct Timestamps {
+    std::uint32_t value = 0;  // sender's clock (TSval)
+    std::uint32_t echo = 0;   // echoed peer clock (TSecr)
+};
+
+struct Segment {
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    Seq seq = 0;
+    Seq ack = 0;
+    std::uint16_t window = 0;
+    Flags flags;
+
+    // Options.
+    std::optional<std::uint16_t> mssOption;          // SYN only
+    bool sackPermitted = false;                       // SYN only
+    std::vector<SackBlock> sackBlocks;                // up to 3 with timestamps
+    std::optional<Timestamps> timestamps;
+
+    Bytes payload;
+
+    std::size_t optionBytes() const;
+    /// Full header size: 20 + padded options (20–44 B per paper Table 6).
+    std::size_t headerBytes() const { return 20 + optionBytes(); }
+    std::size_t totalBytes() const { return headerBytes() + payload.size(); }
+
+    Bytes encode() const;
+    static std::optional<Segment> decode(BytesView in);
+};
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,120 @@
+// Zero-copy send buffer (paper §4.3.1).
+//
+// The buffer is a linked list of nodes, each referencing a span of
+// application data. When the application hands over an immutable chunk
+// (`appendShared`, the paper's Lua-string case), the node simply points at
+// the caller's storage — no copy, so "the memory allocated to the send
+// buffer can be very small: it only needs to contain a few nodes of a linked
+// list". Mutable writes (`append`, the C-API case on RIOT/OpenThread) are
+// copied into owned chunks, costing the "few kilobytes of additional memory"
+// the paper reports for that platform.
+//
+// Byte addressing is stream-relative: offset 0 is the first unacknowledged
+// byte (snd_una). ack() slides the origin forward and releases whole nodes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "tcplp/common/assert.hpp"
+#include "tcplp/common/bytes.hpp"
+
+namespace tcplp::tcp {
+
+class SendBuffer {
+public:
+    explicit SendBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return size_; }
+    std::size_t free() const { return capacity_ - size_; }
+
+    /// Copies as much of `data` as fits; returns bytes accepted.
+    std::size_t append(BytesView data) {
+        const std::size_t n = std::min(data.size(), free());
+        if (n == 0) return 0;
+        auto chunk = std::make_shared<Bytes>(data.begin(), data.begin() + long(n));
+        nodes_.push_back(Node{std::move(chunk), 0, n, /*owned=*/true});
+        size_ += n;
+        return n;
+    }
+
+    /// Zero-copy append: the node aliases `data` (which the caller promises
+    /// not to mutate, mirroring immutable Lua strings). Returns bytes
+    /// accepted (0 if the chunk does not fit entirely — aliased chunks are
+    /// not split so the zero-copy property is preserved).
+    std::size_t appendShared(std::shared_ptr<const Bytes> data) {
+        const std::size_t n = data->size();
+        if (n > free()) return 0;
+        nodes_.push_back(Node{std::move(data), 0, n, /*owned=*/false});
+        size_ += n;
+        return n;
+    }
+
+    /// Assembles `len` bytes starting `offset` past the first unacked byte
+    /// (for [re]transmission). Clamps to available data.
+    Bytes read(std::size_t offset, std::size_t len) const {
+        Bytes out;
+        if (offset >= size_) return out;
+        len = std::min(len, size_ - offset);
+        out.reserve(len);
+        std::size_t pos = 0;
+        for (const Node& node : nodes_) {
+            if (out.size() == len) break;
+            const std::size_t nodeEnd = pos + node.len;
+            if (nodeEnd > offset) {
+                const std::size_t start = (offset > pos) ? offset - pos : 0;
+                const std::size_t want = std::min(node.len - start, len - out.size());
+                const std::uint8_t* base = node.data->data() + node.off + start;
+                out.insert(out.end(), base, base + want);
+            }
+            pos = nodeEnd;
+            if (pos >= offset + len) break;
+        }
+        TCPLP_ASSERT(out.size() == len);
+        return out;
+    }
+
+    /// Releases `n` acknowledged bytes from the front.
+    void ack(std::size_t n) {
+        TCPLP_ASSERT(n <= size_);
+        size_ -= n;
+        while (n > 0 && !nodes_.empty()) {
+            Node& head = nodes_.front();
+            if (head.len <= n) {
+                n -= head.len;
+                nodes_.pop_front();
+            } else {
+                head.off += n;
+                head.len -= n;
+                n = 0;
+            }
+        }
+    }
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /// Bytes of storage owned by the buffer itself (copied chunks only) —
+    /// the quantity the zero-copy design minimizes.
+    std::size_t ownedBytes() const {
+        std::size_t n = 0;
+        for (const Node& node : nodes_)
+            if (node.owned) n += node.data->size();
+        return n;
+    }
+
+private:
+    struct Node {
+        std::shared_ptr<const Bytes> data;
+        std::size_t off = 0;
+        std::size_t len = 0;
+        bool owned = true;
+    };
+
+    std::size_t capacity_;
+    std::size_t size_ = 0;
+    std::deque<Node> nodes_;
+};
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,20 @@
+// 32-bit TCP sequence-number arithmetic (wraps modulo 2^32).
+#pragma once
+
+#include <cstdint>
+
+namespace tcplp::tcp {
+
+using Seq = std::uint32_t;
+
+inline bool seqLt(Seq a, Seq b) { return std::int32_t(a - b) < 0; }
+inline bool seqLe(Seq a, Seq b) { return std::int32_t(a - b) <= 0; }
+inline bool seqGt(Seq a, Seq b) { return std::int32_t(a - b) > 0; }
+inline bool seqGe(Seq a, Seq b) { return std::int32_t(a - b) >= 0; }
+inline Seq seqMax(Seq a, Seq b) { return seqGt(a, b) ? a : b; }
+inline Seq seqMin(Seq a, Seq b) { return seqLt(a, b) ? a : b; }
+
+/// Signed distance b - a (valid when |b-a| < 2^31).
+inline std::int32_t seqDiff(Seq b, Seq a) { return std::int32_t(b - a); }
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,22 @@
+#include "tcplp/tcp/tcb.hpp"
+
+namespace tcplp::tcp {
+
+const char* stateName(State s) {
+    switch (s) {
+        case State::kClosed: return "CLOSED";
+        case State::kListen: return "LISTEN";
+        case State::kSynSent: return "SYN_SENT";
+        case State::kSynReceived: return "SYN_RCVD";
+        case State::kEstablished: return "ESTABLISHED";
+        case State::kFinWait1: return "FIN_WAIT_1";
+        case State::kFinWait2: return "FIN_WAIT_2";
+        case State::kCloseWait: return "CLOSE_WAIT";
+        case State::kClosing: return "CLOSING";
+        case State::kLastAck: return "LAST_ACK";
+        case State::kTimeWait: return "TIME_WAIT";
+    }
+    return "?";
+}
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,88 @@
+// TCP connection control block: the scalar protocol state of one connection.
+//
+// Kept as a standalone packed struct so `sizeof(Tcb)` is a faithful analogue
+// of the paper's Tables 3/4 (RAM per active socket: a few hundred bytes).
+// Buffers are accounted separately, as in the paper (§4.2 vs §4.3).
+#pragma once
+
+#include <cstdint>
+
+#include "tcplp/sim/time.hpp"
+#include "tcplp/tcp/seq.hpp"
+
+namespace tcplp::tcp {
+
+enum class State : std::uint8_t {
+    kClosed,
+    kListen,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kCloseWait,
+    kClosing,
+    kLastAck,
+    kTimeWait,
+};
+
+const char* stateName(State s);
+
+struct Tcb {
+    State state = State::kClosed;
+
+    // Send sequence space (RFC 793 names).
+    Seq iss = 0;       // initial send sequence
+    Seq sndUna = 0;    // oldest unacknowledged
+    Seq sndNxt = 0;    // next to send
+    Seq sndMax = 0;    // highest ever sent (for rexmit vs new data)
+    Seq sndWl1 = 0;    // seq of last window update
+    Seq sndWl2 = 0;    // ack of last window update
+    std::uint32_t sndWnd = 0;  // peer-advertised window (bytes)
+
+    // Receive sequence space.
+    Seq irs = 0;
+    Seq rcvNxt = 0;
+
+    // Congestion control (New Reno).
+    std::uint32_t cwnd = 0;
+    std::uint32_t ssthresh = 0;
+    std::uint16_t dupAcks = 0;
+    Seq recover = 0;          // NewReno recovery point
+    bool inFastRecovery = false;
+
+    // RTT estimation (RFC 6298) in microseconds.
+    std::int64_t srtt = 0;
+    std::int64_t rttvar = 0;
+    std::int64_t rto = 0;
+    std::uint8_t rxtShift = 0;  // exponential backoff count
+
+    // Timestamps (RFC 7323).
+    std::uint32_t tsRecent = 0;  // peer TSval to echo
+    bool tsEnabled = false;
+
+    // SACK negotiation.
+    bool sackEnabled = false;
+
+    // ECN (RFC 3168).
+    bool ecnEnabled = false;
+    bool ecnEchoPending = false;   // receiver saw CE, echo ECE
+    bool cwrPending = false;       // sender must emit CWR
+    Seq ecnRecover = 0;            // one cwnd reduction per window
+
+    // Delayed ACK bookkeeping.
+    std::uint8_t delAckPending = 0;
+
+    // FIN bookkeeping.
+    bool finQueued = false;   // application closed the write side
+    bool finSent = false;
+    bool ourFinAcked = false;
+
+    // Persist (zero-window probe) state.
+    std::uint8_t persistShift = 0;
+    bool persisting = false;
+
+    std::uint16_t mss = 536;
+};
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,1013 @@
+#include "tcplp/tcp/tcp.hpp"
+
+#include <algorithm>
+
+#include "tcplp/common/assert.hpp"
+#include "tcplp/common/log.hpp"
+
+namespace tcplp::tcp {
+
+namespace {
+/// FIN sequence bookkeeping lives outside Tcb to keep the paper-comparable
+/// struct lean; stored per socket.
+constexpr std::uint32_t kMaxWindow = 65535;  // no window scaling (§4.1)
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpSocket
+// ---------------------------------------------------------------------------
+
+TcpSocket::TcpSocket(TcpStack& stack, TcpConfig config)
+    : stack_(stack),
+      config_(config),
+      sendBuf_(config.sendBufferBytes),
+      recvBuf_(config.recvBufferBytes),
+      rexmitTimer_(stack.simulator(), [this] { rexmitTimeout(); }),
+      persistTimer_(stack.simulator(), [this] { persistTimeout(); }),
+      delackTimer_(stack.simulator(), [this] { sendAckNow(); }),
+      timeWaitTimer_(stack.simulator(), [this] {
+          setState(State::kClosed);
+          if (onClosed_) onClosed_();
+      }) {
+    tcb_.mss = config.mss;
+    tcb_.rto = config.initialRto;
+}
+
+TcpSocket::~TcpSocket() = default;
+
+std::uint32_t TcpSocket::tsNow() const {
+    return std::uint32_t(stack_.simulator().now() / sim::kMillisecond);
+}
+
+void TcpSocket::setState(State s) {
+    tcb_.state = s;
+}
+
+void TcpSocket::traceCwnd() {
+    if (cwndTracer_) cwndTracer_(stack_.simulator().now(), tcb_.cwnd, tcb_.ssthresh);
+}
+
+std::uint32_t TcpSocket::cwndCap() const {
+    std::uint32_t cap = std::uint32_t(std::min<std::size_t>(sendBuf_.capacity(), kMaxWindow));
+    if (config_.cwndCapBytes > 0) cap = std::min(cap, config_.cwndCapBytes);
+    return cap;
+}
+
+void TcpSocket::clampCwnd() {
+    // Recovery-phase window inflation must also respect the cap: on a
+    // multihop 802.15.4 path, overshooting the configured window floods the
+    // relays and converts one loss into a burst of losses.
+    tcb_.cwnd = std::min(tcb_.cwnd, cwndCap());
+}
+
+// --- Application interface --------------------------------------------------
+
+void TcpSocket::connect(const ip6::Address& dst, std::uint16_t dstPort) {
+    TCPLP_ASSERT(tcb_.state == State::kClosed);
+    remoteAddr_ = dst;
+    remotePort_ = dstPort;
+    if (localPort_ == 0) localPort_ = stack_.allocatePort();
+    stack_.bind(*this);
+
+    tcb_.iss = stack_.nextIss();
+    tcb_.sndUna = tcb_.iss;
+    tcb_.sndNxt = tcb_.iss;
+    tcb_.sndMax = tcb_.iss;
+    tcb_.cwnd = config_.initialCwndSegments * tcb_.mss;
+    tcb_.ssthresh = kMaxWindow;
+    setState(State::kSynSent);
+    output();
+}
+
+std::size_t TcpSocket::send(BytesView data) {
+    if (tcb_.finQueued) return 0;
+    const std::size_t n = sendBuf_.append(data);
+    if (n > 0 && (tcb_.state == State::kEstablished || tcb_.state == State::kCloseWait))
+        output();
+    return n;
+}
+
+std::size_t TcpSocket::sendZeroCopy(std::shared_ptr<const Bytes> data) {
+    if (tcb_.finQueued) return 0;
+    const std::size_t n = sendBuf_.appendShared(std::move(data));
+    if (n > 0 && (tcb_.state == State::kEstablished || tcb_.state == State::kCloseWait))
+        output();
+    return n;
+}
+
+void TcpSocket::close() {
+    switch (tcb_.state) {
+        case State::kClosed:
+        case State::kListen:
+            setState(State::kClosed);
+            return;
+        case State::kSynSent:
+            setState(State::kClosed);
+            rexmitTimer_.stop();
+            return;
+        case State::kSynReceived:
+        case State::kEstablished:
+            tcb_.finQueued = true;
+            setState(State::kFinWait1);
+            output();
+            return;
+        case State::kCloseWait:
+            tcb_.finQueued = true;
+            setState(State::kLastAck);
+            output();
+            return;
+        default:
+            return;  // already closing
+    }
+}
+
+void TcpSocket::abort() {
+    if (tcb_.state != State::kClosed && tcb_.state != State::kListen &&
+        tcb_.state != State::kSynSent) {
+        Segment rst;
+        rst.flags.rst = true;
+        rst.flags.ack = true;
+        rst.seq = tcb_.sndNxt;
+        rst.ack = tcb_.rcvNxt;
+        emit(rst);
+    }
+    rexmitTimer_.stop();
+    persistTimer_.stop();
+    delackTimer_.stop();
+    setState(State::kClosed);
+}
+
+// --- Output path -------------------------------------------------------------
+
+std::uint32_t TcpSocket::effSndWindow() const {
+    return std::min<std::uint32_t>(tcb_.cwnd, tcb_.sndWnd);
+}
+
+std::size_t TcpSocket::unsentBytes() const {
+    const std::uint32_t offset = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
+    // The FIN, once sent, occupies sequence space past the buffer; clamp.
+    const std::size_t dataOffset = std::min<std::size_t>(offset, sendBuf_.size());
+    return sendBuf_.size() - dataOffset;
+}
+
+void TcpSocket::output() {
+    switch (tcb_.state) {
+        case State::kSynSent: {
+            sendSegment(tcb_.iss, 0, false, true);
+            if (seqLe(tcb_.sndNxt, tcb_.iss)) tcb_.sndNxt = tcb_.iss + 1;
+            tcb_.sndMax = seqMax(tcb_.sndMax, tcb_.sndNxt);
+            armRexmit();
+            // A SYN-ACK is expected: a duty-cycled MAC must poll rapidly.
+            stack_.netif().setExpectingResponse(true);
+            return;
+        }
+        case State::kSynReceived: {
+            sendSegment(tcb_.iss, 0, false, true);  // SYN+ACK (ACK added in emit)
+            if (seqLe(tcb_.sndNxt, tcb_.iss)) tcb_.sndNxt = tcb_.iss + 1;
+            tcb_.sndMax = seqMax(tcb_.sndMax, tcb_.sndNxt);
+            armRexmit();
+            stack_.netif().setExpectingResponse(true);
+            return;
+        }
+        case State::kEstablished:
+        case State::kCloseWait:
+        case State::kFinWait1:
+        case State::kClosing:
+        case State::kLastAck:
+            break;
+        default:
+            return;
+    }
+
+    const std::uint32_t wnd = effSndWindow();
+    bool sentSomething = false;
+
+    for (;;) {
+        const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
+        const std::size_t available = unsentBytes();
+        const std::uint32_t usable = wnd > flight ? wnd - flight : 0;
+        std::size_t len = std::min<std::size_t>({tcb_.mss, available, usable});
+
+        const bool wantFin = tcb_.finQueued && !tcb_.finSent && available == len;
+        if (len == 0 && !wantFin) break;
+        if (len == 0 && wantFin && flight >= wnd && flight > 0) break;
+
+        const Seq seq = tcb_.sndNxt;
+        sendSegment(seq, len, wantFin && len == available, false);
+        tcb_.sndNxt += std::uint32_t(len);
+        if (wantFin && len == available) {
+            finSeq_ = tcb_.sndNxt;
+            tcb_.finSent = true;
+            tcb_.sndNxt += 1;
+        }
+        tcb_.sndMax = seqMax(tcb_.sndMax, tcb_.sndNxt);
+        sentSomething = true;
+        if (len == 0) break;  // bare FIN
+    }
+
+    // Zero-window handling: data waiting, nothing in flight, window shut.
+    if (!sentSomething && unsentBytes() > 0 && tcb_.sndWnd == 0 &&
+        tcb_.sndNxt == tcb_.sndUna && !persistTimer_.running()) {
+        tcb_.persisting = true;
+        rexmitTimer_.stop();  // persist replaces the retransmit timer
+        const sim::Time delay = std::clamp<sim::Time>(
+            tcb_.rto << tcb_.persistShift, config_.persistMin, config_.persistMax);
+        persistTimer_.start(delay);
+    }
+
+    if (tcb_.sndNxt != tcb_.sndUna) armRexmit();
+    stack_.netif().setExpectingResponse(tcb_.sndNxt != tcb_.sndUna);
+}
+
+void TcpSocket::sendSegment(Seq seq, std::size_t len, bool fin, bool syn) {
+    Segment seg;
+    seg.seq = seq;
+    seg.flags.syn = syn;
+    seg.flags.fin = fin;
+    if (syn) {
+        seg.mssOption = config_.mss;
+        seg.sackPermitted = config_.sack;
+        if (config_.timestamps) seg.timestamps = Timestamps{tsNow(), 0};
+        if (config_.ecn && tcb_.state == State::kSynSent) {
+            // RFC 3168 negotiation: SYN carries ECE+CWR.
+            seg.flags.ece = true;
+            seg.flags.cwr = true;
+        }
+        if (config_.ecn && tcb_.state == State::kSynReceived && tcb_.ecnEnabled)
+            seg.flags.ece = true;
+    }
+    if (len > 0) {
+        const std::uint32_t offset = std::uint32_t(seq - tcb_.sndUna);
+        seg.payload = sendBuf_.read(offset, len);
+        TCPLP_ASSERT(seg.payload.size() == len);
+        if (offset + len >= sendBuf_.size()) seg.flags.psh = true;
+        if (seqLt(seq, tcb_.sndMax)) ++stats_.retransmissions;
+    }
+    emit(seg);
+}
+
+void TcpSocket::emit(Segment& seg) {
+    seg.srcPort = localPort_;
+    seg.dstPort = remotePort_;
+    // Everything after the initial SYN carries an ACK.
+    if (!(seg.flags.syn && tcb_.state == State::kSynSent)) {
+        seg.flags.ack = true;
+        seg.ack = tcb_.rcvNxt;
+    }
+    const std::uint32_t advWnd = std::min<std::uint32_t>(recvBuf_.window(), kMaxWindow);
+    seg.window = std::uint16_t(advWnd);
+    sentAdvWndZero_ = (advWnd == 0);
+
+    if (tcb_.tsEnabled && !seg.timestamps)
+        seg.timestamps = Timestamps{tsNow(), tcb_.tsRecent};
+    if (tcb_.sackEnabled && !seg.flags.syn) {
+        const auto ranges = recvBuf_.sackRanges();
+        for (const RecvRange& r : ranges)
+            seg.sackBlocks.push_back(
+                SackBlock{tcb_.rcvNxt + std::uint32_t(r.begin), tcb_.rcvNxt + std::uint32_t(r.end)});
+    }
+    if (tcb_.ecnEnabled) {
+        if (tcb_.ecnEchoPending) seg.flags.ece = true;
+        if (tcb_.cwrPending && !seg.payload.empty()) {
+            seg.flags.cwr = true;
+            tcb_.cwrPending = false;
+        }
+    }
+
+    // Sending any ACK quashes the delayed-ACK state.
+    if (seg.flags.ack) {
+        tcb_.delAckPending = 0;
+        delackTimer_.stop();
+    }
+
+    ++stats_.segsSent;
+    stats_.bytesSent += seg.payload.size();
+    stack_.transmit(*this, seg);
+}
+
+void TcpSocket::sendAckNow() {
+    Segment seg;
+    seg.seq = tcb_.sndNxt;
+    emit(seg);
+}
+
+Bytes TcpSocket::read(std::size_t n) {
+    Bytes out = recvBuf_.read(n);
+    // If the last advertised window was zero and space just opened, send a
+    // window update so the peer's persist timer can stand down.
+    if (!out.empty() && sentAdvWndZero_ && recvBuf_.window() > 0) sendAckNow();
+    return out;
+}
+
+void TcpSocket::scheduleDelack() {
+    if (!delackTimer_.running()) delackTimer_.start(config_.delAckTimeout);
+}
+
+// --- Timers -------------------------------------------------------------------
+
+void TcpSocket::armRexmit() {
+    // Persist mode owns the timer slot: window probes are paced by the
+    // persist timer and must not count against the retransmission limit
+    // (a peer is allowed to advertise a zero window indefinitely).
+    if (tcb_.persisting) return;
+    if (!rexmitTimer_.running()) rexmitTimer_.start(tcb_.rto);
+}
+
+void TcpSocket::rexmitTimeout() {
+    if (tcb_.state == State::kClosed || tcb_.state == State::kTimeWait) return;
+
+    ++stats_.timeouts;
+    ++tcb_.rxtShift;
+    if (tcb_.rxtShift > config_.maxRetransmits) {
+        connectionDropped();
+        return;
+    }
+    tcb_.rto = std::min<sim::Time>(tcb_.rto * 2, config_.maxRto);
+
+    if (tcb_.state == State::kSynSent || tcb_.state == State::kSynReceived) {
+        output();  // retransmit SYN / SYN+ACK
+        rexmitTimer_.start(tcb_.rto);
+        return;
+    }
+
+    // Loss response (RFC 5681 §3.1 on timeout).
+    const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
+    tcb_.ssthresh = std::max(flight / 2, std::uint32_t(2 * tcb_.mss));
+    tcb_.cwnd = tcb_.mss;
+    tcb_.inFastRecovery = false;
+    tcb_.dupAcks = 0;
+    traceCwnd();
+
+    // Rewind and retransmit from the oldest unacknowledged byte.
+    tcb_.sndNxt = tcb_.sndUna;
+    if (tcb_.finSent && seqLe(tcb_.sndNxt, finSeq_)) tcb_.finSent = false;
+    output();
+    // output() may have handed the connection to the persist machinery
+    // (zero window): probes are not retransmissions and must not expire it.
+    if (!tcb_.persisting) rexmitTimer_.start(tcb_.rto);
+}
+
+void TcpSocket::persistTimeout() {
+    if (unsentBytes() == 0 || tcb_.sndWnd > 0) {
+        tcb_.persisting = false;
+        return;
+    }
+    // Send a one-byte window probe past the advertised window. The probe is
+    // re-sent by the persist timer itself, never by the retransmit timer.
+    ++stats_.zeroWindowProbes;
+    sendSegment(tcb_.sndUna, 1, false, false);
+    if (tcb_.persistShift < 10) ++tcb_.persistShift;
+    const sim::Time delay = std::clamp<sim::Time>(
+        tcb_.rto << tcb_.persistShift, config_.persistMin, config_.persistMax);
+    persistTimer_.start(delay);
+}
+
+void TcpSocket::enterTimeWait() {
+    setState(State::kTimeWait);
+    rexmitTimer_.stop();
+    persistTimer_.stop();
+    timeWaitTimer_.start(2 * config_.msl);
+}
+
+void TcpSocket::connectionDropped() {
+    rexmitTimer_.stop();
+    persistTimer_.stop();
+    delackTimer_.stop();
+    setState(State::kClosed);
+    stack_.netif().setExpectingResponse(false);
+    if (onError_) onError_();
+}
+
+// --- Input path ----------------------------------------------------------------
+
+void TcpSocket::beginPassiveOpen(const Segment& syn, const ip6::Address& peer) {
+    remoteAddr_ = peer;
+    remotePort_ = syn.srcPort;
+    stack_.bind(*this);
+
+    tcb_.irs = syn.seq;
+    tcb_.rcvNxt = syn.seq + 1;
+    tcb_.iss = stack_.nextIss();
+    tcb_.sndUna = tcb_.iss;
+    tcb_.sndNxt = tcb_.iss;
+    tcb_.sndMax = tcb_.iss;
+    tcb_.sndWnd = syn.window;
+    tcb_.sndWl1 = syn.seq;
+    tcb_.sndWl2 = 0;
+
+    if (syn.mssOption) tcb_.mss = std::min(config_.mss, *syn.mssOption);
+    tcb_.sackEnabled = config_.sack && syn.sackPermitted;
+    if (config_.timestamps && syn.timestamps) {
+        tcb_.tsEnabled = true;
+        tcb_.tsRecent = syn.timestamps->value;
+    }
+    tcb_.ecnEnabled = config_.ecn && syn.flags.ece && syn.flags.cwr;
+    tcb_.cwnd = config_.initialCwndSegments * tcb_.mss;
+    tcb_.ssthresh = kMaxWindow;
+
+    setState(State::kSynReceived);
+    output();
+}
+
+void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
+    ++stats_.segsReceived;
+    if (tcb_.state == State::kClosed) return;
+
+    // ECN: remember congestion marks to echo (receiver role).
+    if (tcb_.ecnEnabled && ipEcn == ip6::Ecn::kCongestionExperienced)
+        tcb_.ecnEchoPending = true;
+    if (tcb_.ecnEnabled && seg.flags.cwr) tcb_.ecnEchoPending = false;
+
+    if (tcb_.state == State::kSynSent) {
+        if (seg.flags.rst) {
+            if (seg.flags.ack && seg.ack == tcb_.iss + 1) connectionDropped();
+            return;
+        }
+        if (seg.flags.syn && seg.flags.ack) {
+            if (seg.ack != tcb_.iss + 1) {
+                sendChallengeAck();
+                return;
+            }
+            tcb_.irs = seg.seq;
+            tcb_.rcvNxt = seg.seq + 1;
+            tcb_.sndUna = seg.ack;
+            tcb_.sndWnd = seg.window;
+            tcb_.sndWl1 = seg.seq;
+            tcb_.sndWl2 = seg.ack;
+            if (seg.mssOption) tcb_.mss = std::min(config_.mss, *seg.mssOption);
+            tcb_.sackEnabled = config_.sack && seg.sackPermitted;
+            if (config_.timestamps && seg.timestamps) {
+                tcb_.tsEnabled = true;
+                tcb_.tsRecent = seg.timestamps->value;
+            }
+            tcb_.ecnEnabled = config_.ecn && seg.flags.ece;
+            tcb_.cwnd = config_.initialCwndSegments * tcb_.mss;
+            rexmitTimer_.stop();
+            tcb_.rxtShift = 0;
+            setState(State::kEstablished);
+            sendAckNow();
+            if (onConnected_) onConnected_();
+            output();
+            return;
+        }
+        if (seg.flags.syn) {
+            // Simultaneous open.
+            tcb_.irs = seg.seq;
+            tcb_.rcvNxt = seg.seq + 1;
+            if (seg.mssOption) tcb_.mss = std::min(config_.mss, *seg.mssOption);
+            setState(State::kSynReceived);
+            output();
+        }
+        return;
+    }
+
+    // --- Sequence acceptability (RFC 793 p.69) -------------------------
+    const std::uint32_t segLen =
+        std::uint32_t(seg.payload.size()) + (seg.flags.syn ? 1 : 0) + (seg.flags.fin ? 1 : 0);
+    const std::uint32_t rcvWnd = std::uint32_t(recvBuf_.window());
+    const bool okStart = seqGe(seg.seq, tcb_.rcvNxt) && seqLt(seg.seq, tcb_.rcvNxt + rcvWnd);
+    const bool okEnd = segLen > 0 && seqGt(seg.seq + segLen, tcb_.rcvNxt) &&
+                       seqLe(seg.seq + segLen, tcb_.rcvNxt + rcvWnd + tcb_.mss);
+    const bool zeroLenOk = segLen == 0 && (rcvWnd > 0 ? okStart : seg.seq == tcb_.rcvNxt);
+    const bool overlapsWindow =
+        okStart || okEnd || zeroLenOk ||
+        (segLen > 0 && seqLe(seg.seq, tcb_.rcvNxt) && seqGt(seg.seq + segLen, tcb_.rcvNxt));
+    if (!overlapsWindow) {
+        if (!seg.flags.rst) sendAckNow();  // keep the peer synchronized
+        return;
+    }
+
+    if (seg.flags.rst) {
+        // RFC 5961: only an exact-match RST kills the connection; in-window
+        // but inexact elicits a challenge ACK.
+        if (seg.seq == tcb_.rcvNxt) {
+            handleRst();
+        } else {
+            sendChallengeAck();
+        }
+        return;
+    }
+
+    if (seg.flags.syn) {
+        // SYN on a synchronized connection: challenge ACK (RFC 5961).
+        sendChallengeAck();
+        return;
+    }
+
+    if (!seg.flags.ack) return;
+
+    // Timestamp bookkeeping (RFC 7323): echo the most recent in-window TSval.
+    if (tcb_.tsEnabled && seg.timestamps && seqLe(seg.seq, tcb_.rcvNxt))
+        tcb_.tsRecent = seg.timestamps->value;
+
+    if (config_.headerPrediction) tryHeaderPrediction(seg);
+
+    if (tcb_.state == State::kSynReceived) {
+        if (seqGt(seg.ack, tcb_.sndUna) && seqLe(seg.ack, tcb_.sndMax)) {
+            tcb_.sndUna = seg.ack;
+            tcb_.sndWnd = seg.window;
+            tcb_.sndWl1 = seg.seq;
+            tcb_.sndWl2 = seg.ack;
+            rexmitTimer_.stop();
+            tcb_.rxtShift = 0;
+            setState(State::kEstablished);
+            if (onConnected_) onConnected_();
+        } else {
+            return;
+        }
+    }
+
+    if (tcb_.sackEnabled) processSackBlocks(seg.sackBlocks);
+    if (tcb_.ecnEnabled && seg.flags.ece) ccOnEce();
+    processAck(seg);
+    updateWindow(seg);
+    if (!seg.payload.empty()) processData(seg);
+    if (seg.flags.fin) processFin(seg);
+}
+
+bool TcpSocket::tryHeaderPrediction(const Segment& seg) {
+    // FreeBSD-style fast path check (§4.1 "header prediction"): established
+    // state, no exotic flags, in-order, window unchanged. The slow path is
+    // always taken afterwards for correctness; this counter documents how
+    // often the fast path would short-circuit processing.
+    if (tcb_.state != State::kEstablished) return false;
+    if (seg.flags.syn || seg.flags.fin || seg.flags.rst || seg.flags.ece) return false;
+    if (seg.seq != tcb_.rcvNxt) return false;
+    if (seg.window != std::min<std::uint32_t>(tcb_.sndWnd, kMaxWindow) &&
+        !(seg.window == tcb_.sndWnd)) {
+        return false;
+    }
+    const bool pureAck = seg.payload.empty() && seqGt(seg.ack, tcb_.sndUna) &&
+                         seqLe(seg.ack, tcb_.sndMax) && !tcb_.inFastRecovery;
+    const bool pureData = !seg.payload.empty() && seg.ack == tcb_.sndUna &&
+                          recvBuf_.outOfOrderBytes() == 0;
+    if (pureAck || pureData) {
+        ++stats_.headerPredictions;
+        return true;
+    }
+    return false;
+}
+
+void TcpSocket::processAck(const Segment& seg) {
+    if (seqGt(seg.ack, tcb_.sndMax)) {
+        // Acking data we never sent.
+        sendChallengeAck();
+        return;
+    }
+
+    if (seqLe(seg.ack, tcb_.sndUna)) {
+        // Duplicate ACK detection (RFC 5681): no payload, no window change,
+        // outstanding data.
+        const bool dup = seg.payload.empty() && seg.ack == tcb_.sndUna &&
+                         seg.window == tcb_.sndWnd && tcb_.sndNxt != tcb_.sndUna &&
+                         !seg.flags.fin;
+        if (!dup) return;
+        ++stats_.dupAcksReceived;
+        ++tcb_.dupAcks;
+        if (config_.limitedTransmit && tcb_.dupAcks <= 2 && unsentBytes() > 0) {
+            // RFC 3042: each of the first two dup ACKs releases one new
+            // segment (within the receiver window), keeping the ACK clock
+            // alive so fast retransmit can trigger.
+            const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
+            const std::size_t len = std::min<std::size_t>(tcb_.mss, unsentBytes());
+            if (flight + len <= tcb_.sndWnd) {
+                sendSegment(tcb_.sndNxt, len, false, false);
+                tcb_.sndNxt += std::uint32_t(len);
+                tcb_.sndMax = seqMax(tcb_.sndMax, tcb_.sndNxt);
+            }
+        }
+        if (tcb_.dupAcks == 3) {
+            enterFastRecovery();
+        } else if (tcb_.dupAcks > 3 && tcb_.inFastRecovery) {
+            tcb_.cwnd += tcb_.mss;  // window inflation
+            clampCwnd();
+            traceCwnd();
+            // SACK-driven hole filling (Table 1: Selective ACKs).
+            if (tcb_.sackEnabled) {
+                if (auto hole = nextSackHole()) {
+                    const std::size_t len = std::min<std::size_t>(
+                        tcb_.mss, sendBuf_.size() - std::uint32_t(*hole - tcb_.sndUna));
+                    if (len > 0) {
+                        ++stats_.sackRetransmissions;
+                        sendSegment(*hole, len, false, false);
+                    }
+                }
+            }
+            output();
+        }
+        return;
+    }
+
+    // Forward ACK.
+    const std::uint32_t acked = std::uint32_t(seg.ack - tcb_.sndUna);
+    const std::size_t bufferedAcked = std::min<std::size_t>(acked, sendBuf_.size());
+    sendBuf_.ack(bufferedAcked);
+    stats_.bytesAcked += bufferedAcked;
+
+    // RTT sampling: timestamps make retransmitted segments measurable —
+    // the property §9.4 contrasts with CoCoA's inflated estimates.
+    if (tcb_.tsEnabled && seg.timestamps && seg.timestamps->echo != 0) {
+        const std::uint32_t nowMs = tsNow();
+        const std::uint32_t rttMs = nowMs - seg.timestamps->echo;
+        if (std::int32_t(rttMs) >= 0 && rttMs < 120000) updateRtt(sim::Time(rttMs) * sim::kMillisecond);
+    }
+    tcb_.rxtShift = 0;
+
+    const bool finWasAcked = tcb_.finSent && seqGe(seg.ack, finSeq_ + 1);
+    bool partialAck = false;
+
+    if (tcb_.inFastRecovery) {
+        if (seqGe(seg.ack, tcb_.recover)) {
+            exitFastRecovery(seg.ack);
+        } else {
+            // NewReno partial ACK (RFC 6582): retransmit the next hole,
+            // deflate by the amount acked, stay in recovery.
+            partialAck = true;
+            tcb_.sndUna = seg.ack;
+            if (seqLt(tcb_.sndNxt, tcb_.sndUna)) tcb_.sndNxt = tcb_.sndUna;
+            dropSackedBelow(seg.ack);
+            Seq rexmitFrom = seg.ack;
+            if (tcb_.sackEnabled) {
+                if (auto hole = nextSackHole()) rexmitFrom = *hole;
+            }
+            const std::uint32_t off = std::uint32_t(rexmitFrom - tcb_.sndUna);
+            if (sendBuf_.size() > off) {
+                const std::size_t holeLen =
+                    std::min<std::size_t>(tcb_.mss, sendBuf_.size() - off);
+                sendSegment(rexmitFrom, holeLen, false, false);
+            }
+            tcb_.cwnd = (tcb_.cwnd > acked) ? tcb_.cwnd - acked : tcb_.mss;
+            tcb_.cwnd += tcb_.mss;
+            clampCwnd();
+            traceCwnd();
+        }
+    } else {
+        ccOnAck(acked);
+    }
+
+    if (!partialAck) {
+        tcb_.sndUna = seg.ack;
+        if (seqLt(tcb_.sndNxt, tcb_.sndUna)) tcb_.sndNxt = tcb_.sndUna;
+        dropSackedBelow(seg.ack);
+        tcb_.dupAcks = 0;
+    }
+
+    rexmitTimer_.stop();
+    if (tcb_.sndNxt != tcb_.sndUna) armRexmit();
+    stack_.netif().setExpectingResponse(tcb_.sndNxt != tcb_.sndUna);
+
+    if (finWasAcked) tcb_.ourFinAcked = true;
+    maybeFinishClose(finWasAcked);
+
+    if (onSendSpace_ && bufferedAcked > 0) onSendSpace_();
+    output();
+}
+
+void TcpSocket::maybeFinishClose(bool finAcked) {
+    (void)finAcked;
+    if (!tcb_.ourFinAcked) return;
+    switch (tcb_.state) {
+        case State::kFinWait1:
+            setState(State::kFinWait2);
+            break;
+        case State::kClosing:
+            enterTimeWait();
+            break;
+        case State::kLastAck:
+            rexmitTimer_.stop();
+            persistTimer_.stop();
+            setState(State::kClosed);
+            if (onClosed_) onClosed_();
+            break;
+        default:
+            break;
+    }
+}
+
+void TcpSocket::updateWindow(const Segment& seg) {
+    if (seqLt(tcb_.sndWl1, seg.seq) ||
+        (tcb_.sndWl1 == seg.seq && seqLe(tcb_.sndWl2, seg.ack))) {
+        const std::uint32_t oldWnd = tcb_.sndWnd;
+        tcb_.sndWnd = seg.window;
+        tcb_.sndWl1 = seg.seq;
+        tcb_.sndWl2 = seg.ack;
+        if (oldWnd == 0 && tcb_.sndWnd > 0) {
+            // Window opened: cancel persist mode and push data.
+            persistTimer_.stop();
+            tcb_.persisting = false;
+            tcb_.persistShift = 0;
+            output();
+        }
+    }
+}
+
+void TcpSocket::processData(const Segment& seg) {
+    const std::int32_t rel = seqDiff(seg.seq, tcb_.rcvNxt);
+    BytesView data(seg.payload);
+    std::size_t offset = 0;
+    if (rel < 0) {
+        const std::size_t skip = std::size_t(-rel);
+        if (skip >= data.size()) {
+            // Entirely duplicate data: ACK immediately to repair peer state.
+            sendAckNow();
+            return;
+        }
+        data = data.subspan(skip);
+    } else {
+        offset = std::size_t(rel);
+    }
+
+    if (config_.dropOutOfOrder && offset != 0) {
+        sendAckNow();  // dup ACK; the data itself is discarded
+        return;
+    }
+
+    const std::size_t advanced = recvBuf_.insert(offset, data);
+    tcb_.rcvNxt += std::uint32_t(advanced);
+
+    // Deliver in-sequence bytes to the application (auto-drain).
+    if (advanced > 0 && onData_) {
+        const Bytes delivered = recvBuf_.read(recvBuf_.readable());
+        onData_(delivered);
+    }
+
+    const bool outOfOrder = offset != 0 || recvBuf_.outOfOrderBytes() > 0;
+    if (outOfOrder) {
+        // Immediate duplicate ACK carrying SACK blocks.
+        sendAckNow();
+    } else if (!config_.delayedAck) {
+        sendAckNow();
+    } else {
+        ++tcb_.delAckPending;
+        if (tcb_.delAckPending >= 2) {
+            sendAckNow();  // ACK every other full-sized segment (RFC 1122)
+        } else {
+            scheduleDelack();
+        }
+    }
+}
+
+void TcpSocket::processFin(const Segment& seg) {
+    const Seq finSeq = seg.seq + std::uint32_t(seg.payload.size());
+    if (finSeq != tcb_.rcvNxt) return;  // data before the FIN still missing
+    tcb_.rcvNxt += 1;
+    sendAckNow();
+    switch (tcb_.state) {
+        case State::kEstablished:
+            setState(State::kCloseWait);
+            if (onPeerFin_) onPeerFin_();
+            break;
+        case State::kFinWait1:
+            if (tcb_.ourFinAcked) {
+                enterTimeWait();
+            } else {
+                setState(State::kClosing);
+            }
+            if (onPeerFin_) onPeerFin_();
+            break;
+        case State::kFinWait2:
+            enterTimeWait();
+            if (onPeerFin_) onPeerFin_();
+            break;
+        default:
+            break;
+    }
+}
+
+void TcpSocket::handleRst() {
+    connectionDropped();
+}
+
+void TcpSocket::sendChallengeAck() {
+    ++stats_.challengeAcks;
+    sendAckNow();
+}
+
+void TcpSocket::updateRtt(sim::Time sample) {
+    stats_.rttSamples.add(sim::toMillis(sample));
+    if (tcb_.srtt == 0) {
+        tcb_.srtt = sample;
+        tcb_.rttvar = sample / 2;
+    } else {
+        const sim::Time err = sample - tcb_.srtt;
+        tcb_.srtt += err / 8;
+        tcb_.rttvar += ((err < 0 ? -err : err) - tcb_.rttvar) / 4;
+    }
+    tcb_.rto = std::clamp<sim::Time>(tcb_.srtt + std::max<sim::Time>(4 * tcb_.rttvar, 10 * sim::kMillisecond),
+                                     config_.minRto, config_.maxRto);
+}
+
+// --- Congestion control ---------------------------------------------------
+
+void TcpSocket::ccOnAck(std::uint32_t acked) {
+    if (acked == 0) return;
+    if (tcb_.cwnd < tcb_.ssthresh) {
+        // Slow start.
+        tcb_.cwnd += std::min(acked, std::uint32_t(tcb_.mss));
+    } else {
+        // Congestion avoidance: +MSS per RTT.
+        const std::uint32_t add =
+            std::max<std::uint32_t>(1, std::uint32_t(tcb_.mss) * tcb_.mss / std::max<std::uint32_t>(tcb_.cwnd, 1));
+        tcb_.cwnd += add;
+    }
+    clampCwnd();
+    traceCwnd();
+}
+
+void TcpSocket::enterFastRecovery() {
+    if (tcb_.inFastRecovery) return;
+    const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
+    tcb_.ssthresh = std::max(flight / 2, std::uint32_t(2 * tcb_.mss));
+    tcb_.recover = tcb_.sndMax;
+    tcb_.inFastRecovery = true;
+    ++stats_.fastRetransmissions;
+
+    // Retransmit the presumed-lost segment (first SACK hole if known).
+    Seq from = tcb_.sndUna;
+    if (tcb_.sackEnabled) {
+        if (auto hole = nextSackHole()) from = *hole;
+    }
+    const std::uint32_t off = std::uint32_t(from - tcb_.sndUna);
+    const std::size_t len =
+        std::min<std::size_t>(tcb_.mss, sendBuf_.size() > off ? sendBuf_.size() - off : 0);
+    if (len > 0) {
+        sendSegment(from, len, false, false);
+    } else if (tcb_.finSent) {
+        sendSegment(finSeq_, 0, true, false);  // lost FIN
+    }
+
+    tcb_.cwnd = tcb_.ssthresh + 3 * tcb_.mss;
+    clampCwnd();
+    traceCwnd();
+    rexmitTimer_.stop();
+    armRexmit();
+}
+
+void TcpSocket::exitFastRecovery(Seq ack) {
+    (void)ack;
+    tcb_.inFastRecovery = false;
+    tcb_.dupAcks = 0;
+    tcb_.cwnd = tcb_.ssthresh;
+    traceCwnd();
+}
+
+void TcpSocket::ccOnEce() {
+    // One reduction per window of data (RFC 3168).
+    if (!seqGt(tcb_.sndUna, tcb_.ecnRecover)) return;
+    const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
+    tcb_.ssthresh = std::max(flight / 2, std::uint32_t(2 * tcb_.mss));
+    tcb_.cwnd = tcb_.ssthresh;
+    tcb_.ecnRecover = tcb_.sndMax;
+    tcb_.cwrPending = true;
+    ++stats_.ecnResponses;
+    traceCwnd();
+}
+
+// --- SACK scoreboard --------------------------------------------------------
+
+void TcpSocket::mergeSack(SackBlock block) {
+    if (seqGe(block.begin, block.end)) return;
+    if (seqLe(block.end, tcb_.sndUna)) return;
+    if (seqLt(block.begin, tcb_.sndUna)) block.begin = tcb_.sndUna;
+
+    scoreboard_.push_back(block);
+    std::sort(scoreboard_.begin(), scoreboard_.end(),
+              [](const SackBlock& a, const SackBlock& b) { return seqLt(a.begin, b.begin); });
+    std::vector<SackBlock> merged;
+    for (const SackBlock& b : scoreboard_) {
+        if (!merged.empty() && seqGe(merged.back().end, b.begin)) {
+            merged.back().end = seqMax(merged.back().end, b.end);
+        } else {
+            merged.push_back(b);
+        }
+    }
+    scoreboard_ = std::move(merged);
+}
+
+void TcpSocket::processSackBlocks(const std::vector<SackBlock>& blocks) {
+    for (const SackBlock& b : blocks) mergeSack(b);
+}
+
+bool TcpSocket::isSacked(Seq from, Seq to) const {
+    for (const SackBlock& b : scoreboard_) {
+        if (seqLe(b.begin, from) && seqGe(b.end, to)) return true;
+    }
+    return false;
+}
+
+std::optional<Seq> TcpSocket::nextSackHole() const {
+    if (scoreboard_.empty()) return std::nullopt;
+    Seq cursor = tcb_.sndUna;
+    for (const SackBlock& b : scoreboard_) {
+        if (seqLt(cursor, b.begin)) return cursor;  // hole before this block
+        cursor = seqMax(cursor, b.end);
+    }
+    if (seqLt(cursor, tcb_.sndNxt)) return cursor;  // hole after last block
+    return std::nullopt;
+}
+
+void TcpSocket::dropSackedBelow(Seq seq) {
+    for (auto it = scoreboard_.begin(); it != scoreboard_.end();) {
+        if (seqLe(it->end, seq)) {
+            it = scoreboard_.erase(it);
+        } else {
+            if (seqLt(it->begin, seq)) it->begin = seq;
+            ++it;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TcpStack
+// ---------------------------------------------------------------------------
+
+TcpStack::TcpStack(ip6::NetIf& netif) : netif_(netif) {
+    netif_.registerProtocol(ip6::kProtoTcp,
+                            [this](const ip6::Packet& p) { packetInput(p); });
+}
+
+TcpSocket& TcpStack::createSocket(TcpConfig config) {
+    sockets_.push_back(std::make_unique<TcpSocket>(*this, config));
+    return *sockets_.back();
+}
+
+PassiveSocket& TcpStack::listen(std::uint16_t port, TcpConfig config,
+                                PassiveSocket::AcceptCallback cb) {
+    listeners_.push_back(
+        std::make_unique<PassiveSocket>(*this, port, config, std::move(cb)));
+    return *listeners_.back();
+}
+
+void TcpStack::destroySocket(TcpSocket& socket) {
+    for (auto it = sockets_.begin(); it != sockets_.end(); ++it) {
+        if (it->get() == &socket) {
+            sockets_.erase(it);
+            return;
+        }
+    }
+}
+
+void TcpStack::bind(TcpSocket&) {}
+void TcpStack::unbind(TcpSocket&) {}
+
+void TcpStack::transmit(TcpSocket& socket, Segment& seg) {
+    ip6::Packet packet;
+    packet.src = netif_.address();
+    packet.dst = socket.remoteAddr_;
+    packet.nextHeader = ip6::kProtoTcp;
+    if (socket.tcb_.ecnEnabled && !seg.payload.empty())
+        packet.setEcn(ip6::Ecn::kCapable0);
+    packet.payload = seg.encode();
+    netif_.sendPacket(std::move(packet));
+}
+
+void TcpStack::packetInput(const ip6::Packet& packet) {
+    const auto seg = Segment::decode(packet.payload);
+    if (!seg) return;
+
+    // Exact four-tuple match.
+    for (auto& s : sockets_) {
+        if (s->tcb_.state == State::kClosed) continue;
+        if (s->localPort_ == seg->dstPort && s->remotePort_ == seg->srcPort &&
+            s->remoteAddr_ == packet.src) {
+            s->input(*seg, packet.ecn());
+            return;
+        }
+    }
+    // Listener match: new connection.
+    if (seg->flags.syn && !seg->flags.ack) {
+        for (auto& l : listeners_) {
+            if (l->port_ == seg->dstPort) {
+                TcpSocket& child = createSocket(l->config_);
+                child.localPort_ = seg->dstPort;
+                if (l->accept_) l->accept_(child);
+                child.beginPassiveOpen(*seg, packet.src);
+                return;
+            }
+        }
+    }
+    sendRst(*seg, packet.src);
+}
+
+void TcpStack::sendRst(const Segment& toSeg, const ip6::Address& dst) {
+    if (toSeg.flags.rst) return;
+    Segment rst;
+    rst.srcPort = toSeg.dstPort;
+    rst.dstPort = toSeg.srcPort;
+    rst.flags.rst = true;
+    if (toSeg.flags.ack) {
+        rst.seq = toSeg.ack;
+    } else {
+        rst.flags.ack = true;
+        rst.ack = toSeg.seq + std::uint32_t(toSeg.payload.size()) + (toSeg.flags.syn ? 1 : 0) +
+                  (toSeg.flags.fin ? 1 : 0);
+    }
+    ip6::Packet packet;
+    packet.src = netif_.address();
+    packet.dst = dst;
+    packet.nextHeader = ip6::kProtoTcp;
+    packet.payload = rst.encode();
+    netif_.sendPacket(std::move(packet));
+}
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,270 @@
+// TCPlp: a full-scale TCP engine for low-power networks.
+//
+// Protocol logic modeled on the feature set TCPlp keeps from FreeBSD
+// (paper Table 1 and §4.1): sliding window, New Reno congestion control,
+// RTT estimation with TCP timestamps, MSS negotiation, out-of-order
+// reassembly, selective ACKs, delayed ACKs, zero-window probes, header
+// prediction, and challenge ACKs. Deliberately omitted, as in the paper:
+// dynamic window scaling (buffers that would need it cannot fit in mote
+// RAM), the urgent pointer, and the SYN-cache/security machinery.
+//
+// The engine is host-independent (§4.1's portability argument): it touches
+// the outside world only through ip6::NetIf (packets) and sim::Simulator
+// (timers), so the same code runs as the mote endpoint (small buffers), the
+// "Linux server" endpoint (large buffers), and under direct unit test over
+// a loopback pipe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tcplp/common/stats.hpp"
+#include "tcplp/ip6/netif.hpp"
+#include "tcplp/sim/simulator.hpp"
+#include "tcplp/tcp/recv_buffer.hpp"
+#include "tcplp/tcp/segment.hpp"
+#include "tcplp/tcp/send_buffer.hpp"
+#include "tcplp/tcp/tcb.hpp"
+
+namespace tcplp::tcp {
+
+struct TcpConfig {
+    std::size_t sendBufferBytes = 2048;   // ~4 segments at MSS 462 (§6.2)
+    std::size_t recvBufferBytes = 2048;
+    std::uint16_t mss = 462;              // 5 frames worth of payload (§6.1)
+    bool delayedAck = true;
+    bool sack = true;
+    bool timestamps = true;
+    bool ecn = false;
+    bool headerPrediction = true;
+    /// Ablation: discard out-of-order segments instead of holding them in
+    /// the in-place reassembly queue (how uIP/BLIP behave, Table 1).
+    bool dropOutOfOrder = false;
+    sim::Time delAckTimeout = 100 * sim::kMillisecond;
+    sim::Time minRto = 1 * sim::kSecond;      // RFC 6298 floor
+    sim::Time maxRto = 60 * sim::kSecond;
+    sim::Time initialRto = 3 * sim::kSecond;
+    sim::Time persistMin = 5 * sim::kSecond;
+    sim::Time persistMax = 60 * sim::kSecond;
+    sim::Time msl = 5 * sim::kSecond;         // TIME_WAIT = 2*MSL
+    int maxRetransmits = 12;                  // §9.4: "up to 12 retransmissions"
+    std::uint32_t initialCwndSegments = 2;
+    /// Congestion-window ceiling in bytes; 0 = the send buffer capacity.
+    /// Lets the send buffer hold application backlog (§9.2: "an additional
+    /// 40 readings fit in TCP's send buffer") beyond the window.
+    std::uint32_t cwndCapBytes = 0;
+    /// RFC 3042 limited transmit: send one new segment on each of the first
+    /// two duplicate ACKs. Helps fast retransmit trigger with small windows
+    /// on clean paths, but adds traffic during recovery — off by default in
+    /// the LLN configuration (the extra frames worsen self-interference on
+    /// multihop 802.15.4 paths).
+    bool limitedTransmit = false;
+};
+
+struct TcpStats {
+    std::uint64_t segsSent = 0;
+    std::uint64_t segsReceived = 0;
+    std::uint64_t bytesSent = 0;          // payload bytes, incl. rexmits
+    std::uint64_t bytesAcked = 0;
+    std::uint64_t retransmissions = 0;    // data segments re-sent (all causes)
+    std::uint64_t fastRetransmissions = 0;
+    std::uint64_t sackRetransmissions = 0;
+    std::uint64_t timeouts = 0;           // RTO expirations
+    std::uint64_t dupAcksReceived = 0;
+    std::uint64_t headerPredictions = 0;  // fast-path hits
+    std::uint64_t challengeAcks = 0;
+    std::uint64_t zeroWindowProbes = 0;
+    std::uint64_t ecnResponses = 0;
+    Summary rttSamples;                   // milliseconds
+};
+
+class TcpStack;
+
+/// An active TCP endpoint (the paper's "active socket", §4.1).
+class TcpSocket {
+public:
+    using DataCallback = std::function<void(BytesView)>;
+    using EventCallback = std::function<void()>;
+    /// (time, cwnd, ssthresh) — drives Fig. 7(a).
+    using CwndTracer = std::function<void(sim::Time, std::uint32_t, std::uint32_t)>;
+
+    TcpSocket(TcpStack& stack, TcpConfig config);
+    ~TcpSocket();
+    TcpSocket(const TcpSocket&) = delete;
+    TcpSocket& operator=(const TcpSocket&) = delete;
+
+    // --- Application interface ----------------------------------------
+    void connect(const ip6::Address& dst, std::uint16_t dstPort);
+    /// Queues data (copied into the send buffer); returns bytes accepted.
+    std::size_t send(BytesView data);
+    /// Zero-copy queueing of an immutable chunk (§4.3.1); all-or-nothing.
+    std::size_t sendZeroCopy(std::shared_ptr<const Bytes> data);
+    std::size_t sendFree() const { return sendBuf_.free(); }
+    /// Closes the write side (FIN); the socket drains in the background.
+    void close();
+    /// Hard drop: RST to peer, socket immediately closed.
+    void abort();
+
+    void setOnConnected(EventCallback cb) { onConnected_ = std::move(cb); }
+    void setOnData(DataCallback cb) { onData_ = std::move(cb); }
+    void setOnClosed(EventCallback cb) { onClosed_ = std::move(cb); }
+    /// Peer sent FIN (read side closed); a typical app responds with close().
+    void setOnPeerFin(EventCallback cb) { onPeerFin_ = std::move(cb); }
+    /// Manual read mode (no onData callback): pull up to n buffered bytes.
+    Bytes read(std::size_t n);
+    std::size_t readable() const { return recvBuf_.readable(); }
+    /// Connection failed/reset/timed out.
+    void setOnError(EventCallback cb) { onError_ = std::move(cb); }
+    void setCwndTracer(CwndTracer cb) { cwndTracer_ = std::move(cb); }
+    /// Fires whenever send-buffer space becomes available.
+    void setOnSendSpace(EventCallback cb) { onSendSpace_ = std::move(cb); }
+
+    // --- Introspection -------------------------------------------------
+    State state() const { return tcb_.state; }
+    const Tcb& tcb() const { return tcb_; }
+    const TcpConfig& config() const { return config_; }
+    const TcpStats& stats() const { return stats_; }
+    std::uint16_t localPort() const { return localPort_; }
+    std::uint32_t flightSize() const { return std::uint32_t(tcb_.sndNxt - tcb_.sndUna); }
+    sim::Time currentRto() const { return tcb_.rto; }
+
+    // --- Stack-internal ------------------------------------------------
+    void input(const Segment& seg, ip6::Ecn ipEcn);
+    void beginPassiveOpen(const Segment& syn, const ip6::Address& peer);
+
+private:
+    friend class TcpStack;
+
+    // Output path.
+    void output();
+    void sendSegment(Seq seq, std::size_t len, bool fin, bool syn);
+    void emit(Segment& seg);
+    void sendAckNow();
+    void scheduleDelack();
+    std::uint32_t effSndWindow() const;
+    std::size_t unsentBytes() const;
+
+    // Input helpers.
+    bool tryHeaderPrediction(const Segment& seg);
+    void processAck(const Segment& seg);
+    void processSackBlocks(const std::vector<SackBlock>& blocks);
+    void processData(const Segment& seg);
+    void processFin(const Segment& seg);
+    void handleRst();
+    void sendChallengeAck();
+    void updateRtt(sim::Time sample);
+    void updateWindow(const Segment& seg);
+    void enterFastRecovery();
+    void exitFastRecovery(Seq ack);
+    void ccOnAck(std::uint32_t acked);
+    void ccOnEce();
+    void traceCwnd();
+    std::uint32_t cwndCap() const;
+    void clampCwnd();
+
+    // SACK scoreboard (sender side).
+    void mergeSack(SackBlock block);
+    bool isSacked(Seq from, Seq to) const;
+    std::optional<Seq> nextSackHole() const;
+    void dropSackedBelow(Seq seq);
+
+    // Timers.
+    void armRexmit();
+    void rexmitTimeout();
+    void persistTimeout();
+    void enterTimeWait();
+    void connectionDropped();
+    void setState(State s);
+    void maybeFinishClose(bool finAcked);
+
+    std::uint32_t tsNow() const;
+
+    TcpStack& stack_;
+    TcpConfig config_;
+    Tcb tcb_;
+    TcpStats stats_;
+
+    std::uint16_t localPort_ = 0;
+    std::uint16_t remotePort_ = 0;
+    ip6::Address remoteAddr_{};
+
+    SendBuffer sendBuf_;
+    RecvBuffer recvBuf_;
+    std::vector<SackBlock> scoreboard_;  // peer-SACKed ranges
+
+    sim::Timer rexmitTimer_;
+    sim::Timer persistTimer_;
+    sim::Timer delackTimer_;
+    sim::Timer timeWaitTimer_;
+
+    DataCallback onData_;
+    EventCallback onConnected_;
+    EventCallback onClosed_;
+    EventCallback onError_;
+    EventCallback onSendSpace_;
+    EventCallback onPeerFin_;
+    CwndTracer cwndTracer_;
+    Seq finSeq_ = 0;  // sequence number consumed by our FIN
+    bool sentAdvWndZero_ = false;
+};
+
+/// Listening endpoint (the paper's "passive socket": deliberately tiny,
+/// §4.1 — it holds a port, a config template, and a callback).
+class PassiveSocket {
+public:
+    using AcceptCallback = std::function<void(TcpSocket&)>;
+
+    PassiveSocket(TcpStack& stack, std::uint16_t port, TcpConfig config, AcceptCallback cb)
+        : stack_(stack), port_(port), config_(config), accept_(std::move(cb)) {}
+
+    std::uint16_t port() const { return port_; }
+    const TcpConfig& config() const { return config_; }
+
+private:
+    friend class TcpStack;
+    TcpStack& stack_;
+    std::uint16_t port_;
+    TcpConfig config_;
+    AcceptCallback accept_;
+};
+
+/// Per-node TCP instance: demultiplexes segments to sockets.
+class TcpStack {
+public:
+    explicit TcpStack(ip6::NetIf& netif);
+
+    ip6::NetIf& netif() { return netif_; }
+    sim::Simulator& simulator() { return netif_.simulator(); }
+
+    /// Creates an unbound active socket.
+    TcpSocket& createSocket(TcpConfig config = {});
+    /// Listens on `port`; accepted connections inherit `config`.
+    PassiveSocket& listen(std::uint16_t port, TcpConfig config, PassiveSocket::AcceptCallback cb);
+
+    void destroySocket(TcpSocket& socket);
+
+    // Internal.
+    void transmit(TcpSocket& socket, Segment& seg);
+    std::uint16_t allocatePort() { return nextEphemeral_++; }
+    void bind(TcpSocket& socket);
+    void unbind(TcpSocket& socket);
+
+private:
+    void packetInput(const ip6::Packet& packet);
+    void sendRst(const Segment& toSeg, const ip6::Address& dst);
+
+    ip6::NetIf& netif_;
+    std::vector<std::unique_ptr<TcpSocket>> sockets_;
+    std::vector<std::unique_ptr<PassiveSocket>> listeners_;
+    std::uint16_t nextEphemeral_ = 49152;
+    std::uint32_t issCounter_ = 1000;
+
+public:
+    std::uint32_t nextIss() { return issCounter_ += 64000; }
+};
+
+}  // namespace tcplp::tcp

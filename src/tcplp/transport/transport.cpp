@@ -1,0 +1,2 @@
+// Anchor translation unit; see udp.hpp and embedded_tcp.hpp.
+#include "tcplp/transport/udp.hpp"

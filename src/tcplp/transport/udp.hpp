@@ -1,0 +1,69 @@
+// Minimal UDP: the substrate for CoAP and for unreliable ("nonconfirmable")
+// sensor transport (§9.6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "tcplp/ip6/netif.hpp"
+
+namespace tcplp::transport {
+
+constexpr std::size_t kUdpHeaderBytes = 8;
+
+struct UdpDatagram {
+    ip6::Address srcAddr;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    Bytes payload;
+};
+
+class UdpStack {
+public:
+    using Handler = std::function<void(const UdpDatagram&)>;
+
+    explicit UdpStack(ip6::NetIf& netif) : netif_(netif) {
+        netif_.registerProtocol(ip6::kProtoUdp,
+                                [this](const ip6::Packet& p) { input(p); });
+    }
+
+    ip6::NetIf& netif() { return netif_; }
+    sim::Simulator& simulator() { return netif_.simulator(); }
+
+    void bind(std::uint16_t port, Handler handler) { handlers_[port] = std::move(handler); }
+    std::uint16_t allocatePort() { return nextEphemeral_++; }
+
+    void sendTo(const ip6::Address& dst, std::uint16_t dstPort, std::uint16_t srcPort,
+                BytesView payload) {
+        ip6::Packet p;
+        p.src = netif_.address();
+        p.dst = dst;
+        p.nextHeader = ip6::kProtoUdp;
+        p.payload.reserve(kUdpHeaderBytes + payload.size());
+        putU16(p.payload, srcPort);
+        putU16(p.payload, dstPort);
+        putU16(p.payload, std::uint16_t(kUdpHeaderBytes + payload.size()));
+        putU16(p.payload, 0);  // checksum: corruption is modeled as loss
+        append(p.payload, payload);
+        netif_.sendPacket(std::move(p));
+    }
+
+private:
+    void input(const ip6::Packet& p) {
+        if (p.payload.size() < kUdpHeaderBytes) return;
+        UdpDatagram d;
+        d.srcAddr = p.src;
+        d.srcPort = getU16(p.payload, 0);
+        d.dstPort = getU16(p.payload, 2);
+        d.payload.assign(p.payload.begin() + kUdpHeaderBytes, p.payload.end());
+        auto it = handlers_.find(d.dstPort);
+        if (it != handlers_.end()) it->second(d);
+    }
+
+    ip6::NetIf& netif_;
+    std::map<std::uint16_t, Handler> handlers_;
+    std::uint16_t nextEphemeral_ = 40000;
+};
+
+}  // namespace tcplp::transport

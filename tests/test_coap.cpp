@@ -1,0 +1,217 @@
+// Unit tests: CoAP message codec, confirmable retransmission machinery,
+// CoCoA estimators, and the §9.4 weak-estimator pathology.
+#include <gtest/gtest.h>
+
+#include "tcplp/coap/coap.hpp"
+#include "tcplp/harness/pipe.hpp"
+
+using namespace tcplp;
+using namespace tcplp::coap;
+
+TEST(CoapCodec, RoundTripConfirmablePost) {
+    Message m;
+    m.type = Type::kConfirmable;
+    m.code = kCodePost;
+    m.messageId = 0xbeef;
+    m.token = 0x12345678;
+    m.block1 = Block{42, true, 5};
+    m.payload = patternBytes(0, 80);
+
+    const auto d = Message::decode(m.encode());
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->type, Type::kConfirmable);
+    EXPECT_EQ(d->code, kCodePost);
+    EXPECT_EQ(d->messageId, 0xbeef);
+    EXPECT_EQ(d->token, 0x12345678u);
+    ASSERT_TRUE(d->block1);
+    EXPECT_EQ(d->block1->num, 42u);
+    EXPECT_TRUE(d->block1->more);
+    EXPECT_EQ(d->block1->szx, 5);
+    EXPECT_EQ(d->payload, m.payload);
+}
+
+TEST(CoapCodec, EmptyAckRoundTrip) {
+    Message ack;
+    ack.type = Type::kAck;
+    ack.code = kCodeChanged;
+    ack.messageId = 7;
+    ack.tokenLength = 0;
+    ack.token = 0;
+    const auto d = Message::decode(ack.encode());
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->type, Type::kAck);
+    EXPECT_EQ(d->messageId, 7);
+    EXPECT_TRUE(d->payload.empty());
+}
+
+TEST(CoapCodec, LargeBlockNumberEncodes) {
+    Message m;
+    m.block1 = Block{100000, false, 6};
+    const auto d = Message::decode(m.encode());
+    ASSERT_TRUE(d && d->block1);
+    EXPECT_EQ(d->block1->num, 100000u);
+}
+
+TEST(CoapCodec, RejectsGarbage) {
+    EXPECT_FALSE(Message::decode(toBytes("zz")).has_value());
+    Bytes bad = {0xff, 0xff, 0xff, 0xff};
+    EXPECT_FALSE(Message::decode(bad).has_value());
+}
+
+namespace {
+struct CoapPair {
+    sim::Simulator simulator;
+    harness::Pipe pipe;
+    transport::UdpStack clientUdp;
+    transport::UdpStack serverUdp;
+    CoapServer server;
+    CoapClient client;
+
+    explicit CoapPair(harness::Pipe::Config pc = {}, CoapConfig cc = {},
+                      std::uint64_t seed = 5)
+        : simulator(seed),
+          pipe(simulator, pc),
+          clientUdp(pipe.a()),
+          serverUdp(pipe.b()),
+          server(serverUdp, 5683),
+          client(clientUdp, pipe.b().address(), 5683, cc) {}
+};
+}  // namespace
+
+TEST(CoapExchange, ConfirmableDeliveredAndAcked) {
+    CoapPair t;
+    bool done = false, ok = false;
+    t.client.postConfirmable(toBytes("reading"), [&](bool d) {
+        done = true;
+        ok = d;
+    });
+    t.simulator.runUntil(10 * sim::kSecond);
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(t.server.requestsReceived(), 1u);
+    EXPECT_EQ(t.client.stats().retransmissions, 0u);
+}
+
+TEST(CoapExchange, RetransmitsOnLossThenSucceeds) {
+    harness::Pipe::Config pc;
+    pc.lossAtoB = 0.4;
+    CoapPair t(pc, {}, 11);
+    int delivered = 0;
+    for (int i = 0; i < 10; ++i)
+        t.client.postConfirmable(patternBytes(std::size_t(i), 40),
+                                 [&](bool d) { delivered += d; });
+    t.simulator.runUntil(10 * sim::kMinute);
+    // Per-exchange failure probability is 0.4^5 = 1%; allow one unlucky one.
+    EXPECT_GE(delivered, 9);
+    EXPECT_GT(t.client.stats().retransmissions, 0u);
+}
+
+TEST(CoapExchange, GivesUpAfterMaxRetransmit) {
+    harness::Pipe::Config pc;
+    pc.lossAtoB = 1.0;
+    CoapPair t(pc);
+    bool done = false, ok = true;
+    t.client.postConfirmable(toBytes("doomed"), [&](bool d) {
+        done = true;
+        ok = d;
+    });
+    t.simulator.runUntil(10 * sim::kMinute);
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(ok);
+    // RFC 7252: MAX_RETRANSMIT = 4 retransmissions after the first try.
+    EXPECT_EQ(t.client.stats().retransmissions, 4u);
+    EXPECT_EQ(t.client.stats().exchangesFailed, 1u);
+}
+
+TEST(CoapExchange, Nstart1SerializesExchanges) {
+    CoapPair t;
+    std::vector<int> completionOrder;
+    for (int i = 0; i < 5; ++i)
+        t.client.postConfirmable(patternBytes(std::size_t(i), 20),
+                                 [&completionOrder, i](bool) { completionOrder.push_back(i); });
+    EXPECT_EQ(t.client.pendingExchanges(), 5u);
+    t.simulator.runUntil(1 * sim::kMinute);
+    EXPECT_EQ(completionOrder, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(CoapExchange, DuplicateRequestsSuppressedAtServer) {
+    // Lose ACKs so the client retransmits; the server must count one.
+    harness::Pipe::Config pc;
+    pc.lossBtoA = 0.7;
+    CoapPair t(pc, {}, 23);
+    t.client.postConfirmable(toBytes("once"), nullptr);
+    t.simulator.runUntil(5 * sim::kMinute);
+    EXPECT_EQ(t.server.requestsReceived(), 1u);
+    EXPECT_GE(t.server.duplicatesSuppressed(), 1u);
+}
+
+TEST(CoapExchange, NonConfirmableHasNoRetransmissions) {
+    harness::Pipe::Config pc;
+    pc.lossAtoB = 0.5;
+    CoapPair t(pc);
+    for (int i = 0; i < 20; ++i) t.client.postNonConfirmable(patternBytes(std::size_t(i), 30));
+    t.simulator.runUntil(1 * sim::kMinute);
+    EXPECT_EQ(t.client.stats().retransmissions, 0u);
+    EXPECT_LT(t.server.requestsReceived(), 20u);  // some lost, none recovered
+    EXPECT_GT(t.server.requestsReceived(), 0u);
+}
+
+TEST(Cocoa, StrongSamplesTrackTrueRtt) {
+    CocoaEstimator est(2 * sim::kSecond);
+    for (int i = 0; i < 50; ++i) est.strongSample(200 * sim::kMillisecond);
+    // Converges toward srtt + 4*rttvar of a 200 ms RTT: well under 2 s.
+    EXPECT_LT(est.rto(), 1 * sim::kSecond);
+    EXPECT_GT(est.rto(), 150 * sim::kMillisecond);
+}
+
+TEST(Cocoa, WeakSamplesInflateRto) {
+    // §9.4: the weak estimator measures from the FIRST transmission, so a
+    // retransmitted exchange contributes RTT + RTO worth of delay,
+    // inflating the overall RTO.
+    CocoaEstimator clean(2 * sim::kSecond);
+    CocoaEstimator lossy(2 * sim::kSecond);
+    for (int i = 0; i < 20; ++i) {
+        clean.strongSample(200 * sim::kMillisecond);
+        lossy.weakSample(2200 * sim::kMillisecond);  // first-tx-relative
+    }
+    EXPECT_GT(lossy.rto(), clean.rto() * 2);
+}
+
+TEST(Cocoa, VariableBackoffBands) {
+    EXPECT_EQ(CocoaEstimator::backoff(500 * sim::kMillisecond), 1500 * sim::kMillisecond);
+    EXPECT_EQ(CocoaEstimator::backoff(2 * sim::kSecond), 4 * sim::kSecond);
+    EXPECT_EQ(CocoaEstimator::backoff(4 * sim::kSecond), 6 * sim::kSecond);
+}
+
+TEST(Cocoa, RecoversFasterThanPlainCoapAfterIdlePath) {
+    // CoCoA's learned RTO on a clean path is far below CoAP's fixed 2 s, so
+    // a lost packet is retried much sooner.
+    harness::Pipe::Config pc;
+    pc.oneWayDelay = 50 * sim::kMillisecond;
+    CoapConfig cocoaCfg;
+    cocoaCfg.cocoa = true;
+    CoapPair t(pc, cocoaCfg);
+    int done = 0;
+    for (int i = 0; i < 30; ++i)
+        t.client.postConfirmable(patternBytes(std::size_t(i), 20), [&](bool) { ++done; });
+    t.simulator.runUntil(2 * sim::kMinute);
+    EXPECT_EQ(done, 30);
+    EXPECT_LT(t.client.currentRto(), 1 * sim::kSecond);
+}
+
+TEST(Udp, DatagramRoundTrip) {
+    sim::Simulator simulator;
+    harness::Pipe pipe(simulator);
+    transport::UdpStack a(pipe.a());
+    transport::UdpStack b(pipe.b());
+    Bytes got;
+    ip6::Address from{};
+    b.bind(9999, [&](const transport::UdpDatagram& d) {
+        got = d.payload;
+        from = d.srcAddr;
+    });
+    a.sendTo(pipe.b().address(), 9999, 1234, toBytes("ping"));
+    simulator.run();
+    EXPECT_EQ(toPrintable(got), "ping");
+    EXPECT_EQ(from, pipe.a().address());
+}

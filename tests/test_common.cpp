@@ -1,0 +1,95 @@
+// Unit tests: common primitives (ring buffer, bitmap, stats, bytes).
+#include <gtest/gtest.h>
+
+#include "tcplp/common/bitmap.hpp"
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/common/ring_buffer.hpp"
+#include "tcplp/common/stats.hpp"
+
+using namespace tcplp;
+
+TEST(Bytes, PatternRoundTrip) {
+    const Bytes b = patternBytes(1234, 77);
+    EXPECT_TRUE(matchesPattern(1234, b));
+    EXPECT_FALSE(matchesPattern(1235, b));
+}
+
+TEST(Bytes, BigEndianCodec) {
+    Bytes b;
+    putU16(b, 0xbeef);
+    putU32(b, 0xdeadc0de);
+    EXPECT_EQ(getU16(b, 0), 0xbeef);
+    EXPECT_EQ(getU32(b, 2), 0xdeadc0de);
+}
+
+TEST(RingBuffer, WriteReadWrapAround) {
+    RingBuffer rb(8);
+    EXPECT_EQ(rb.write(toBytes("abcdef")), 6u);
+    EXPECT_EQ(toPrintable(rb.read(4)), "abcd");
+    EXPECT_EQ(rb.write(toBytes("ghijkl")), 6u);  // wraps
+    EXPECT_EQ(rb.size(), 8u);
+    EXPECT_EQ(toPrintable(rb.read(8)), "efghijkl");
+}
+
+TEST(RingBuffer, WriteClampsToFree) {
+    RingBuffer rb(4);
+    EXPECT_EQ(rb.write(toBytes("abcdef")), 4u);
+    EXPECT_EQ(rb.free(), 0u);
+    EXPECT_EQ(rb.write(toBytes("x")), 0u);
+}
+
+TEST(RingBuffer, WriteAtThenCommit) {
+    RingBuffer rb(16);
+    rb.write(toBytes("ab"));
+    rb.writeAt(2, toBytes("EF"));  // deposit past the tail with a gap
+    rb.writeAt(0, toBytes("cd"));  // fill the gap
+    rb.commit(4);
+    EXPECT_EQ(toPrintable(rb.read(6)), "abcdEF");
+}
+
+TEST(RingBuffer, AtIndexesFromFront) {
+    RingBuffer rb(4);
+    rb.write(toBytes("wxyz"));
+    rb.consume(2);
+    rb.write(toBytes("AB"));
+    EXPECT_EQ(rb.at(0), 'y');
+    EXPECT_EQ(rb.at(3), 'B');
+}
+
+TEST(Bitmap, RangesAndRuns) {
+    Bitmap bm(100);
+    bm.setRange(10, 20);
+    EXPECT_EQ(bm.countContiguousFrom(10), 10u);
+    EXPECT_EQ(bm.countContiguousFrom(0), 0u);
+    EXPECT_EQ(bm.popcount(), 10u);
+    bm.clearRange(12, 14);
+    EXPECT_EQ(bm.countContiguousFrom(10), 2u);
+}
+
+TEST(Bitmap, WordBoundarySpanningRun) {
+    Bitmap bm(200);
+    bm.setRange(60, 70);  // crosses the 64-bit word boundary
+    EXPECT_EQ(bm.countContiguousFrom(60), 10u);
+    EXPECT_TRUE(bm.test(63));
+    EXPECT_TRUE(bm.test(64));
+    EXPECT_FALSE(bm.test(70));
+}
+
+TEST(Summary, PercentilesAndMoments) {
+    Summary s;
+    for (int i = 1; i <= 100; ++i) s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+    EXPECT_NEAR(s.median(), 50.5, 0.001);
+    EXPECT_NEAR(s.percentile(90), 90.1, 0.2);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(Summary, Histogram) {
+    Summary s;
+    for (int i = 0; i < 10; ++i) s.add(0.5);
+    for (int i = 0; i < 5; ++i) s.add(1.5);
+    const auto h = s.histogram(0.0, 2.0, 2);
+    EXPECT_EQ(h[0], 10u);
+    EXPECT_EQ(h[1], 5u);
+}

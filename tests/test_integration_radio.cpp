@@ -1,0 +1,159 @@
+// End-to-end integration: full TCP over radio + CSMA MAC + 6LoWPAN +
+// mesh forwarding. Validates the whole stack and checks the headline §6
+// throughput shape: single-hop goodput in the tens of kb/s, bounded by §6.4.
+#include <gtest/gtest.h>
+
+#include "tcplp/app/bulk.hpp"
+#include "tcplp/harness/testbed.hpp"
+#include "tcplp/model/models.hpp"
+#include "tcplp/tcp/tcp.hpp"
+
+using namespace tcplp;
+
+namespace {
+
+tcp::TcpConfig moteConfig() {
+    tcp::TcpConfig c;
+    c.mss = 462;
+    c.sendBufferBytes = 4 * 462;
+    c.recvBufferBytes = 4 * 462;
+    return c;
+}
+
+tcp::TcpConfig serverConfig() {
+    tcp::TcpConfig c;
+    c.mss = 462;
+    c.sendBufferBytes = 16384;
+    c.recvBufferBytes = 16384;
+    return c;
+}
+
+struct UplinkRun {
+    double goodputKbps = 0.0;
+    bool contentOk = false;
+    std::size_t bytes = 0;
+    tcp::TcpStats clientStats;
+};
+
+// Mote (last node of the line) uploads `totalBytes` to the cloud host.
+UplinkRun runUplink(std::size_t hops, std::size_t totalBytes, sim::Time retryDelayMax,
+                    std::uint64_t seed = 1, double linkLoss = 0.0) {
+    harness::TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.linkLoss = linkLoss;
+    cfg.nodeDefaults.macConfig.retryDelayMax = retryDelayMax;
+    auto tb = harness::Testbed::line(hops, cfg);
+
+    mesh::Node& mote = *tb->findNode(phy::NodeId(9 + hops));
+    tcp::TcpStack moteStack(mote);
+    tcp::TcpStack cloudStack(tb->cloud());
+
+    app::GoodputMeter meter(tb->simulator());
+    cloudStack.listen(80, serverConfig(), [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView data) { meter.onData(data); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+
+    tcp::TcpSocket& client = moteStack.createSocket(moteConfig());
+    app::BulkSender sender(client, totalBytes);
+    client.connect(tb->cloud().address(), 80);
+
+    tb->simulator().runUntil(30 * sim::kMinute);
+
+    UplinkRun out;
+    out.goodputKbps = meter.goodputKbps();
+    out.contentOk = meter.contentOk();
+    out.bytes = meter.bytes();
+    out.clientStats = client.stats();
+    return out;
+}
+
+TEST(RadioIntegration, SingleHopBulkUplinkDeliversAllBytes) {
+    const auto run = runUplink(1, 100000, 0);
+    EXPECT_EQ(run.bytes, 100000u);
+    EXPECT_TRUE(run.contentOk);
+}
+
+TEST(RadioIntegration, SingleHopGoodputNearPaperRange) {
+    // Paper §6.4: ~64-75 kb/s measured, 82 kb/s upper bound.
+    const auto run = runUplink(1, 200000, 0);
+    EXPECT_GT(run.goodputKbps, 40.0);
+    const double bound =
+        model::singleHopUpperBound(462.0, 5.0) * 8.0 / 1000.0;  // kb/s
+    EXPECT_LT(run.goodputKbps, bound * 1.15);
+}
+
+TEST(RadioIntegration, MultihopGoodputDegradesWithHops) {
+    // §7.2: B, ~B/2, ~B/3 for 1, 2, 3 hops.
+    const double g1 = runUplink(1, 120000, sim::fromMillis(40)).goodputKbps;
+    const double g2 = runUplink(2, 80000, sim::fromMillis(40)).goodputKbps;
+    const double g3 = runUplink(3, 60000, sim::fromMillis(40)).goodputKbps;
+    EXPECT_GT(g1, g2);
+    EXPECT_GT(g2, g3);
+    EXPECT_LT(g2, g1 * 0.75);  // at most ~B/1.3; expect near B/2
+    EXPECT_LT(g3, g1 * 0.55);
+    EXPECT_GT(g3, g1 * 0.15);
+}
+
+TEST(RadioIntegration, LinkRetryDelayImprovesMultihopLoss) {
+    // §7.1 / Fig. 6(b): with d=0, hidden-terminal collisions inflate TCP
+    // segment loss; d=40ms masks them.
+    const auto noDelay = runUplink(3, 50000, 0, 3);
+    const auto withDelay = runUplink(3, 50000, sim::fromMillis(40), 3);
+    EXPECT_EQ(noDelay.bytes, 50000u);
+    EXPECT_EQ(withDelay.bytes, 50000u);
+    const auto lossEvents = [](const tcp::TcpStats& s) {
+        return s.fastRetransmissions + s.timeouts;
+    };
+    EXPECT_LE(lossEvents(withDelay.clientStats), lossEvents(noDelay.clientStats));
+}
+
+TEST(RadioIntegration, DownlinkWorksThroughBorderRouter) {
+    auto tb = harness::Testbed::line(2, {});
+    mesh::Node& mote = *tb->findNode(11);
+    tcp::TcpStack moteStack(mote);
+    tcp::TcpStack cloudStack(tb->cloud());
+
+    app::GoodputMeter meter(tb->simulator());
+    moteStack.listen(7000, moteConfig(), [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView data) { meter.onData(data); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+
+    tcp::TcpSocket& cloudSock = cloudStack.createSocket(serverConfig());
+    app::BulkSender sender(cloudSock, 30000);
+    cloudSock.connect(mote.address(), 7000);
+    tb->simulator().runUntil(10 * sim::kMinute);
+
+    EXPECT_EQ(meter.bytes(), 30000u);
+    EXPECT_TRUE(meter.contentOk());
+}
+
+TEST(RadioIntegration, SurvivesFadingLoss) {
+    const auto run = runUplink(2, 40000, sim::fromMillis(40), 5, /*linkLoss=*/0.05);
+    EXPECT_EQ(run.bytes, 40000u);
+    EXPECT_TRUE(run.contentOk);
+}
+
+TEST(RadioIntegration, OfficeTopologyReachesLeafNodes) {
+    auto tb = harness::Testbed::office({});
+    // Node 15 should be several hops out; run a small upload from it.
+    mesh::Node& mote = *tb->findNode(15);
+    tcp::TcpStack moteStack(mote);
+    tcp::TcpStack cloudStack(tb->cloud());
+
+    app::GoodputMeter meter(tb->simulator());
+    cloudStack.listen(80, serverConfig(), [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView data) { meter.onData(data); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& client = moteStack.createSocket(moteConfig());
+    app::BulkSender sender(client, 20000);
+    client.connect(tb->cloud().address(), 80);
+    tb->simulator().runUntil(10 * sim::kMinute);
+
+    EXPECT_EQ(meter.bytes(), 20000u);
+    EXPECT_TRUE(meter.contentOk());
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Unit tests: 6LoWPAN IPHC compression and fragmentation (paper §6.1,
+// Table 6).
+#include <gtest/gtest.h>
+
+#include "tcplp/lowpan/frag.hpp"
+#include "tcplp/lowpan/iphc.hpp"
+#include "tcplp/sim/simulator.hpp"
+
+using namespace tcplp;
+using namespace tcplp::lowpan;
+
+namespace {
+ip6::Packet makePacket(ip6::Address src, ip6::Address dst, std::size_t payloadLen) {
+    ip6::Packet p;
+    p.src = src;
+    p.dst = dst;
+    p.nextHeader = ip6::kProtoTcp;
+    p.hopLimit = 64;
+    p.payload = patternBytes(0, payloadLen);
+    return p;
+}
+}  // namespace
+
+TEST(Iphc, LinkLocalFullyElides) {
+    // Link-local addresses derived from the MAC: best case, few bytes.
+    const auto p = makePacket(ip6::Address::linkLocal(10), ip6::Address::linkLocal(11), 0);
+    const auto r = compressHeader(p, 10, 11);
+    EXPECT_LE(r.size(), 4u);  // dispatch(2) + NH(1); HL=64 elided
+
+    ip6::Packet out;
+    const auto consumed = decompressHeader(r.bytes, 10, 11, out);
+    ASSERT_TRUE(consumed);
+    EXPECT_EQ(out.src, p.src);
+    EXPECT_EQ(out.dst, p.dst);
+    EXPECT_EQ(out.hopLimit, 64);
+    EXPECT_EQ(out.nextHeader, ip6::kProtoTcp);
+}
+
+TEST(Iphc, MeshLocalUsesContext) {
+    const auto p = makePacket(ip6::Address::meshLocal(10), ip6::Address::meshLocal(11), 0);
+    const auto r = compressHeader(p, 10, 11);
+    EXPECT_EQ(r.size(), 2u + 1u + 8u + 8u);  // IID carried for both
+
+    ip6::Packet out;
+    ASSERT_TRUE(decompressHeader(r.bytes, 10, 11, out));
+    EXPECT_EQ(out.src, p.src);
+    EXPECT_EQ(out.dst, p.dst);
+}
+
+TEST(Iphc, CloudAddressCarriedInline) {
+    const auto p = makePacket(ip6::Address::meshLocal(10), ip6::Address::cloud(1), 0);
+    const auto r = compressHeader(p, 10, 1);
+    // Table 6: compressed IPv6 header is 2-28 bytes; off-mesh dst is the
+    // expensive end of that range.
+    EXPECT_GE(r.size(), 20u);
+    EXPECT_LE(r.size(), 28u);
+
+    ip6::Packet out;
+    ASSERT_TRUE(decompressHeader(r.bytes, 10, 1, out));
+    EXPECT_EQ(out.dst, p.dst);
+}
+
+TEST(Iphc, EcnBitsSurvive) {
+    auto p = makePacket(ip6::Address::meshLocal(3), ip6::Address::meshLocal(4), 0);
+    p.setEcn(ip6::Ecn::kCongestionExperienced);
+    const auto r = compressHeader(p, 3, 4);
+    ip6::Packet out;
+    ASSERT_TRUE(decompressHeader(r.bytes, 3, 4, out));
+    EXPECT_EQ(out.ecn(), ip6::Ecn::kCongestionExperienced);
+}
+
+TEST(Iphc, NonDefaultHopLimitInline) {
+    auto p = makePacket(ip6::Address::meshLocal(3), ip6::Address::meshLocal(4), 0);
+    p.hopLimit = 17;
+    const auto r = compressHeader(p, 3, 4);
+    ip6::Packet out;
+    ASSERT_TRUE(decompressHeader(r.bytes, 3, 4, out));
+    EXPECT_EQ(out.hopLimit, 17);
+}
+
+TEST(Frag, SmallDatagramUnfragmented) {
+    const auto p = makePacket(ip6::Address::meshLocal(1), ip6::Address::meshLocal(2), 40);
+    const auto frames = encodeDatagram(p, 1, 2, 7, 104);
+    ASSERT_EQ(frames.size(), 1u);
+    const auto info = parseFragmentHeader(frames[0]);
+    ASSERT_TRUE(info);
+    EXPECT_FALSE(info->isFragment);
+}
+
+TEST(Frag, LargeDatagramFragmentsAndCounts) {
+    // A 462-byte TCP payload + headers: the paper's 5-frame MSS ballpark.
+    const auto p = makePacket(ip6::Address::meshLocal(1), ip6::Address::cloud(2), 462 + 32);
+    const std::size_t frames = frameCountFor(p, 1, 2, 104);
+    EXPECT_GE(frames, 5u);
+    EXPECT_LE(frames, 7u);
+}
+
+TEST(Frag, ReassemblyRoundTrip) {
+    sim::Simulator simulator;
+    ip6::Packet got;
+    bool delivered = false;
+    Reassembler reasm(simulator, [&](ip6::Packet p, ip6::ShortAddr) {
+        got = std::move(p);
+        delivered = true;
+    });
+
+    const auto p = makePacket(ip6::Address::meshLocal(1), ip6::Address::meshLocal(2), 700);
+    const auto frames = encodeDatagram(p, 1, 2, 42, 104);
+    ASSERT_GT(frames.size(), 1u);
+    for (const Bytes& f : frames) reasm.input(1, 2, f);
+
+    ASSERT_TRUE(delivered);
+    EXPECT_EQ(got.payload, p.payload);
+    EXPECT_EQ(got.src, p.src);
+    EXPECT_EQ(got.dst, p.dst);
+}
+
+TEST(Frag, MissingFragmentDropsWholeDatagram) {
+    sim::Simulator simulator;
+    int delivered = 0;
+    Reassembler reasm(simulator, [&](ip6::Packet, ip6::ShortAddr) { ++delivered; });
+
+    const auto p = makePacket(ip6::Address::meshLocal(1), ip6::Address::meshLocal(2), 700);
+    auto frames = encodeDatagram(p, 1, 2, 43, 104);
+    ASSERT_GE(frames.size(), 3u);
+    // Drop the middle fragment: the datagram must not be delivered (§6.1:
+    // "the loss of one frame results in the loss of an entire packet").
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (i == 1) continue;
+        reasm.input(1, 2, frames[i]);
+    }
+    EXPECT_EQ(delivered, 0);
+    EXPECT_GE(reasm.stats().dropped, 1u);
+}
+
+TEST(Frag, InterleavedSourcesReassembleIndependently) {
+    sim::Simulator simulator;
+    int delivered = 0;
+    Reassembler reasm(simulator, [&](ip6::Packet, ip6::ShortAddr) { ++delivered; });
+
+    const auto pa = makePacket(ip6::Address::meshLocal(1), ip6::Address::meshLocal(9), 300);
+    const auto pb = makePacket(ip6::Address::meshLocal(2), ip6::Address::meshLocal(9), 300);
+    const auto fa = encodeDatagram(pa, 1, 9, 1, 104);
+    const auto fb = encodeDatagram(pb, 2, 9, 1, 104);  // same tag, other source
+    for (std::size_t i = 0; i < std::max(fa.size(), fb.size()); ++i) {
+        if (i < fa.size()) reasm.input(1, 9, fa[i]);
+        if (i < fb.size()) reasm.input(2, 9, fb[i]);
+    }
+    EXPECT_EQ(delivered, 2);
+}
+
+TEST(Frag, ReassemblyTimesOut) {
+    sim::Simulator simulator;
+    int delivered = 0;
+    Reassembler reasm(simulator, [&](ip6::Packet, ip6::ShortAddr) { ++delivered; },
+                      1 * sim::kSecond);
+
+    const auto p = makePacket(ip6::Address::meshLocal(1), ip6::Address::meshLocal(2), 700);
+    const auto frames = encodeDatagram(p, 1, 2, 5, 104);
+    reasm.input(1, 2, frames[0]);
+    simulator.runUntil(3 * sim::kSecond);
+    // Trigger expiry scan with an unrelated frame.
+    const auto q = makePacket(ip6::Address::meshLocal(3), ip6::Address::meshLocal(2), 10);
+    reasm.input(3, 2, encodeDatagram(q, 3, 2, 6, 104)[0]);
+    EXPECT_EQ(reasm.stats().timedOut, 1u);
+    // Late remainder of the stale datagram must not resurrect it.
+    for (std::size_t i = 1; i < frames.size(); ++i) reasm.input(1, 2, frames[i]);
+    EXPECT_EQ(delivered, 1);  // only the unrelated small datagram
+}
+
+TEST(Frag, Table6HeaderOverheadShape) {
+    // First frame carries FRAG1 + IPHC + TCP header; subsequent frames only
+    // FRAGN (5 B) — the "significantly less in subsequent frames" property.
+    const auto p = makePacket(ip6::Address::meshLocal(1), ip6::Address::cloud(2), 600);
+    const auto frames = encodeDatagram(p, 1, 2, 9, 104);
+    ASSERT_GE(frames.size(), 3u);
+    // Subsequent fragments: 5-byte overhead over pure payload.
+    const auto info = parseFragmentHeader(frames[1]);
+    ASSERT_TRUE(info && info->isFragment && !info->isFirst);
+    EXPECT_EQ(info->headerLen, kFragNHeaderBytes);
+}

@@ -1,0 +1,117 @@
+// Unit tests: discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tcplp/sim/simulator.hpp"
+
+using namespace tcplp;
+using namespace tcplp::sim;
+
+TEST(Simulator, EventsFireInTimeOrder) {
+    Simulator simulator;
+    std::vector<int> order;
+    simulator.schedule(300, [&] { order.push_back(3); });
+    simulator.schedule(100, [&] { order.push_back(1); });
+    simulator.schedule(200, [&] { order.push_back(2); });
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(simulator.now(), 300);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+    Simulator simulator;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) simulator.schedule(10, [&order, i] { order.push_back(i); });
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+    Simulator simulator;
+    bool fired = false;
+    EventHandle h = simulator.schedule(50, [&] { fired = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    simulator.run();
+    EXPECT_FALSE(fired);
+    EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    Simulator simulator;
+    int count = 0;
+    // Self-rescheduling ticker.
+    std::function<void()> tick = [&] {
+        ++count;
+        simulator.schedule(10, tick);
+    };
+    simulator.schedule(10, tick);
+    simulator.runUntil(105);
+    EXPECT_EQ(count, 10);
+    EXPECT_GE(simulator.now(), 100);
+}
+
+TEST(Simulator, NestedSchedulingDuringCallback) {
+    Simulator simulator;
+    std::vector<int> order;
+    simulator.schedule(10, [&] {
+        order.push_back(1);
+        simulator.schedule(0, [&] { order.push_back(2); });
+    });
+    simulator.schedule(20, [&] { order.push_back(3); });
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Timer, RestartReplacesDeadline) {
+    Simulator simulator;
+    int fires = 0;
+    Timer t(simulator, [&] { ++fires; });
+    t.start(100);
+    t.start(500);  // re-arm
+    simulator.runUntil(200);
+    EXPECT_EQ(fires, 0);
+    simulator.runUntil(600);
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(Timer, StopPreventsFire) {
+    Simulator simulator;
+    int fires = 0;
+    Timer t(simulator, [&] { ++fires; });
+    t.start(100);
+    t.stop();
+    simulator.run();
+    EXPECT_EQ(fires, 0);
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBounds) {
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        const auto v = r.uniformRange(5, 9);
+        ASSERT_GE(v, 5);
+        ASSERT_LE(v, 9);
+    }
+}
+
+TEST(Rng, ChanceFrequency) {
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) hits += r.chance(0.3);
+    EXPECT_NEAR(double(hits) / 100000.0, 0.3, 0.01);
+}

@@ -1,0 +1,193 @@
+// System-level properties: determinism, multi-connection servers, abort
+// semantics, persist backoff, and energy-meter windowing.
+#include <gtest/gtest.h>
+
+#include "tcplp/app/bulk.hpp"
+#include "tcplp/harness/pipe.hpp"
+#include "tcplp/harness/testbed.hpp"
+#include "tcplp/tcp/tcp.hpp"
+
+using namespace tcplp;
+
+namespace {
+
+double oneRadioRun(std::uint64_t seed) {
+    harness::TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.linkLoss = 0.05;
+    auto tb = harness::Testbed::line(2, cfg);
+    mesh::Node& mote = *tb->findNode(11);
+    tcp::TcpStack moteStack(mote);
+    tcp::TcpStack cloudStack(tb->cloud());
+    app::GoodputMeter meter(tb->simulator());
+    tcp::TcpConfig serv;
+    serv.sendBufferBytes = serv.recvBufferBytes = 8192;
+    cloudStack.listen(80, serv, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& client = moteStack.createSocket({});
+    app::BulkSender sender(client, 30000);
+    client.connect(tb->cloud().address(), 80);
+    tb->simulator().runUntil(10 * sim::kMinute);
+    return meter.goodputKbps();
+}
+
+TEST(Determinism, SameSeedSameResultDifferentSeedDifferent) {
+    // The whole stack — radio, MAC randomness, TCP timers — must be a pure
+    // function of the seed. This is what makes every bench reproducible.
+    const double a1 = oneRadioRun(42);
+    const double a2 = oneRadioRun(42);
+    const double b = oneRadioRun(43);
+    EXPECT_DOUBLE_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+}
+
+TEST(TcpServer, HandlesManySequentialConnections) {
+    sim::Simulator simulator(3);
+    harness::Pipe pipe(simulator, {});
+    tcp::TcpStack clientStack(pipe.a());
+    tcp::TcpStack serverStack(pipe.b());
+
+    int accepted = 0;
+    Bytes all;
+    serverStack.listen(80, {}, [&](tcp::TcpSocket& s) {
+        ++accepted;
+        s.setOnData([&](BytesView d) { append(all, d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+
+    for (int i = 0; i < 8; ++i) {
+        tcp::TcpSocket& c = clientStack.createSocket({});
+        c.setOnConnected([&c, i] {
+            c.send(toBytes(std::string("msg") + char('0' + i)));
+            c.close();
+        });
+        c.connect(pipe.b().address(), 80);
+        simulator.runUntil(simulator.now() + 30 * sim::kSecond);
+    }
+    EXPECT_EQ(accepted, 8);
+    EXPECT_EQ(all.size(), 8u * 4u);
+    EXPECT_EQ(toPrintable(all).substr(0, 8), "msg0msg1");
+}
+
+TEST(TcpServer, ConcurrentConnectionsAreIsolated) {
+    sim::Simulator simulator(4);
+    harness::Pipe pipe(simulator, {});
+    tcp::TcpStack clientStack(pipe.a());
+    tcp::TcpStack serverStack(pipe.b());
+
+    std::map<std::uint16_t, Bytes> perConnection;
+    serverStack.listen(80, {}, [&](tcp::TcpSocket& s) {
+        s.setOnData([&perConnection, &s](BytesView d) {
+            append(perConnection[s.tcb().irs & 0xffff], d);  // key by peer ISS
+        });
+    });
+
+    tcp::TcpSocket& c1 = clientStack.createSocket({});
+    tcp::TcpSocket& c2 = clientStack.createSocket({});
+    c1.setOnConnected([&] { c1.send(patternBytes(0, 1000)); });
+    c2.setOnConnected([&] { c2.send(patternBytes(5000, 1000)); });
+    c1.connect(pipe.b().address(), 80);
+    c2.connect(pipe.b().address(), 80);
+    simulator.runUntil(2 * sim::kMinute);
+
+    ASSERT_EQ(perConnection.size(), 2u);
+    std::vector<Bytes> streams;
+    for (auto& [k, v] : perConnection) streams.push_back(v);
+    ASSERT_EQ(streams[0].size(), 1000u);
+    ASSERT_EQ(streams[1].size(), 1000u);
+    // One stream carries pattern@0, the other pattern@5000 — no mixing.
+    const bool ordered = matchesPattern(0, streams[0]) && matchesPattern(5000, streams[1]);
+    const bool swapped = matchesPattern(5000, streams[0]) && matchesPattern(0, streams[1]);
+    EXPECT_TRUE(ordered || swapped);
+}
+
+TEST(TcpAbort, RstTearsDownPeerImmediately) {
+    sim::Simulator simulator(5);
+    harness::Pipe pipe(simulator, {});
+    tcp::TcpStack clientStack(pipe.a());
+    tcp::TcpStack serverStack(pipe.b());
+
+    tcp::TcpSocket* server = nullptr;
+    bool serverError = false;
+    serverStack.listen(80, {}, [&](tcp::TcpSocket& s) {
+        server = &s;
+        s.setOnError([&] { serverError = true; });
+    });
+    tcp::TcpSocket& client = clientStack.createSocket({});
+    client.connect(pipe.b().address(), 80);
+    simulator.runUntil(10 * sim::kSecond);
+    ASSERT_NE(server, nullptr);
+    ASSERT_EQ(server->state(), tcp::State::kEstablished);
+
+    client.abort();
+    simulator.runUntil(simulator.now() + 5 * sim::kSecond);
+    EXPECT_EQ(client.state(), tcp::State::kClosed);
+    EXPECT_TRUE(serverError);
+    EXPECT_EQ(server->state(), tcp::State::kClosed);
+}
+
+TEST(TcpPersist, ProbeIntervalBacksOff) {
+    sim::Simulator simulator(6);
+    harness::Pipe pipe(simulator, {});
+    tcp::TcpStack clientStack(pipe.a());
+    tcp::TcpStack serverStack(pipe.b());
+
+    tcp::TcpConfig tinyServer;
+    tinyServer.recvBufferBytes = 512;  // closes quickly, app never reads
+    serverStack.listen(80, tinyServer, [](tcp::TcpSocket&) {});
+    tcp::TcpSocket& client = clientStack.createSocket({});
+    client.setOnConnected([&] { client.send(patternBytes(0, 2000)); });
+    client.connect(pipe.b().address(), 80);
+
+    simulator.runUntil(2 * sim::kMinute);
+    const auto probesEarly = client.stats().zeroWindowProbes;
+    simulator.runUntil(10 * sim::kMinute);
+    const auto probesMid = client.stats().zeroWindowProbes - probesEarly;
+    simulator.runUntil(30 * sim::kMinute);
+    const auto probesLate = client.stats().zeroWindowProbes - probesMid - probesEarly;
+    EXPECT_GT(probesEarly + probesMid + probesLate, 2u);
+    // Probe rate decays: the last 20 minutes see no more probes than the
+    // first 10 (exponential persist backoff, clamped at persistMax).
+    EXPECT_LE(probesLate, (probesEarly + probesMid) * 4);
+    EXPECT_EQ(client.state(), tcp::State::kEstablished);  // never dropped
+}
+
+TEST(EnergyMeter, WindowResetIsolatesPeriods) {
+    phy::EnergyMeter meter;
+    // 0-100: listen; 100-200: sleep.
+    meter.radioTransition(phy::RadioState::kListen, phy::RadioState::kSleep, 100);
+    EXPECT_NEAR(meter.radioDutyCycle(phy::RadioState::kSleep, 200), 0.5, 1e-9);
+    meter.resetWindow(phy::RadioState::kSleep, 200);
+    // New window is all sleep.
+    EXPECT_NEAR(meter.radioDutyCycle(phy::RadioState::kSleep, 300), 0.0, 1e-9);
+    meter.addCpuBusy(50);
+    EXPECT_NEAR(meter.cpuDutyCycle(300), 0.5, 1e-9);
+}
+
+TEST(Pipe, BandwidthSerializesPackets) {
+    sim::Simulator simulator(7);
+    harness::PipeConfig pc;
+    pc.oneWayDelay = 0;
+    pc.bandwidthBps = 8000.0;  // 1000 B/s
+    harness::Pipe pipe(simulator, pc);
+    int got = 0;
+    sim::Time lastArrival = 0;
+    pipe.b().registerProtocol(200, [&](const ip6::Packet&) {
+        ++got;
+        lastArrival = simulator.now();
+    });
+    for (int i = 0; i < 4; ++i) {
+        ip6::Packet p;
+        p.dst = pipe.b().address();
+        p.nextHeader = 200;
+        p.payload = patternBytes(0, 960);  // 1000 B with header = 1 s each
+        pipe.a().sendPacket(std::move(p));
+    }
+    simulator.run();
+    EXPECT_EQ(got, 4);
+    EXPECT_NEAR(sim::toSeconds(lastArrival), 4.0, 0.1);
+}
+
+}  // namespace

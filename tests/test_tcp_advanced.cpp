@@ -1,0 +1,289 @@
+// Advanced TCP machinery: SACK recovery, persist/zero-window probes, ECN,
+// header prediction, challenge ACKs, timestamp-based RTT, congestion window
+// dynamics (the behaviors Table 1 credits to full-scale TCP).
+#include <gtest/gtest.h>
+
+#include "tcplp/harness/pipe.hpp"
+#include "tcplp/tcp/tcp.hpp"
+
+using namespace tcplp;
+
+namespace {
+
+struct TcpPair {
+    sim::Simulator simulator;
+    harness::Pipe pipe;
+    tcp::TcpStack clientStack;
+    tcp::TcpStack serverStack;
+    tcp::TcpSocket* client = nullptr;
+    tcp::TcpSocket* server = nullptr;
+    Bytes received;
+    bool autoDrain = true;
+
+    explicit TcpPair(harness::Pipe::Config pipeConfig = {}, tcp::TcpConfig clientCfg = {},
+                     tcp::TcpConfig serverCfg = {}, std::uint64_t seed = 7,
+                     bool drain = true)
+        : simulator(seed),
+          pipe(simulator, pipeConfig),
+          clientStack(pipe.a()),
+          serverStack(pipe.b()),
+          autoDrain(drain) {
+        serverStack.listen(80, serverCfg, [this](tcp::TcpSocket& s) {
+            server = &s;
+            if (autoDrain)
+                s.setOnData([this](BytesView data) { append(received, data); });
+            s.setOnPeerFin([&s] { s.close(); });
+        });
+        client = &clientStack.createSocket(clientCfg);
+    }
+
+    void connectAndSettle() {
+        client->connect(pipe.b().address(), 80);
+        simulator.runUntil(simulator.now() + 2 * sim::kSecond);
+    }
+
+    void pumpPattern(std::size_t total) {
+        auto offset = std::make_shared<std::size_t>(0);
+        auto pump = [this, offset, total] {
+            while (*offset < total) {
+                const Bytes d = patternBytes(*offset, std::min<std::size_t>(462, total - *offset));
+                const std::size_t n = client->send(d);
+                if (n == 0) break;
+                *offset += n;
+            }
+        };
+        client->setOnSendSpace(pump);
+        pump();
+    }
+};
+
+TEST(TcpSack, SackBlocksAdvertisedOnGap) {
+    // Drop exactly one data packet; the receiver's dup ACKs must carry SACK.
+    TcpPair t;
+    t.connectAndSettle();
+
+    // Temporarily sever the path while we inject a gap scenario via loss.
+    t.pipe.config().lossAtoB = 0.25;
+    t.pumpPattern(20000);
+    t.simulator.runUntil(5 * sim::kMinute);
+    t.pipe.config().lossAtoB = 0.0;
+    t.simulator.runUntil(10 * sim::kMinute);
+
+    EXPECT_EQ(t.received.size(), 20000u);
+    EXPECT_TRUE(matchesPattern(0, t.received));
+    // SACK-driven retransmissions occurred (loss with 4-segment windows).
+    EXPECT_GT(t.client->stats().retransmissions, 0u);
+}
+
+TEST(TcpSack, DisabledSackStillRecovers) {
+    tcp::TcpConfig noSack;
+    noSack.sack = false;
+    harness::Pipe::Config lossy;
+    lossy.lossAtoB = 0.15;
+    TcpPair t(lossy, noSack, noSack, 21);
+    t.connectAndSettle();
+    EXPECT_FALSE(t.client->tcb().sackEnabled);
+    t.pumpPattern(15000);
+    t.simulator.runUntil(20 * sim::kMinute);
+    EXPECT_EQ(t.received.size(), 15000u);
+    EXPECT_TRUE(matchesPattern(0, t.received));
+}
+
+TEST(TcpPersist, ZeroWindowProbedAndRecovered) {
+    // Server never drains (no onData): its window closes; client must probe.
+    TcpPair t({}, {}, {}, 7, /*drain=*/false);
+    t.connectAndSettle();
+
+    t.pumpPattern(8000);  // recv buffer is 2048: window will shut
+    t.simulator.runUntil(3 * sim::kMinute);
+    EXPECT_EQ(t.client->tcb().sndWnd, 0u);
+    EXPECT_GT(t.client->stats().zeroWindowProbes, 0u);
+
+    // Server app wakes up and reads; window reopens; transfer completes.
+    ASSERT_NE(t.server, nullptr);
+    Bytes drained;
+    while (true) {
+        const sim::Time before = t.simulator.now();
+        Bytes chunk = t.server->read(4096);
+        append(drained, chunk);
+        t.simulator.runUntil(before + 30 * sim::kSecond);
+        if (drained.size() >= 8000) break;
+        if (t.simulator.now() > 30 * sim::kMinute) break;
+    }
+    EXPECT_EQ(drained.size(), 8000u);
+    EXPECT_TRUE(matchesPattern(0, drained));
+}
+
+TEST(TcpEcn, CongestionMarkReducesWindowWithoutLoss) {
+    tcp::TcpConfig ecnCfg;
+    ecnCfg.ecn = true;
+    harness::Pipe::Config marks;
+    marks.ceMarkProbability = 0.3;  // mark, never drop
+    TcpPair t(marks, ecnCfg, ecnCfg, 9);
+    t.connectAndSettle();
+    EXPECT_TRUE(t.client->tcb().ecnEnabled);
+
+    t.pumpPattern(30000);
+    t.simulator.runUntil(10 * sim::kMinute);
+    EXPECT_EQ(t.received.size(), 30000u);
+    EXPECT_GT(t.client->stats().ecnResponses, 0u);
+    // ECN avoided actual retransmissions on a loss-free path.
+    EXPECT_EQ(t.client->stats().timeouts, 0u);
+}
+
+TEST(TcpEcn, NotNegotiatedWhenPeerLacksIt) {
+    tcp::TcpConfig ecnCfg;
+    ecnCfg.ecn = true;
+    tcp::TcpConfig plain;  // server without ECN
+    TcpPair t({}, ecnCfg, plain);
+    t.connectAndSettle();
+    EXPECT_FALSE(t.client->tcb().ecnEnabled);
+}
+
+TEST(TcpHeaderPrediction, FastPathHitsOnBulkTransfer) {
+    TcpPair t;
+    t.connectAndSettle();
+    t.pumpPattern(30000);
+    t.simulator.runUntil(5 * sim::kMinute);
+    EXPECT_EQ(t.received.size(), 30000u);
+    // In-order bulk data on a clean path: most server-side segments and
+    // most client-side pure ACKs hit the prediction fast path.
+    EXPECT_GT(t.server->stats().headerPredictions, 30u);
+    EXPECT_GT(t.client->stats().headerPredictions, 10u);
+}
+
+TEST(TcpChallengeAck, BlindSynIgnoredWithChallenge) {
+    TcpPair t;
+    t.connectAndSettle();
+    ASSERT_EQ(t.client->state(), tcp::State::kEstablished);
+
+    // Forge an in-window SYN at the client (RFC 5961 blind attack).
+    tcp::Segment syn;
+    syn.srcPort = 80;
+    syn.dstPort = t.client->localPort();
+    syn.flags.syn = true;
+    syn.seq = t.client->tcb().rcvNxt + 5;
+    ip6::Packet p;
+    p.src = t.pipe.b().address();
+    p.dst = t.pipe.a().address();
+    p.nextHeader = ip6::kProtoTcp;
+    p.payload = syn.encode();
+    t.pipe.b().sendPacket(std::move(p));
+    t.simulator.runUntil(t.simulator.now() + 2 * sim::kSecond);
+
+    EXPECT_EQ(t.client->state(), tcp::State::kEstablished);  // survived
+    EXPECT_GE(t.client->stats().challengeAcks, 1u);
+}
+
+TEST(TcpChallengeAck, InWindowInexactRstDoesNotKill) {
+    TcpPair t;
+    t.connectAndSettle();
+    tcp::Segment rst;
+    rst.srcPort = 80;
+    rst.dstPort = t.client->localPort();
+    rst.flags.rst = true;
+    rst.seq = t.client->tcb().rcvNxt + 100;  // in window, not exact
+    ip6::Packet p;
+    p.src = t.pipe.b().address();
+    p.dst = t.pipe.a().address();
+    p.nextHeader = ip6::kProtoTcp;
+    p.payload = rst.encode();
+    t.pipe.b().sendPacket(std::move(p));
+    t.simulator.runUntil(t.simulator.now() + 2 * sim::kSecond);
+    EXPECT_EQ(t.client->state(), tcp::State::kEstablished);
+}
+
+TEST(TcpRtt, TimestampsMeasureRttDespiteRetransmissions) {
+    // §9.4: "the TCP timestamp option allows TCP to unambiguously determine
+    // the RTT even for retransmitted segments" — samples stay near the true
+    // RTT even under heavy loss.
+    harness::Pipe::Config lossy;
+    lossy.lossAtoB = 0.2;
+    lossy.oneWayDelay = 100 * sim::kMillisecond;
+    TcpPair t(lossy, {}, {}, 31);
+    t.connectAndSettle();
+    t.pumpPattern(15000);
+    t.simulator.runUntil(30 * sim::kMinute);
+    ASSERT_EQ(t.received.size(), 15000u);
+    ASSERT_GE(t.client->stats().rttSamples.count(), 20u);
+    // True RTT is ~200 ms (+delack); median sample must not be inflated to
+    // retransmission timescales (seconds).
+    EXPECT_LT(t.client->stats().rttSamples.median(), 600.0);
+    EXPECT_GE(t.client->stats().rttSamples.median(), 190.0);
+}
+
+TEST(TcpCwnd, TraceShowsRecoveryAfterLoss) {
+    harness::Pipe::Config lossy;
+    lossy.lossAtoB = 0.08;
+    TcpPair t(lossy, {}, {}, 13);
+    t.connectAndSettle();
+
+    std::vector<std::uint32_t> cwnds;
+    t.client->setCwndTracer(
+        [&](sim::Time, std::uint32_t cwnd, std::uint32_t) { cwnds.push_back(cwnd); });
+    t.pumpPattern(40000);
+    t.simulator.runUntil(30 * sim::kMinute);
+    ASSERT_EQ(t.received.size(), 40000u);
+
+    // §7.3: with 4-segment buffers, cwnd dips on loss but recovers to the
+    // cap quickly — the max value must be the buffer cap, reached many times.
+    const std::uint32_t cap = 2048;  // sendBufferBytes default
+    std::size_t atCap = 0;
+    for (auto c : cwnds) atCap += (c >= cap);
+    EXPECT_GT(atCap, 10u);
+    EXPECT_GT(t.client->stats().fastRetransmissions + t.client->stats().timeouts, 0u);
+}
+
+TEST(TcpDupAck, ThreeDupAcksTriggerFastRetransmit) {
+    TcpPair t;
+    t.connectAndSettle();
+    // Warm up cwnd to the buffer cap so a full 4-segment window can fly.
+    t.client->send(patternBytes(0, 2000));
+    t.simulator.runUntil(t.simulator.now() + 30 * sim::kSecond);
+    ASSERT_EQ(t.received.size(), 2000u);
+
+    // Lose exactly the next segment, then send three more behind it.
+    t.pipe.config().lossAtoB = 1.0;
+    t.client->send(patternBytes(2000, 462));  // lost
+    t.simulator.runUntil(t.simulator.now() + 100 * sim::kMillisecond);
+    t.pipe.config().lossAtoB = 0.0;
+    t.client->send(patternBytes(2462, 462 * 3));  // arrive OOO -> 3 dup ACKs
+    t.simulator.runUntil(t.simulator.now() + 3 * sim::kSecond);
+
+    EXPECT_EQ(t.received.size(), 2000u + 462u * 4);
+    EXPECT_TRUE(matchesPattern(0, t.received));
+    EXPECT_GE(t.client->stats().fastRetransmissions, 1u);
+    EXPECT_EQ(t.client->stats().timeouts, 0u);  // recovered without RTO
+}
+
+TEST(TcpMemory, ActiveSocketStateWithinMoteBudget) {
+    // Tables 3/4: active connection protocol state is a few hundred bytes.
+    EXPECT_LE(sizeof(tcp::Tcb), 256u);
+    // Passive sockets are far smaller than active ones (§4.1).
+    EXPECT_LT(sizeof(tcp::PassiveSocket), sizeof(tcp::TcpSocket) / 4);
+}
+
+TEST(TcpClose, SimultaneousCloseReachesClosed) {
+    TcpPair t;
+    t.connectAndSettle();
+    t.client->send(toBytes("x"));
+    t.simulator.runUntil(t.simulator.now() + 2 * sim::kSecond);
+    // Close both ends at the same instant.
+    t.client->close();
+    t.server->close();
+    t.simulator.runUntil(t.simulator.now() + 60 * sim::kSecond);
+    EXPECT_EQ(t.client->state(), tcp::State::kClosed);
+    EXPECT_EQ(t.server->state(), tcp::State::kClosed);
+}
+
+TEST(TcpIdle, NoTrafficMeansNoSegments) {
+    // A quiescent established connection sends nothing (relevant for the
+    // duty-cycle experiments: idle TCP costs no radio time).
+    TcpPair t;
+    t.connectAndSettle();
+    const auto sentBefore = t.client->stats().segsSent;
+    t.simulator.runUntil(t.simulator.now() + 10 * sim::kMinute);
+    EXPECT_EQ(t.client->stats().segsSent, sentBefore);
+}
+
+}  // namespace

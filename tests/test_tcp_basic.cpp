@@ -1,0 +1,226 @@
+// Core TCP engine tests over a lossless/lossy in-memory pipe: handshake,
+// bulk transfer integrity, teardown, retransmission machinery.
+#include <gtest/gtest.h>
+
+#include "tcplp/harness/pipe.hpp"
+#include "tcplp/tcp/tcp.hpp"
+
+using namespace tcplp;
+
+namespace {
+
+struct TcpPair {
+    sim::Simulator simulator;
+    harness::Pipe pipe;
+    tcp::TcpStack clientStack;
+    tcp::TcpStack serverStack;
+    tcp::TcpSocket* client = nullptr;
+    tcp::TcpSocket* server = nullptr;
+    Bytes received;
+    bool serverSawFin = false;
+
+    explicit TcpPair(harness::Pipe::Config pipeConfig = {}, tcp::TcpConfig clientCfg = {},
+                     tcp::TcpConfig serverCfg = {}, std::uint64_t seed = 7)
+        : simulator(seed),
+          pipe(simulator, pipeConfig),
+          clientStack(pipe.a()),
+          serverStack(pipe.b()) {
+        serverStack.listen(80, serverCfg, [this](tcp::TcpSocket& s) {
+            server = &s;
+            s.setOnData([this](BytesView data) { append(received, data); });
+            s.setOnPeerFin([this, &s] {
+                serverSawFin = true;
+                s.close();
+            });
+        });
+        client = &clientStack.createSocket(clientCfg);
+    }
+
+    void connect() { client->connect(pipe.b().address(), 80); }
+};
+
+TEST(TcpBasic, ThreeWayHandshake) {
+    TcpPair t;
+    bool connected = false;
+    t.client->setOnConnected([&] { connected = true; });
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    EXPECT_TRUE(connected);
+    EXPECT_EQ(t.client->state(), tcp::State::kEstablished);
+    ASSERT_NE(t.server, nullptr);
+    EXPECT_EQ(t.server->state(), tcp::State::kEstablished);
+}
+
+TEST(TcpBasic, OptionsNegotiatedOnSyn) {
+    TcpPair t;
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    EXPECT_TRUE(t.client->tcb().sackEnabled);
+    EXPECT_TRUE(t.client->tcb().tsEnabled);
+    EXPECT_TRUE(t.server->tcb().sackEnabled);
+    EXPECT_TRUE(t.server->tcb().tsEnabled);
+    EXPECT_EQ(t.client->tcb().mss, 462);
+}
+
+TEST(TcpBasic, MssClampedToPeerOffer) {
+    tcp::TcpConfig small;
+    small.mss = 200;
+    TcpPair t({}, {}, small);
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    EXPECT_EQ(t.client->tcb().mss, 200);
+    EXPECT_EQ(t.server->tcb().mss, 200);
+}
+
+TEST(TcpBasic, BulkTransferDeliversExactBytes) {
+    TcpPair t;
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+
+    const Bytes data = patternBytes(0, 10000);
+    std::size_t offset = 0;
+    // Feed the send buffer as space opens.
+    auto pump = [&] {
+        while (offset < data.size()) {
+            const std::size_t n = t.client->send(
+                BytesView(data.data() + offset, std::min<std::size_t>(512, data.size() - offset)));
+            if (n == 0) break;
+            offset += n;
+        }
+    };
+    t.client->setOnSendSpace(pump);
+    pump();
+    t.simulator.runUntil(120 * sim::kSecond);
+
+    ASSERT_EQ(t.received.size(), data.size());
+    EXPECT_TRUE(matchesPattern(0, t.received));
+}
+
+TEST(TcpBasic, GracefulCloseBothSides) {
+    TcpPair t;
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    t.client->send(toBytes("goodbye"));
+    t.simulator.runUntil(4 * sim::kSecond);
+    t.client->close();
+    t.simulator.runUntil(60 * sim::kSecond);
+    EXPECT_TRUE(t.serverSawFin);
+    // Client went FIN_WAIT* -> TIME_WAIT -> CLOSED; server LAST_ACK -> CLOSED.
+    EXPECT_EQ(t.server->state(), tcp::State::kClosed);
+    EXPECT_EQ(t.client->state(), tcp::State::kClosed);
+}
+
+TEST(TcpBasic, LossyPathStillDeliversEverything) {
+    harness::Pipe::Config cfg;
+    cfg.lossAtoB = 0.1;
+    cfg.lossBtoA = 0.1;
+    TcpPair t(cfg);
+    t.connect();
+    t.simulator.runUntil(10 * sim::kSecond);
+    ASSERT_EQ(t.client->state(), tcp::State::kEstablished);
+
+    const Bytes data = patternBytes(0, 20000);
+    std::size_t offset = 0;
+    auto pump = [&] {
+        while (offset < data.size()) {
+            const std::size_t n = t.client->send(
+                BytesView(data.data() + offset, std::min<std::size_t>(462, data.size() - offset)));
+            if (n == 0) break;
+            offset += n;
+        }
+    };
+    t.client->setOnSendSpace(pump);
+    pump();
+    t.simulator.runUntil(30 * sim::kMinute);
+
+    ASSERT_EQ(t.received.size(), data.size());
+    EXPECT_TRUE(matchesPattern(0, t.received));
+    EXPECT_GT(t.client->stats().retransmissions, 0u);
+}
+
+TEST(TcpBasic, RetransmissionOnTotalBlackout) {
+    TcpPair t;
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    t.pipe.config().lossAtoB = 1.0;  // all client data lost
+    t.client->send(toBytes("hello"));
+    t.simulator.runUntil(10 * sim::kSecond);
+    EXPECT_GE(t.client->stats().timeouts, 1u);
+    EXPECT_TRUE(t.received.empty());
+    // Heal the path; the retransmission machinery recovers.
+    t.pipe.config().lossAtoB = 0.0;
+    t.simulator.runUntil(80 * sim::kSecond);
+    EXPECT_EQ(toPrintable(t.received), "hello");
+}
+
+TEST(TcpBasic, ConnectionDropsAfterMaxRetransmits) {
+    tcp::TcpConfig cfg;
+    cfg.maxRetransmits = 3;
+    TcpPair t({}, cfg);
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    bool errored = false;
+    t.client->setOnError([&] { errored = true; });
+    t.pipe.config().lossAtoB = 1.0;
+    t.client->send(toBytes("doomed"));
+    t.simulator.runUntil(10 * sim::kMinute);
+    EXPECT_TRUE(errored);
+    EXPECT_EQ(t.client->state(), tcp::State::kClosed);
+}
+
+TEST(TcpBasic, RstOnSegmentToClosedPort) {
+    TcpPair t;
+    bool errored = false;
+    t.client->setOnError([&] { errored = true; });
+    t.client->connect(t.pipe.b().address(), 9999);  // nobody listening
+    t.simulator.runUntil(5 * sim::kSecond);
+    EXPECT_TRUE(errored);
+    EXPECT_EQ(t.client->state(), tcp::State::kClosed);
+}
+
+TEST(TcpBasic, ZeroCopySendDeliversSameBytes) {
+    TcpPair t;
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    auto chunk = std::make_shared<const Bytes>(patternBytes(0, 900));
+    ASSERT_EQ(t.client->sendZeroCopy(chunk), 900u);
+    t.simulator.runUntil(20 * sim::kSecond);
+    ASSERT_EQ(t.received.size(), 900u);
+    EXPECT_TRUE(matchesPattern(0, t.received));
+}
+
+TEST(TcpBasic, DelayedAckReducesAckCount) {
+    // With delayed ACKs, roughly one ACK per two segments (§6.4).
+    tcp::TcpConfig delayed;
+    delayed.delayedAck = true;
+    tcp::TcpConfig immediate;
+    immediate.delayedAck = false;
+
+    auto ackCount = [](tcp::TcpConfig serverCfg) {
+        TcpPair t({}, {}, serverCfg, 11);
+        t.connect();
+        t.simulator.runUntil(2 * sim::kSecond);
+        const Bytes data = patternBytes(0, 8000);
+        std::size_t offset = 0;
+        auto pump = [&] {
+            while (offset < data.size()) {
+                const std::size_t n = t.client->send(BytesView(
+                    data.data() + offset, std::min<std::size_t>(462, data.size() - offset)));
+                if (n == 0) break;
+                offset += n;
+            }
+        };
+        t.client->setOnSendSpace(pump);
+        pump();
+        t.simulator.runUntil(2 * sim::kMinute);
+        EXPECT_EQ(t.received.size(), data.size());
+        return t.server->stats().segsSent;
+    };
+
+    const auto withDelack = ackCount(delayed);
+    const auto without = ackCount(immediate);
+    EXPECT_LT(withDelack, without);
+    EXPECT_LT(withDelack, without * 3 / 4);
+}
+
+}  // namespace
