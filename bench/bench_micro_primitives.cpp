@@ -35,7 +35,7 @@ void BM_SegmentEncode(benchmark::State& state) {
 BENCHMARK(BM_SegmentEncode)->Arg(0)->Arg(462);
 
 void BM_SegmentDecode(benchmark::State& state) {
-    const Bytes wire = makeSegment(std::size_t(state.range(0))).encode();
+    const PacketBuffer wire = makeSegment(std::size_t(state.range(0))).encode();
     for (auto _ : state) benchmark::DoNotOptimize(tcp::Segment::decode(wire));
 }
 BENCHMARK(BM_SegmentDecode)->Arg(0)->Arg(462);

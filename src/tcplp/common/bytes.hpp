@@ -1,4 +1,10 @@
 // Byte-buffer utilities shared across the stack.
+//
+// `Bytes` (a plain vector) is for small header scratch space and
+// application-layer data. Packet payloads that cross layer or hop
+// boundaries use `PacketBuffer` (packet_buffer.hpp), which shares storage
+// by refcount instead of copying — see that header for the ownership model
+// (who may mutate, and when copyForWrite() is required).
 #pragma once
 
 #include <cstddef>

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "tcplp/common/bytes.hpp"
+#include "tcplp/common/packet_buffer.hpp"
 #include "tcplp/ip6/address.hpp"
 
 namespace tcplp::ip6 {
@@ -30,7 +31,7 @@ struct Packet {
     std::uint8_t nextHeader = kProtoUdp;
     std::uint8_t hopLimit = 64;
     std::uint8_t trafficClass = 0;
-    Bytes payload;  // encoded transport segment
+    PacketBuffer payload;  // encoded transport segment (shared, not copied, per hop)
 
     Ecn ecn() const { return static_cast<Ecn>(trafficClass & 0b11); }
     void setEcn(Ecn e) {

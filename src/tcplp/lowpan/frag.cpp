@@ -39,16 +39,18 @@ std::optional<FragInfo> parseFragmentHeader(BytesView macPayload) {
     return info;
 }
 
-std::vector<Bytes> encodeDatagram(const ip6::Packet& p, ip6::ShortAddr macSrc,
-                                  ip6::ShortAddr macDst, std::uint16_t tag,
-                                  std::size_t maxMacPayload) {
+std::vector<PacketBuffer> encodeDatagram(ip6::Packet p, ip6::ShortAddr macSrc,
+                                         ip6::ShortAddr macDst, std::uint16_t tag,
+                                         std::size_t maxMacPayload) {
     const IphcResult iphc = compressHeader(p, macSrc, macDst);
-    std::vector<Bytes> frames;
+    std::vector<PacketBuffer> frames;
 
-    // Fits without fragmentation?
+    // Fits without fragmentation? Prepend the IPHC header in place — free
+    // when the caller moved the packet in and it was originated with
+    // headroom; a counted deep copy otherwise.
     if (iphc.size() + p.payload.size() <= maxMacPayload) {
-        Bytes f = iphc.bytes;
-        append(f, p.payload);
+        PacketBuffer f = std::move(p.payload);
+        f.prepend(iphc.bytes);
         frames.push_back(std::move(f));
         return frames;
     }
@@ -63,27 +65,28 @@ std::vector<Bytes> encodeDatagram(const ip6::Packet& p, ip6::ShortAddr macSrc,
                                ip6::kUncompressedHeaderBytes;
     firstPayload = std::min(firstPayload, p.payload.size());
 
-    Bytes f1;
-    f1.push_back(std::uint8_t(kFrag1Dispatch | ((datagramSize >> 8) & 0x07)));
-    f1.push_back(std::uint8_t(datagramSize & 0xff));
-    putU16(f1, tag);
-    append(f1, iphc.bytes);
-    append(f1, BytesView(p.payload.data(), firstPayload));
-    frames.push_back(std::move(f1));
+    Bytes h1;
+    h1.push_back(std::uint8_t(kFrag1Dispatch | ((datagramSize >> 8) & 0x07)));
+    h1.push_back(std::uint8_t(datagramSize & 0xff));
+    putU16(h1, tag);
+    append(h1, iphc.bytes);
+    frames.push_back(
+        PacketBuffer::compose(h1, BytesView(p.payload.data(), firstPayload)));
 
     std::size_t sent = firstPayload;
     while (sent < p.payload.size()) {
         const std::size_t offset = ip6::kUncompressedHeaderBytes + sent;
         TCPLP_ASSERT(offset % 8 == 0);
         std::size_t chunk = ((maxMacPayload - kFragNHeaderBytes) / 8) * 8;
+        TCPLP_ASSERT(chunk > 0);  // budget must fit FRAGN header + 8 bytes
         chunk = std::min(chunk, p.payload.size() - sent);
-        Bytes fn;
-        fn.push_back(std::uint8_t(kFragNDispatch | ((datagramSize >> 8) & 0x07)));
-        fn.push_back(std::uint8_t(datagramSize & 0xff));
-        putU16(fn, tag);
-        fn.push_back(std::uint8_t(offset / 8));
-        append(fn, BytesView(p.payload.data() + sent, chunk));
-        frames.push_back(std::move(fn));
+        Bytes hn;
+        hn.push_back(std::uint8_t(kFragNDispatch | ((datagramSize >> 8) & 0x07)));
+        hn.push_back(std::uint8_t(datagramSize & 0xff));
+        putU16(hn, tag);
+        hn.push_back(std::uint8_t(offset / 8));
+        frames.push_back(
+            PacketBuffer::compose(hn, BytesView(p.payload.data() + sent, chunk)));
         sent += chunk;
     }
     return frames;
@@ -91,11 +94,20 @@ std::vector<Bytes> encodeDatagram(const ip6::Packet& p, ip6::ShortAddr macSrc,
 
 std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
                           std::size_t maxMacPayload) {
-    return encodeDatagram(p, macSrc, macDst, 0, maxMacPayload).size();
+    const IphcResult iphc = compressHeader(p, macSrc, macDst);
+    if (iphc.size() + p.payload.size() <= maxMacPayload) return 1;
+    const std::size_t room = maxMacPayload - kFrag1HeaderBytes - iphc.size();
+    std::size_t firstPayload = ((ip6::kUncompressedHeaderBytes + room) / 8) * 8 -
+                               ip6::kUncompressedHeaderBytes;
+    firstPayload = std::min(firstPayload, p.payload.size());
+    const std::size_t remaining = p.payload.size() - firstPayload;
+    const std::size_t chunk = ((maxMacPayload - kFragNHeaderBytes) / 8) * 8;
+    TCPLP_ASSERT(chunk > 0);  // budget must fit FRAGN header + 8 bytes
+    return 1 + (remaining + chunk - 1) / chunk;
 }
 
 void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
-                        const Bytes& macPayload) {
+                        const PacketBuffer& macPayload) {
     expire();
     const auto info = parseFragmentHeader(macPayload);
     if (!info) return;
@@ -104,7 +116,7 @@ void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
         ip6::Packet p;
         const auto consumed = decompressHeader(macPayload, macSrc, macDst, p);
         if (!consumed) return;
-        p.payload.assign(macPayload.begin() + long(*consumed), macPayload.end());
+        p.payload = macPayload.subview(*consumed);  // zero-copy delivery
         ++stats_.delivered;
         deliver_(std::move(p), macSrc);
         return;
@@ -113,13 +125,22 @@ void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
     const auto key = std::make_pair(macSrc, info->tag);
     if (info->isFirst) {
         Partial part;
-        BytesView rest(macPayload.data() + info->headerLen,
-                       macPayload.size() - info->headerLen);
+        const PacketBuffer rest = macPayload.subview(info->headerLen);
         const auto consumed = decompressHeader(rest, macSrc, macDst, part.packet);
         if (!consumed) return;
-        part.packet.payload.assign(rest.begin() + long(*consumed), rest.end());
+        const std::size_t lead = rest.size() - *consumed;
+        if (info->datagramSize < ip6::kUncompressedHeaderBytes ||
+            lead > info->datagramSize - ip6::kUncompressedHeaderBytes) {
+            ++stats_.dropped;  // malformed: more payload than announced
+            return;
+        }
+        const std::size_t total = info->datagramSize - ip6::kUncompressedHeaderBytes;
+        // Gather fragments into one allocation sized from the FRAG1 header
+        // (no per-fragment growth reallocations).
+        part.packet.payload = PacketBuffer::allocate(total, /*headroom=*/0);
+        part.packet.payload.writeAt(0, BytesView(rest.data() + *consumed, lead));
         part.expectedSize = info->datagramSize;
-        part.receivedUncompressed = ip6::kUncompressedHeaderBytes + part.packet.payload.size();
+        part.receivedUncompressed = ip6::kUncompressedHeaderBytes + lead;
         part.lastActivity = simulator_.now();
         partials_[key] = std::move(part);  // new FRAG1 replaces any stale one
         return;
@@ -128,17 +149,18 @@ void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
     auto it = partials_.find(key);
     if (it == partials_.end()) return;  // FRAG1 lost: datagram unrecoverable
     Partial& part = it->second;
-    if (info->offsetBytes != part.receivedUncompressed) {
-        // Gap or duplicate: a fragment was lost despite link retries.
+    const std::size_t frag = macPayload.size() - info->headerLen;
+    const std::size_t at = part.receivedUncompressed - ip6::kUncompressedHeaderBytes;
+    if (info->offsetBytes != part.receivedUncompressed ||
+        at + frag > part.packet.payload.size()) {
+        // Gap, duplicate, or overflow: a fragment was lost despite link
+        // retries (or the header lied about the datagram size).
         ++stats_.dropped;
         partials_.erase(it);
         return;
     }
-    part.packet.payload.insert(part.packet.payload.end(),
-                               macPayload.begin() + long(info->headerLen),
-                               macPayload.end());
-    part.receivedUncompressed =
-        ip6::kUncompressedHeaderBytes + part.packet.payload.size();
+    part.packet.payload.writeAt(at, BytesView(macPayload.data() + info->headerLen, frag));
+    part.receivedUncompressed += frag;
     part.lastActivity = simulator_.now();
 
     if (part.receivedUncompressed >= part.expectedSize) {

@@ -36,11 +36,17 @@ std::optional<FragInfo> parseFragmentHeader(BytesView macPayload);
 
 /// Compresses and (if needed) fragments `p` into MAC payloads no larger
 /// than `maxMacPayload`. `tag` must be unique per (source, datagram).
-std::vector<Bytes> encodeDatagram(const ip6::Packet& p, ip6::ShortAddr macSrc,
-                                  ip6::ShortAddr macDst, std::uint16_t tag,
-                                  std::size_t maxMacPayload);
+/// Pass the packet by move from the TX hot path: an unfragmented datagram
+/// then prepends its IPHC header in place (zero payload copies). Fragmented
+/// datagrams copy each body chunk once into its per-frame wire buffer (a
+/// deliberate origination scatter, not counted as a deep copy); relays then
+/// forward those buffers by reference.
+std::vector<PacketBuffer> encodeDatagram(ip6::Packet p, ip6::ShortAddr macSrc,
+                                         ip6::ShortAddr macDst, std::uint16_t tag,
+                                         std::size_t maxMacPayload);
 
 /// Number of frames `encodeDatagram` would produce (MSS planning, §6.1).
+/// Computed arithmetically — no frames are materialized.
 std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
                           std::size_t maxMacPayload);
 
@@ -61,8 +67,11 @@ public:
                 sim::Time timeout = 5 * sim::kSecond)
         : simulator_(simulator), deliver_(std::move(deliver)), timeout_(timeout) {}
 
-    /// Feeds one received MAC payload (fragment or whole datagram).
-    void input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst, const Bytes& macPayload);
+    /// Feeds one received MAC payload (fragment or whole datagram). An
+    /// unfragmented datagram is delivered as a zero-copy subview of
+    /// `macPayload`; fragments are gathered into a single allocation sized
+    /// from the FRAG1 header.
+    void input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst, const PacketBuffer& macPayload);
 
     const ReassemblyStats& stats() const { return stats_; }
 

@@ -25,7 +25,7 @@ CsmaMac::CsmaMac(phy::Radio& radio, CsmaConfig config)
     });
 }
 
-void CsmaMac::send(NodeId dst, Bytes payload, SendCallback done) {
+void CsmaMac::send(NodeId dst, PacketBuffer payload, SendCallback done) {
     TCPLP_ASSERT(payload.size() <= phy::kMaxMacPayloadBytes);
     SendOp op;
     op.frame.type = FrameType::kData;

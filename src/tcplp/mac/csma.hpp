@@ -90,7 +90,7 @@ struct SendResult {
 class CsmaMac {
 public:
     using SendCallback = std::function<void(const SendResult&)>;
-    using ReceiveCallback = std::function<void(NodeId src, const Bytes& payload)>;
+    using ReceiveCallback = std::function<void(NodeId src, const PacketBuffer& payload)>;
 
     CsmaMac(phy::Radio& radio, CsmaConfig config = {});
 
@@ -102,8 +102,9 @@ public:
     sim::Simulator& simulator() { return radio_.simulator(); }
 
     /// Queues a payload for `dst`. Payload must fit one frame (the 6LoWPAN
-    /// layer fragments above this). `done` fires on final success/failure.
-    void send(NodeId dst, Bytes payload, SendCallback done = nullptr);
+    /// layer fragments above this); it is shared, not copied, into the TX
+    /// queue. `done` fires on final success/failure.
+    void send(NodeId dst, PacketBuffer payload, SendCallback done = nullptr);
 
     /// Payloads from frames addressed to this node (or broadcast).
     void setReceiveCallback(ReceiveCallback cb) { receiveCallback_ = std::move(cb); }

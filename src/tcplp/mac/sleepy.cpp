@@ -7,7 +7,7 @@ namespace tcplp::mac {
 SleepyMac::SleepyMac(CsmaMac& mac, NodeId parent, SleepyConfig config)
     : mac_(mac), parent_(parent), config_(config) {
     currentInterval_ = intervalFor();
-    mac_.setReceiveCallback([this](NodeId src, const Bytes& payload) {
+    mac_.setReceiveCallback([this](NodeId src, const PacketBuffer& payload) {
         gotFrameThisWindow_ = true;
         if (config_.policy == PollPolicy::kAdaptive) {
             // Trickle-style reset: traffic arrived, poll aggressively.
@@ -32,7 +32,7 @@ void SleepyMac::start() {
     scheduleNextPoll();
 }
 
-void SleepyMac::send(NodeId dst, Bytes payload, CsmaMac::SendCallback done) {
+void SleepyMac::send(NodeId dst, PacketBuffer payload, CsmaMac::SendCallback done) {
     // Upstream traffic may be sent at any time (§3.2); the CSMA machine
     // wakes the radio itself, and maybeSleep() re-parks it afterwards.
     mac_.send(dst, std::move(payload), [this, done = std::move(done)](const SendResult& r) {

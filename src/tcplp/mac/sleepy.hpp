@@ -47,7 +47,7 @@ public:
     void start();
 
     /// Sends a payload upstream (radio wakes just long enough to transmit).
-    void send(NodeId dst, Bytes payload, CsmaMac::SendCallback done = nullptr);
+    void send(NodeId dst, PacketBuffer payload, CsmaMac::SendCallback done = nullptr);
 
     void setReceiveCallback(CsmaMac::ReceiveCallback cb);
 

@@ -35,7 +35,7 @@ Node::Node(sim::Simulator& simulator, phy::Channel* channel, NodeId id, phy::Pos
             // Parent is set later via setParent(); construct lazily there.
         } else {
             mac_->setReceiveCallback(
-                [this](NodeId src, const Bytes& payload) { macInput(src, payload); });
+                [this](NodeId src, const PacketBuffer& payload) { macInput(src, payload); });
         }
     }
 }
@@ -49,7 +49,7 @@ void Node::setParent(NodeId parent) {
     if (!sleepy_) {
         sleepy_ = std::make_unique<mac::SleepyMac>(*mac_, parent, config_.sleepyConfig);
         sleepy_->setReceiveCallback(
-            [this](NodeId src, const Bytes& payload) { macInput(src, payload); });
+            [this](NodeId src, const PacketBuffer& payload) { macInput(src, payload); });
     }
 }
 
@@ -158,9 +158,14 @@ void Node::drainQueue() {
         drainQueue();
         return;
     }
-    const std::uint16_t tag = nextTag_++;
-    std::vector<Bytes> frames =
-        lowpan::encodeDatagram(packet, id_, *nextHop, tag, config_.macPayloadBudget);
+    // Skip tags adopted by the relay fast path: relayed fragments bypass
+    // this queue and can interleave with our own in the MAC, so the two
+    // streams must not share a (sender, tag) pair at the receiver.
+    const std::uint16_t tag = claimOutgoingTag(std::nullopt);
+    currentTxTag_ = tag;
+    txTagActive_ = true;  // reserve through any txProcessingDelay
+    std::vector<PacketBuffer> frames =
+        lowpan::encodeDatagram(std::move(packet), id_, *nextHop, tag, config_.macPayloadBudget);
     if (config_.txProcessingDelay > 0) {
         simulator_.schedule(config_.txProcessingDelay,
                             [this, frames = std::move(frames), hop = *nextHop]() mutable {
@@ -172,34 +177,34 @@ void Node::drainQueue() {
     }
 }
 
-void Node::sendDatagramFrames(std::vector<Bytes> frames, NodeId nextHop) {
-    // Transmit fragments in order; a fragment that fails after link retries
-    // dooms the datagram, but we still send the rest is pointless — drop the
-    // remainder (the receiver discards on gap anyway).
-    auto remaining = std::make_shared<std::vector<Bytes>>(std::move(frames));
-    auto index = std::make_shared<std::size_t>(0);
-    auto sendNext = std::make_shared<std::function<void()>>();
-    *sendNext = [this, remaining, index, nextHop, sendNext] {
-        if (*index >= remaining->size()) {
-            draining_ = false;
-            drainQueue();
-            return;
-        }
-        Bytes payload = (*remaining)[*index];
-        ++*index;
-        macSend(nextHop, std::move(payload),
-                [this, remaining, index, sendNext](const mac::SendResult& r) {
-                    if (!r.success) {
-                        // Abandon the rest of this datagram.
-                        *index = remaining->size();
-                    }
-                    (*sendNext)();
-                });
-    };
-    (*sendNext)();
+void Node::sendDatagramFrames(std::vector<PacketBuffer> frames, NodeId nextHop) {
+    // Datagrams drain one at a time (draining_ serializes), so the in-flight
+    // frame list lives in the node rather than in a self-referencing closure.
+    txFrames_ = std::move(frames);
+    txIndex_ = 0;
+    sendNextFrame(nextHop);
 }
 
-void Node::macSend(NodeId dst, Bytes payload, mac::CsmaMac::SendCallback done) {
+void Node::sendNextFrame(NodeId nextHop) {
+    // Transmit fragments in order; a fragment that fails after link retries
+    // dooms the datagram — sending the rest is pointless, so drop the
+    // remainder (the receiver discards on gap anyway).
+    if (txIndex_ >= txFrames_.size()) {
+        txFrames_.clear();
+        txTagActive_ = false;
+        draining_ = false;
+        drainQueue();
+        return;
+    }
+    PacketBuffer payload = std::move(txFrames_[txIndex_]);
+    ++txIndex_;
+    macSend(nextHop, std::move(payload), [this, nextHop](const mac::SendResult& r) {
+        if (!r.success) txIndex_ = txFrames_.size();  // abandon the datagram
+        sendNextFrame(nextHop);
+    });
+}
+
+void Node::macSend(NodeId dst, PacketBuffer payload, mac::CsmaMac::SendCallback done) {
     if (sleepy_) {
         sleepy_->send(dst, std::move(payload), std::move(done));
     } else {
@@ -207,10 +212,11 @@ void Node::macSend(NodeId dst, Bytes payload, mac::CsmaMac::SendCallback done) {
     }
 }
 
-void Node::macInput(NodeId macSrc, const Bytes& macPayload) {
+void Node::macInput(NodeId macSrc, const PacketBuffer& macPayload) {
     if (radio_) radio_->energy().addCpuBusy(config_.cpuPerPacket / 4);
     const auto info = lowpan::parseFragmentHeader(macPayload);
     if (!info) return;
+    if (info->isFragment) expireFragRoutes();
 
     if (config_.perHopReassembly || !info->isFragment) {
         reassembler_->input(macSrc, id_, macPayload);
@@ -233,7 +239,13 @@ void Node::macInput(NodeId macSrc, const Bytes& macPayload) {
             ++stats_.noRouteDrops;
             return;
         }
-        fragRoutes_[{macSrc, info->tag}] = FragRoute{nextTag_++, *nextHop};
+        // Zero-copy fast path: keep the origin's datagram tag when no other
+        // datagram this node is currently relaying or originating uses it,
+        // so the fragment can be forwarded as a shared buffer with no header
+        // rewrite. A simultaneous collision falls back to a fresh tag and a
+        // counted copy-on-write rewrite in forwardRawFragment.
+        const std::uint16_t outTag = claimOutgoingTag(info->tag);
+        fragRoutes_[{macSrc, info->tag}] = FragRoute{outTag, *nextHop, simulator_.now()};
         forwardRawFragment(macPayload, *info, macSrc);
         return;
     }
@@ -245,14 +257,39 @@ void Node::macInput(NodeId macSrc, const Bytes& macPayload) {
     reassembler_->input(macSrc, id_, macPayload);
 }
 
-void Node::forwardRawFragment(const Bytes& macPayload, const lowpan::FragInfo& info,
+bool Node::outgoingTagInUse(std::uint16_t tag) const {
+    // Datagrams drain one at a time, so the only originated tag that can
+    // still be in flight alongside relayed fragments is the current one.
+    if (txTagActive_ && currentTxTag_ == tag) return true;
+    for (const auto& [origin, route] : fragRoutes_) {
+        (void)origin;
+        if (route.newTag == tag) return true;
+    }
+    return false;
+}
+
+std::uint16_t Node::claimOutgoingTag(std::optional<std::uint16_t> preferred) {
+    if (preferred && !outgoingTagInUse(*preferred)) return *preferred;
+    std::uint16_t tag = nextTag_++;
+    while (outgoingTagInUse(tag)) tag = nextTag_++;
+    return tag;
+}
+
+void Node::forwardRawFragment(const PacketBuffer& macPayload, const lowpan::FragInfo& info,
                               NodeId macSrc) {
     const auto it = fragRoutes_.find({macSrc, info.tag});
     TCPLP_ASSERT(it != fragRoutes_.end());
-    Bytes copy = macPayload;
-    // Rewrite the datagram tag: tags are scoped per link-layer sender.
-    copy[2] = std::uint8_t(it->second.newTag >> 8);
-    copy[3] = std::uint8_t(it->second.newTag);
+    it->second.lastActivity = simulator_.now();
+    PacketBuffer out = macPayload;  // shares storage with the received frame
+    if (it->second.newTag != info.tag) {
+        // Tag collision: rewriting the FRAG header needs exclusive bytes —
+        // the only payload deep copy possible on the forwarding path.
+        out.copyForWrite();
+        std::uint8_t* bytes = out.mutableData();
+        bytes[2] = std::uint8_t(it->second.newTag >> 8);
+        bytes[3] = std::uint8_t(it->second.newTag);
+        ++stats_.payloadDeepCopies;
+    }
     ++stats_.packetsForwarded;
     const NodeId nextHop = it->second.nextHop;
     // Last fragment? Retire the mapping so the table stays bounded.
@@ -260,7 +297,21 @@ void Node::forwardRawFragment(const Bytes& macPayload, const lowpan::FragInfo& i
         info.offsetBytes + (macPayload.size() - info.headerLen) >= info.datagramSize) {
         fragRoutes_.erase(it);
     }
-    macSend(nextHop, std::move(copy), nullptr);
+    macSend(nextHop, std::move(out), nullptr);
+}
+
+void Node::expireFragRoutes() {
+    // Matches the reassembler's discard timeout: after this long without a
+    // fragment, the datagram's remainder is not coming.
+    constexpr sim::Time kFragRouteTimeout = 5 * sim::kSecond;
+    const sim::Time now = simulator_.now();
+    for (auto it = fragRoutes_.begin(); it != fragRoutes_.end();) {
+        if (now - it->second.lastActivity > kFragRouteTimeout) {
+            it = fragRoutes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 void Node::handleAssembled(ip6::Packet packet, ip6::ShortAddr macSrc) {

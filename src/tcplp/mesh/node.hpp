@@ -55,6 +55,10 @@ struct NodeStats {
     std::uint64_t packetsDelivered = 0;
     std::uint64_t forwardDrops = 0;  // queue overflow / RED drops
     std::uint64_t noRouteDrops = 0;
+    /// Payload deep copies this node performed while *forwarding* (the
+    /// zero-copy fast path keeps this at 0; only a datagram-tag collision
+    /// forces a copy-on-write of a relayed fragment).
+    std::uint64_t payloadDeepCopies = 0;
 };
 
 class Node;
@@ -129,18 +133,28 @@ public:
     /// Starts duty cycling (leaf role).
     void start();
 
+    /// Raw MAC ingress (also exposed for forwarding-path tests): one
+    /// received MAC payload from neighbor `macSrc`.
+    void macInput(NodeId macSrc, const PacketBuffer& macPayload);
+
 private:
-    void macInput(NodeId macSrc, const Bytes& macPayload);
     void handleAssembled(ip6::Packet packet, ip6::ShortAddr macSrc);
     void deliverLocal(const ip6::Packet& packet);
     void routePacket(ip6::Packet packet, bool forwarded);
     void enqueueMeshPacket(ip6::Packet packet, NodeId nextHop);
     void drainQueue();
-    void sendDatagramFrames(std::vector<Bytes> frames, NodeId nextHop);
-    void forwardRawFragment(const Bytes& macPayload, const lowpan::FragInfo& info,
+    void sendDatagramFrames(std::vector<PacketBuffer> frames, NodeId nextHop);
+    void sendNextFrame(NodeId nextHop);
+    /// True if `tag` is the outgoing tag of any datagram this node is
+    /// currently relaying or originating (they must stay unique per sender).
+    bool outgoingTagInUse(std::uint16_t tag) const;
+    /// Picks an outgoing datagram tag: `preferred` (the zero-copy adoption
+    /// case) when free, else fresh counter values skipping in-use tags.
+    std::uint16_t claimOutgoingTag(std::optional<std::uint16_t> preferred);
+    void forwardRawFragment(const PacketBuffer& macPayload, const lowpan::FragInfo& info,
                             NodeId macSrc);
     std::optional<NodeId> lookupRoute(const ip6::Address& dst) const;
-    void macSend(NodeId dst, Bytes payload, mac::CsmaMac::SendCallback done);
+    void macSend(NodeId dst, PacketBuffer payload, mac::CsmaMac::SendCallback done);
 
     sim::Simulator& simulator_;
     NodeId id_;
@@ -162,11 +176,25 @@ private:
 
     std::uint16_t nextTag_ = 1;
     bool draining_ = false;
+    // Frames of the datagram currently draining to the MAC (in order),
+    // and the datagram tag it was encoded with (tag-uniqueness bookkeeping).
+    std::vector<PacketBuffer> txFrames_;
+    std::size_t txIndex_ = 0;
+    // Originated-datagram tag reservation: set when the tag is claimed in
+    // drainQueue (which may precede transmission by txProcessingDelay) and
+    // cleared when the datagram's last frame has drained.
+    std::uint16_t currentTxTag_ = 0;
+    bool txTagActive_ = false;
     // Fragment-forwarding state: (origin MAC, origin tag) -> (new tag, hop).
+    // Entries normally retire with the final fragment; a timeout sweep
+    // (expireFragRoutes) reclaims routes whose tail was lost upstream so
+    // they cannot pin tags or grow the table forever.
     struct FragRoute {
         std::uint16_t newTag;
         NodeId nextHop;
+        sim::Time lastActivity = 0;
     };
+    void expireFragRoutes();
     std::map<std::pair<NodeId, std::uint16_t>, FragRoute> fragRoutes_;
 };
 

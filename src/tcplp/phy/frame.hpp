@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "tcplp/common/bytes.hpp"
+#include "tcplp/common/packet_buffer.hpp"
 #include "tcplp/sim/time.hpp"
 
 namespace tcplp::phy {
@@ -44,7 +45,10 @@ struct Frame {
     /// "Frame pending" header bit: tells a polling (duty-cycled) receiver
     /// that more queued frames follow (paper §3.2, Appendix C).
     bool framePending = false;
-    Bytes payload;  // MAC payload (6LoWPAN bytes) — empty for ACK/poll
+    // MAC payload (6LoWPAN bytes) — empty for ACK/poll. Copying a Frame
+    // shares the payload storage; the channel fan-out to N receivers and the
+    // MAC retry queue all reference the same bytes.
+    PacketBuffer payload;
 
     /// MPDU size in bytes (MAC header + payload), excluding PHY sync header.
     std::size_t mpduBytes() const {

@@ -4,47 +4,68 @@
 // application sensors — runs as callbacks on this event queue. Events at the
 // same instant fire in scheduling order (a stable tiebreak), which keeps runs
 // deterministic.
+//
+// Storage model: events live in a slab-allocated pool (256-record slabs,
+// never relocated, recycled through a free list), so steady-state scheduling
+// performs zero heap allocations. Callbacks with captures up to
+// SmallFn::kInlineBytes are stored inline in the event record. Handles are
+// generation-counted slot references — no shared_ptr/weak_ptr churn per
+// event. The ready queue is an indexed binary heap: cancellation removes the
+// entry eagerly (no lazy tombstones) and a pending event can be rescheduled
+// in place in O(log n), which is what Timer::start does on re-arm.
+//
+// Lifetime: an EventHandle (and any Timer) must not be used after its
+// Simulator is destroyed. Every component in this codebase owns a
+// `Simulator&` with a strictly longer lifetime, so this is not a practical
+// restriction; it is what buys handles their pointer-free cheapness.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "tcplp/common/assert.hpp"
 #include "tcplp/sim/rng.hpp"
+#include "tcplp/sim/small_fn.hpp"
 #include "tcplp/sim/time.hpp"
 
 namespace tcplp::sim {
 
 class Simulator;
 
-/// Cancellable handle to a scheduled event. Copies share the same event.
+/// Cancellable handle to a scheduled event. Copies share the same event:
+/// cancelling through any copy cancels it, and once the event fires (or is
+/// cancelled) every copy reports !pending(). Handles stay cheap (16 bytes,
+/// no refcount) because slot reuse is disambiguated by a generation counter.
 class EventHandle {
 public:
     EventHandle() = default;
 
     /// Cancels the event if it has not fired yet. Safe to call repeatedly.
-    void cancel() {
-        if (auto s = state_.lock()) s->cancelled = true;
-        state_.reset();
-    }
+    inline void cancel();
 
     /// True if the event is still scheduled and will fire.
-    bool pending() const {
-        auto s = state_.lock();
-        return s && !s->cancelled && !s->fired;
-    }
+    inline bool pending() const;
 
 private:
     friend class Simulator;
-    struct State {
-        bool cancelled = false;
-        bool fired = false;
-    };
-    explicit EventHandle(std::weak_ptr<State> state) : state_(std::move(state)) {}
-    std::weak_ptr<State> state_;
+    EventHandle(Simulator* simulator, std::uint32_t slot, std::uint32_t generation)
+        : simulator_(simulator), slot_(slot), generation_(generation) {}
+
+    Simulator* simulator_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t generation_ = 0;
+};
+
+/// Counters describing scheduler behavior, exported for benches/tests.
+struct SchedulerStats {
+    std::uint64_t scheduled = 0;    // schedule/scheduleAt calls
+    std::uint64_t rescheduled = 0;  // in-place deadline updates (Timer re-arm)
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+    std::size_t poolCapacity = 0;  // event records currently allocated
 };
 
 class Simulator {
@@ -58,80 +79,223 @@ public:
     Rng& rng() { return rng_; }
 
     /// Schedules `fn` to run `delay` microseconds from now.
-    EventHandle schedule(Time delay, std::function<void()> fn) {
-        return scheduleAt(now_ + delay, std::move(fn));
+    template <typename F>
+    EventHandle schedule(Time delay, F&& fn) {
+        return scheduleAt(now_ + delay, std::forward<F>(fn));
     }
 
     /// Schedules `fn` at absolute time `when` (>= now).
-    EventHandle scheduleAt(Time when, std::function<void()> fn) {
+    template <typename F>
+    EventHandle scheduleAt(Time when, F&& fn) {
         TCPLP_ASSERT(when >= now_);
-        auto state = std::make_shared<EventHandle::State>();
-        queue_.push(Event{when, nextSeq_++, state, std::move(fn)});
-        return EventHandle(state);
+        const std::uint32_t slot = allocRecord();
+        Record& rec = record(slot);
+        rec.fn = SmallFn(std::forward<F>(fn));
+        rec.when = when;
+        rec.seq = nextSeq_++;
+        heapPush(slot);
+        ++stats_.scheduled;
+        return EventHandle(this, slot, rec.generation);
+    }
+
+    /// Moves a still-pending event to a new deadline without releasing its
+    /// record or callback — an O(log n) heap update. Returns false (and does
+    /// nothing) if the handle's event already fired or was cancelled.
+    bool reschedule(const EventHandle& handle, Time when) {
+        TCPLP_ASSERT(when >= now_);
+        if (handle.simulator_ != this || !slotPending(handle.slot_, handle.generation_)) {
+            return false;
+        }
+        Record& rec = record(handle.slot_);
+        rec.when = when;
+        rec.seq = nextSeq_++;  // re-armed events fire after existing same-time events
+        heapFix(rec.heapIndex);
+        ++stats_.rescheduled;
+        return true;
     }
 
     /// Runs events until the queue drains or simulated time reaches `until`.
     void runUntil(Time until) {
-        while (!queue_.empty()) {
-            const Event& top = queue_.top();
-            if (top.when > until) break;
-            Event ev = std::move(const_cast<Event&>(top));
-            queue_.pop();
-            TCPLP_ASSERT(ev.when >= now_);
-            now_ = ev.when;
-            if (!ev.state->cancelled) {
-                ev.state->fired = true;
-                ev.fn();
-            }
+        while (!heap_.empty()) {
+            const std::uint32_t slot = heap_.front();
+            if (record(slot).when > until) break;
+            fireTop();
         }
-        if (now_ < until && queue_.empty()) now_ = until;
-        if (now_ < until && !queue_.empty()) now_ = until;
+        if (now_ < until) now_ = until;
     }
 
     /// Runs until the event queue is exhausted (or `maxEvents` fired —
     /// a guard against accidental infinite timer loops in tests).
     void run(std::uint64_t maxEvents = UINT64_MAX) {
         std::uint64_t fired = 0;
-        while (!queue_.empty() && fired < maxEvents) {
-            Event ev = std::move(const_cast<Event&>(queue_.top()));
-            queue_.pop();
-            now_ = ev.when;
-            if (!ev.state->cancelled) {
-                ev.state->fired = true;
-                ev.fn();
-                ++fired;
-            }
+        while (!heap_.empty() && fired < maxEvents) {
+            fireTop();
+            ++fired;
         }
     }
 
-    std::size_t pendingEvents() const { return queue_.size(); }
+    std::size_t pendingEvents() const { return heap_.size(); }
+    const SchedulerStats& stats() const { return stats_; }
 
 private:
-    struct Event {
-        Time when;
-        std::uint64_t seq;  // FIFO tiebreak for simultaneous events.
-        std::shared_ptr<EventHandle::State> state;
-        std::function<void()> fn;
+    friend class EventHandle;
+
+    static constexpr std::uint32_t kSlabBits = 8;
+    static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+    static constexpr std::uint32_t kNotQueued = std::numeric_limits<std::uint32_t>::max();
+
+    struct Record {
+        SmallFn fn;
+        Time when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t generation = 0;
+        std::uint32_t heapIndex = kNotQueued;
     };
-    struct Later {
-        bool operator()(const Event& a, const Event& b) const {
-            if (a.when != b.when) return a.when > b.when;
-            return a.seq > b.seq;
+
+    Record& record(std::uint32_t slot) {
+        return slabs_[slot >> kSlabBits][slot & (kSlabSize - 1)];
+    }
+    const Record& record(std::uint32_t slot) const {
+        return slabs_[slot >> kSlabBits][slot & (kSlabSize - 1)];
+    }
+
+    bool slotPending(std::uint32_t slot, std::uint32_t generation) const {
+        if (slot >> kSlabBits >= slabs_.size()) return false;
+        const Record& rec = record(slot);
+        return rec.generation == generation && rec.heapIndex != kNotQueued;
+    }
+
+    void cancelSlot(std::uint32_t slot, std::uint32_t generation) {
+        if (!slotPending(slot, generation)) return;
+        heapRemove(record(slot).heapIndex);
+        releaseRecord(slot);
+        ++stats_.cancelled;
+    }
+
+    std::uint32_t allocRecord() {
+        if (freeList_.empty()) {
+            const auto base = std::uint32_t(slabs_.size()) * kSlabSize;
+            slabs_.push_back(std::make_unique<Record[]>(kSlabSize));
+            stats_.poolCapacity += kSlabSize;
+            freeList_.reserve(kSlabSize);
+            for (std::uint32_t i = kSlabSize; i > 0; --i) freeList_.push_back(base + i - 1);
         }
-    };
+        const std::uint32_t slot = freeList_.back();
+        freeList_.pop_back();
+        return slot;
+    }
+
+    void releaseRecord(std::uint32_t slot) {
+        Record& rec = record(slot);
+        rec.fn.reset();
+        rec.heapIndex = kNotQueued;
+        ++rec.generation;  // invalidate outstanding handles
+        freeList_.push_back(slot);
+    }
+
+    void fireTop() {
+        const std::uint32_t slot = heap_.front();
+        Record& rec = record(slot);
+        TCPLP_ASSERT(rec.when >= now_);
+        now_ = rec.when;
+        // Move the callback out and retire the record *before* invoking, so
+        // a callback that re-arms its own timer allocates a fresh event
+        // instead of mutating a slot that is about to be recycled.
+        SmallFn fn = std::move(rec.fn);
+        heapRemove(0);
+        releaseRecord(slot);
+        ++stats_.fired;
+        fn();
+    }
+
+    // --- Indexed binary heap over event records ------------------------
+    // heap_ holds slot ids ordered by (when, seq); each record tracks its
+    // position so cancel/reschedule are O(log n) with no tombstones.
+
+    bool earlier(std::uint32_t a, std::uint32_t b) const {
+        const Record& ra = record(a);
+        const Record& rb = record(b);
+        if (ra.when != rb.when) return ra.when < rb.when;
+        return ra.seq < rb.seq;
+    }
+
+    void heapPlace(std::size_t index, std::uint32_t slot) {
+        heap_[index] = slot;
+        record(slot).heapIndex = std::uint32_t(index);
+    }
+
+    void heapPush(std::uint32_t slot) {
+        heap_.push_back(slot);
+        record(slot).heapIndex = std::uint32_t(heap_.size() - 1);
+        siftUp(heap_.size() - 1);
+    }
+
+    void heapRemove(std::size_t index) {
+        record(heap_[index]).heapIndex = kNotQueued;
+        const std::uint32_t last = heap_.back();
+        heap_.pop_back();
+        if (index < heap_.size()) {
+            heapPlace(index, last);
+            heapFix(std::uint32_t(index));
+        }
+    }
+
+    void heapFix(std::uint32_t index) {
+        siftUp(index);
+        siftDown(index);
+    }
+
+    void siftUp(std::size_t index) {
+        const std::uint32_t slot = heap_[index];
+        while (index > 0) {
+            const std::size_t parent = (index - 1) / 2;
+            if (!earlier(slot, heap_[parent])) break;
+            heapPlace(index, heap_[parent]);
+            index = parent;
+        }
+        heapPlace(index, slot);
+    }
+
+    void siftDown(std::size_t index) {
+        const std::uint32_t slot = heap_[index];
+        const std::size_t n = heap_.size();
+        while (true) {
+            std::size_t child = 2 * index + 1;
+            if (child >= n) break;
+            if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+            if (!earlier(heap_[child], slot)) break;
+            heapPlace(index, heap_[child]);
+            index = child;
+        }
+        heapPlace(index, slot);
+    }
 
     Time now_ = 0;
     std::uint64_t nextSeq_ = 0;
     Rng rng_;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SchedulerStats stats_;
+    std::vector<std::unique_ptr<Record[]>> slabs_;
+    std::vector<std::uint32_t> freeList_;
+    std::vector<std::uint32_t> heap_;
 };
+
+inline void EventHandle::cancel() {
+    if (simulator_ != nullptr) simulator_->cancelSlot(slot_, generation_);
+    simulator_ = nullptr;
+}
+
+inline bool EventHandle::pending() const {
+    return simulator_ != nullptr && simulator_->slotPending(slot_, generation_);
+}
 
 /// Restartable one-shot timer bound to a simulator — the idiom used by all
 /// protocol timers (TCP retransmit, delayed ACK, CoAP retransmit, MAC sleep).
+/// Re-arming a pending timer reuses its pooled event record via
+/// Simulator::reschedule — no allocation, no tombstone in the ready queue.
 class Timer {
 public:
-    Timer(Simulator& simulator, std::function<void()> fn)
-        : simulator_(simulator), fn_(std::move(fn)) {}
+    template <typename F>
+    Timer(Simulator& simulator, F&& fn) : simulator_(simulator), fn_(std::forward<F>(fn)) {}
 
     ~Timer() { stop(); }
     Timer(const Timer&) = delete;
@@ -139,8 +303,9 @@ public:
 
     /// (Re)arms the timer `delay` from now; any earlier arming is cancelled.
     void start(Time delay) {
-        stop();
-        handle_ = simulator_.schedule(delay, [this] { fn_(); });
+        const Time when = simulator_.now() + delay;
+        if (simulator_.reschedule(handle_, when)) return;
+        handle_ = simulator_.scheduleAt(when, [this] { fn_(); });
     }
 
     void stop() { handle_.cancel(); }
@@ -148,7 +313,7 @@ public:
 
 private:
     Simulator& simulator_;
-    std::function<void()> fn_;
+    SmallFn fn_;
     EventHandle handle_;
 };
 

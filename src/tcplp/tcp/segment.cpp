@@ -21,9 +21,9 @@ std::size_t Segment::optionBytes() const {
     return (n + 3) & ~std::size_t(3);  // pad to 32-bit boundary
 }
 
-Bytes Segment::encode() const {
+PacketBuffer Segment::encode() const {
     Bytes out;
-    out.reserve(totalBytes());
+    out.reserve(headerBytes());
     putU16(out, srcPort);
     putU16(out, dstPort);
     putU32(out, seq);
@@ -63,19 +63,20 @@ Bytes Segment::encode() const {
     }
     while ((out.size() - optStart) % 4 != 0) out.push_back(kOptNop);
     TCPLP_ASSERT(out.size() == headerBytes());
-    append(out, payload);
-    return out;
+    return PacketBuffer::compose(out, payload.view());
 }
 
-std::optional<Segment> Segment::decode(BytesView in) {
-    if (in.size() < 20) return std::nullopt;
-    Segment s;
+namespace {
+/// Parses header fields into `s`; returns the header length, or 0 on a
+/// malformed header. Payload handling is left to the caller.
+std::size_t decodeHeader(BytesView in, Segment& s) {
+    if (in.size() < 20) return 0;
     s.srcPort = getU16(in, 0);
     s.dstPort = getU16(in, 2);
     s.seq = getU32(in, 4);
     s.ack = getU32(in, 8);
     const std::size_t headerLen = std::size_t(in[12] >> 4) * 4;
-    if (headerLen < 20 || headerLen > in.size()) return std::nullopt;
+    if (headerLen < 20 || headerLen > in.size()) return 0;
     s.flags = Flags::decode(in[13]);
     s.window = getU16(in, 14);
 
@@ -87,24 +88,24 @@ std::optional<Segment> Segment::decode(BytesView in) {
             ++off;
             continue;
         }
-        if (off + 1 >= headerLen) return std::nullopt;
+        if (off + 1 >= headerLen) return 0;
         const std::uint8_t len = in[off + 1];
-        if (len < 2 || off + len > headerLen) return std::nullopt;
+        if (len < 2 || off + len > headerLen) return 0;
         switch (kind) {
             case kOptMss:
-                if (len != 4) return std::nullopt;
+                if (len != 4) return 0;
                 s.mssOption = getU16(in, off + 2);
                 break;
             case kOptSackPermitted:
-                if (len != 2) return std::nullopt;
+                if (len != 2) return 0;
                 s.sackPermitted = true;
                 break;
             case kOptTimestamps:
-                if (len != 10) return std::nullopt;
+                if (len != 10) return 0;
                 s.timestamps = Timestamps{getU32(in, off + 2), getU32(in, off + 6)};
                 break;
             case kOptSack: {
-                if ((len - 2) % 8 != 0) return std::nullopt;
+                if ((len - 2) % 8 != 0) return 0;
                 const std::size_t count = (len - 2u) / 8;
                 for (std::size_t i = 0; i < count; ++i) {
                     s.sackBlocks.push_back(SackBlock{getU32(in, off + 2 + i * 8),
@@ -117,7 +118,23 @@ std::optional<Segment> Segment::decode(BytesView in) {
         }
         off += len;
     }
-    s.payload.assign(in.begin() + long(headerLen), in.end());
+    return headerLen;
+}
+}  // namespace
+
+std::optional<Segment> Segment::decode(const PacketBuffer& in) {
+    Segment s;
+    const std::size_t headerLen = decodeHeader(in.view(), s);
+    if (headerLen == 0) return std::nullopt;
+    s.payload = in.subview(headerLen);
+    return s;
+}
+
+std::optional<Segment> Segment::decode(BytesView in) {
+    Segment s;
+    const std::size_t headerLen = decodeHeader(in, s);
+    if (headerLen == 0) return std::nullopt;
+    s.payload = PacketBuffer::copyOf(in.subspan(headerLen));
     return s;
 }
 

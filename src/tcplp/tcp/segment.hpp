@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tcplp/common/bytes.hpp"
+#include "tcplp/common/packet_buffer.hpp"
 #include "tcplp/tcp/seq.hpp"
 
 namespace tcplp::tcp {
@@ -68,14 +69,19 @@ struct Segment {
     std::vector<SackBlock> sackBlocks;                // up to 3 with timestamps
     std::optional<Timestamps> timestamps;
 
-    Bytes payload;
+    PacketBuffer payload;
 
     std::size_t optionBytes() const;
     /// Full header size: 20 + padded options (20–44 B per paper Table 6).
     std::size_t headerBytes() const { return 20 + optionBytes(); }
     std::size_t totalBytes() const { return headerBytes() + payload.size(); }
 
-    Bytes encode() const;
+    /// Encodes header + payload into one buffer with lower-layer headroom
+    /// (the single deliberate materialization on the TX path).
+    PacketBuffer encode() const;
+    /// Zero-copy decode: the returned segment's payload is a subview of `in`.
+    static std::optional<Segment> decode(const PacketBuffer& in);
+    /// Decode from a raw view (payload is copied; used by codec tests).
     static std::optional<Segment> decode(BytesView in);
 };
 

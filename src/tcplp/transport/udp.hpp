@@ -40,12 +40,14 @@ public:
         p.src = netif_.address();
         p.dst = dst;
         p.nextHeader = ip6::kProtoUdp;
-        p.payload.reserve(kUdpHeaderBytes + payload.size());
-        putU16(p.payload, srcPort);
-        putU16(p.payload, dstPort);
-        putU16(p.payload, std::uint16_t(kUdpHeaderBytes + payload.size()));
-        putU16(p.payload, 0);  // checksum: corruption is modeled as loss
-        append(p.payload, payload);
+        Bytes header;
+        header.reserve(kUdpHeaderBytes);
+        putU16(header, srcPort);
+        putU16(header, dstPort);
+        putU16(header, std::uint16_t(kUdpHeaderBytes + payload.size()));
+        putU16(header, 0);  // checksum: corruption is modeled as loss
+        // Single origination copy with headroom for the layers below.
+        p.payload = PacketBuffer::compose(header, payload);
         netif_.sendPacket(std::move(p));
     }
 
@@ -56,7 +58,7 @@ private:
         d.srcAddr = p.src;
         d.srcPort = getU16(p.payload, 0);
         d.dstPort = getU16(p.payload, 2);
-        d.payload.assign(p.payload.begin() + kUdpHeaderBytes, p.payload.end());
+        d.payload.assign(p.payload.begin() + kUdpHeaderBytes, p.payload.end());  // app copy
         auto it = handlers_.find(d.dstPort);
         if (it != handlers_.end()) it->second(d);
     }

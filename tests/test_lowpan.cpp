@@ -107,7 +107,7 @@ TEST(Frag, ReassemblyRoundTrip) {
     const auto p = makePacket(ip6::Address::meshLocal(1), ip6::Address::meshLocal(2), 700);
     const auto frames = encodeDatagram(p, 1, 2, 42, 104);
     ASSERT_GT(frames.size(), 1u);
-    for (const Bytes& f : frames) reasm.input(1, 2, f);
+    for (const PacketBuffer& f : frames) reasm.input(1, 2, f);
 
     ASSERT_TRUE(delivered);
     EXPECT_EQ(got.payload, p.payload);
@@ -166,6 +166,20 @@ TEST(Frag, ReassemblyTimesOut) {
     // Late remainder of the stale datagram must not resurrect it.
     for (std::size_t i = 1; i < frames.size(); ++i) reasm.input(1, 2, frames[i]);
     EXPECT_EQ(delivered, 1);  // only the unrelated small datagram
+}
+
+TEST(Frag, FrameCountMatchesEncoderForAllSizes) {
+    // frameCountFor computes fragmentation arithmetic without materializing
+    // frames; it must agree with the encoder for every size and budget.
+    for (const std::size_t budget : {53u, 80u, 104u}) {
+        for (std::size_t len = 0; len <= 1200; len += 7) {
+            const auto p =
+                makePacket(ip6::Address::meshLocal(1), ip6::Address::cloud(2), len);
+            EXPECT_EQ(frameCountFor(p, 1, 2, budget),
+                      encodeDatagram(p, 1, 2, 3, budget).size())
+                << "payload=" << len << " budget=" << budget;
+        }
+    }
 }
 
 TEST(Frag, Table6HeaderOverheadShape) {

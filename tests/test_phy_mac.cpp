@@ -149,9 +149,9 @@ struct MacPair {
 TEST(CsmaMac, UnicastDeliveredAndAcked) {
     MacPair p;
     Bytes got;
-    p.macB.setReceiveCallback([&](NodeId src, const Bytes& payload) {
+    p.macB.setReceiveCallback([&](NodeId src, const PacketBuffer& payload) {
         EXPECT_EQ(src, 1);
-        got = payload;
+        got = payload.toBytes();
     });
     bool ok = false;
     p.macA.send(2, toBytes("hello mac"), [&](const mac::SendResult& r) { ok = r.success; });
@@ -166,7 +166,7 @@ TEST(CsmaMac, RetriesWhenAckLost) {
     // Receiver hears us but we never hear the ACK (asymmetric loss).
     p.channel.setLinkLossDirectional(2, 1, 1.0);
     int delivered = 0;
-    p.macB.setReceiveCallback([&](NodeId, const Bytes&) { ++delivered; });
+    p.macB.setReceiveCallback([&](NodeId, const PacketBuffer&) { ++delivered; });
     bool ok = true;
     p.macA.send(2, toBytes("x"), [&](const mac::SendResult& r) { ok = r.success; });
     p.simulator.run();
@@ -180,7 +180,7 @@ TEST(CsmaMac, QueueTransmitsInOrder) {
     MacPair p;
     std::string got;
     p.macB.setReceiveCallback(
-        [&](NodeId, const Bytes& payload) { got += toPrintable(payload); });
+        [&](NodeId, const PacketBuffer& payload) { got += toPrintable(payload); });
     p.macA.send(2, toBytes("a"));
     p.macA.send(2, toBytes("b"));
     p.macA.send(2, toBytes("c"));
@@ -214,7 +214,7 @@ TEST(CsmaMac, HiddenTerminalCollisionsReducedByRetryDelay) {
         cfg.retryDelayMax = d;
         mac::CsmaMac m1(r1, cfg), m2(r2, cfg), m3(r3, cfg);
         int delivered = 0;
-        m2.setReceiveCallback([&](NodeId, const Bytes&) { ++delivered; });
+        m2.setReceiveCallback([&](NodeId, const PacketBuffer&) { ++delivered; });
         int failures = 0;
         auto cb = [&](const mac::SendResult& r) {
             if (!r.success) ++failures;
@@ -270,7 +270,7 @@ TEST(SleepyMac, IndirectDeliveryViaPoll) {
     sc.sleepInterval = sim::fromMillis(200);
     mac::SleepyMac sleepy(leafMac, 1, sc);
     Bytes got;
-    sleepy.setReceiveCallback([&](NodeId, const Bytes& payload) { got = payload; });
+    sleepy.setReceiveCallback([&](NodeId, const PacketBuffer& payload) { got = payload.toBytes(); });
     sleepy.start();
 
     // Parent queues a frame while the leaf sleeps; delivered on next poll.
@@ -298,7 +298,7 @@ TEST(SleepyMac, AdaptiveIntervalResetsOnTrafficAndDecays) {
     sc.sminAdaptive = sim::fromMillis(20);
     sc.smaxAdaptive = 5 * sim::kSecond;
     mac::SleepyMac sleepy(leafMac, 1, sc);
-    sleepy.setReceiveCallback([](NodeId, const Bytes&) {});
+    sleepy.setReceiveCallback([](NodeId, const PacketBuffer&) {});
     sleepy.start();
 
     // With no traffic the interval doubles to smax (Appendix C.2).
@@ -329,8 +329,8 @@ TEST(DeafListening, HardwareCsmaMissesIncomingFrames) {
         mac::CsmaMac ma(ra, cfg);
         mac::CsmaMac mb(rb, cfg);
         int aGot = 0;
-        ma.setReceiveCallback([&](NodeId, const Bytes&) { ++aGot; });
-        mb.setReceiveCallback([](NodeId, const Bytes&) {});
+        ma.setReceiveCallback([&](NodeId, const PacketBuffer&) { ++aGot; });
+        mb.setReceiveCallback([](NodeId, const PacketBuffer&) {});
         for (int i = 0; i < 40; ++i) {
             ma.send(2, patternBytes(std::size_t(i), 90), nullptr);
             mb.send(1, patternBytes(std::size_t(i) + 5000, 90), nullptr);

@@ -1,6 +1,8 @@
 // Unit tests: discrete-event simulator core.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "tcplp/sim/simulator.hpp"
@@ -84,6 +86,134 @@ TEST(Timer, StopPreventsFire) {
     t.stop();
     simulator.run();
     EXPECT_EQ(fires, 0);
+}
+
+TEST(EventHandle, SlotReuseDoesNotResurrectOldHandle) {
+    Simulator simulator;
+    bool aFired = false;
+    bool bFired = false;
+    EventHandle a = simulator.schedule(50, [&] { aFired = true; });
+    a.cancel();  // releases the pooled slot
+    // The freed slot is recycled for b; a's stale generation must not alias.
+    EventHandle b = simulator.schedule(60, [&] { bFired = true; });
+    EXPECT_FALSE(a.pending());
+    EXPECT_TRUE(b.pending());
+    a.cancel();  // double-cancel through a stale handle: must not touch b
+    EXPECT_TRUE(b.pending());
+    simulator.run();
+    EXPECT_FALSE(aFired);
+    EXPECT_TRUE(bFired);
+}
+
+TEST(EventHandle, CopiesShareTheEvent) {
+    Simulator simulator;
+    bool fired = false;
+    EventHandle a = simulator.schedule(50, [&] { fired = true; });
+    EventHandle copy = a;
+    copy.cancel();
+    EXPECT_FALSE(a.pending());
+    simulator.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventHandle, HandleGoesStaleAfterFiring) {
+    Simulator simulator;
+    EventHandle h = simulator.schedule(10, [] {});
+    simulator.run();
+    EXPECT_FALSE(h.pending());
+    // Rescheduling a fired handle must be refused.
+    EXPECT_FALSE(simulator.reschedule(h, simulator.now() + 100));
+}
+
+TEST(Simulator, RescheduleMovesDeadlineBothWays) {
+    Simulator simulator;
+    std::vector<int> order;
+    EventHandle a = simulator.schedule(300, [&] { order.push_back(1); });
+    simulator.schedule(200, [&] { order.push_back(2); });
+    // Pull `a` earlier than the other event...
+    EXPECT_TRUE(simulator.reschedule(a, 100));
+    // ...and push a third event later than everything.
+    EventHandle c = simulator.schedule(50, [&] { order.push_back(3); });
+    EXPECT_TRUE(simulator.reschedule(c, 400));
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(simulator.stats().rescheduled, 2u);
+}
+
+TEST(Timer, RestartStormReusesOnePooledEvent) {
+    Simulator simulator;
+    int fires = 0;
+    Timer t(simulator, [&] { ++fires; });
+    // A TCP RTO-style storm: re-arm thousands of times before expiry.
+    for (int i = 0; i < 10000; ++i) t.start(100 + (i % 7));
+    EXPECT_EQ(simulator.pendingEvents(), 1u);
+    // One slab of event records is enough for the whole storm: re-arming
+    // reschedules the same pooled record instead of allocating.
+    EXPECT_EQ(simulator.stats().scheduled, 1u);
+    EXPECT_EQ(simulator.stats().rescheduled, 9999u);
+    EXPECT_LE(simulator.stats().poolCapacity, 256u);
+    simulator.run();
+    EXPECT_EQ(fires, 1);
+}
+
+TEST(Timer, ManyTimersRestartingStayDeterministic) {
+    // Interleaved restart storms across many timers: firing order must stay
+    // the (when, scheduling-seq) total order regardless of pool recycling.
+    Simulator simulator;
+    std::vector<int> order;
+    std::vector<std::unique_ptr<Timer>> timers;
+    for (int i = 0; i < 16; ++i) {
+        timers.push_back(
+            std::make_unique<Timer>(simulator, [&order, i] { order.push_back(i); }));
+    }
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 16; ++i) timers[std::size_t(i)]->start(Time(1000 + i));
+    }
+    simulator.run();
+    std::vector<int> expect;
+    for (int i = 0; i < 16; ++i) expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(Timer, RearmInsideOwnCallbackKeepsFiring) {
+    Simulator simulator;
+    int fires = 0;
+    Timer t(simulator, [&] {
+        if (++fires < 5) t.start(10);
+    });
+    t.start(10);
+    simulator.run(100);
+    EXPECT_EQ(fires, 5);
+}
+
+TEST(SmallFn, InlineCapturesAvoidHeap) {
+    const auto before = SmallFn::heapFallbacks();
+    int x = 0;
+    SmallFn small([&x] { ++x; });  // one pointer: inline
+    small();
+    EXPECT_EQ(x, 1);
+    EXPECT_EQ(SmallFn::heapFallbacks(), before);
+
+    struct Big {
+        std::uint64_t pad[9];  // 72 B > kInlineBytes
+    } big{};
+    SmallFn large([big, &x] { x += int(big.pad[0]) + 1; });
+    large();
+    EXPECT_EQ(x, 2);
+    EXPECT_EQ(SmallFn::heapFallbacks(), before + 1);
+}
+
+TEST(Simulator, PoolRecyclesSlotsAcrossManyEvents) {
+    // A long self-rescheduling run must not grow the pool beyond one slab.
+    Simulator simulator;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        if (++count < 5000) simulator.schedule(10, tick);
+    };
+    simulator.schedule(10, tick);
+    simulator.run();
+    EXPECT_EQ(count, 5000);
+    EXPECT_LE(simulator.stats().poolCapacity, 256u);
 }
 
 TEST(Rng, DeterministicGivenSeed) {

@@ -169,7 +169,7 @@ TEST(SegmentCodec, RoundTripAllOptions) {
     s.sackBlocks = {{100, 200}, {300, 400}};
     s.payload = patternBytes(0, 50);
 
-    const Bytes wire = s.encode();
+    const PacketBuffer wire = s.encode();
     const auto d = Segment::decode(wire);
     ASSERT_TRUE(d.has_value());
     EXPECT_EQ(d->srcPort, s.srcPort);
@@ -210,7 +210,7 @@ TEST(SegmentCodec, HeaderSizeWithinPaperRange) {
 TEST(SegmentCodec, RejectsTruncatedInput) {
     Segment s;
     s.timestamps = Timestamps{1, 2};
-    Bytes wire = s.encode();
+    const Bytes wire = s.encode().toBytes();
     for (std::size_t cut = 1; cut < 20; ++cut) {
         EXPECT_FALSE(
             Segment::decode(BytesView(wire.data(), cut)).has_value());
