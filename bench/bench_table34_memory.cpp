@@ -8,6 +8,10 @@
 // buffers dominate (§4.2, §4.3).
 #include <cstdio>
 
+#include "tcplp/common/arena.hpp"
+#include "tcplp/lowpan/frag.hpp"
+#include "tcplp/mesh/node.hpp"
+#include "tcplp/sim/simulator.hpp"
 #include "tcplp/tcp/recv_buffer.hpp"
 #include "tcplp/tcp/send_buffer.hpp"
 #include "tcplp/tcp/tcp.hpp"
@@ -43,5 +47,72 @@ int main() {
     zc.appendShared(chunk);
     std::printf("\nZero-copy send buffer: queued=%zu B, buffer-owned=%zu B, nodes=%zu\n",
                 zc.size(), zc.ownedBytes(), zc.nodeCount());
+
+    // 6LoWPAN reassembly arena (the mote packet heap): genuine buffer
+    // pressure — bytes pinned while datagrams gather, drops on exhaustion —
+    // instead of elastic heap growth (Ayers et al.'s footprint concern).
+    const mesh::NodeConfig nodeDefaults;
+    std::printf("\nReassembly arena (per node, mote packet heap):\n");
+    std::printf("%-42s %8zu\n", "arena capacity (default)", nodeDefaults.reassemblyArenaBytes);
+    std::printf("%-42s %8zu\n", "partial-datagram slots", nodeDefaults.reassemblySlots);
+    std::printf("%-42s %8zu\n", "BufferArena object overhead", sizeof(BufferArena));
+    std::printf("Arena as %% of Hamilton RAM: %.1f%%\n",
+                100.0 * double(nodeDefaults.reassemblyArenaBytes) / double(hamiltonRam));
+
+    // Pressure run: interleave datagrams from several senders so gather
+    // buffers coexist at the default arena size (no drops expected).
+    sim::Simulator simulator;
+    BufferArena arena(nodeDefaults.reassemblyArenaBytes);
+    std::uint64_t delivered = 0;
+    lowpan::Reassembler reasm(
+        simulator, [&](ip6::Packet, ip6::ShortAddr) { ++delivered; },
+        5 * sim::kSecond, &arena);
+    std::vector<std::vector<PacketBuffer>> flows;
+    for (std::uint16_t s = 1; s <= 6; ++s) {
+        ip6::Packet p;
+        p.src = ip6::Address::meshLocal(s);
+        p.dst = ip6::Address::meshLocal(99);
+        p.nextHeader = ip6::kProtoTcp;
+        p.payload = patternBytes(s, 900);
+        flows.push_back(lowpan::encodeDatagram(p, s, 99, s, 104));
+    }
+    const std::uint64_t heapBlocksBefore = PacketBuffer::stats().allocations;
+    for (std::size_t f = 0; f < flows[0].size(); ++f) {
+        for (std::uint16_t s = 1; s <= 6; ++s) {
+            if (f < flows[s - 1].size()) reasm.input(s, 99, flows[s - 1][f]);
+        }
+    }
+    const std::uint64_t heapBlocks = PacketBuffer::stats().allocations - heapBlocksBefore;
+    std::printf("\nPressure run (6 interleaved 900 B datagrams):\n");
+    std::printf("%-42s %8llu\n", "datagrams delivered",
+                static_cast<unsigned long long>(delivered));
+    std::printf("%-42s %8zu\n", "arena high-water bytes", arena.stats().highWaterBytes);
+    std::printf("%-42s %8llu\n", "overflow drops (arena + slots)",
+                static_cast<unsigned long long>(reasm.stats().arenaDrops +
+                                                reasm.stats().slotDrops));
+    std::printf("%-42s %8llu\n", "heap blocks allocated while gathering",
+                static_cast<unsigned long long>(heapBlocks));
+
+    // Overflow run: the same six flows against a half-size mote heap — now
+    // the later FRAG1s find no room and their datagrams are shed, which is
+    // the drop accounting the NodeStats fields surface.
+    BufferArena tightArena(nodeDefaults.reassemblyArenaBytes / 2);
+    std::uint64_t tightDelivered = 0;
+    lowpan::Reassembler tightReasm(
+        simulator, [&](ip6::Packet, ip6::ShortAddr) { ++tightDelivered; },
+        5 * sim::kSecond, &tightArena);
+    for (std::size_t f = 0; f < flows[0].size(); ++f) {
+        for (std::uint16_t s = 1; s <= 6; ++s) {
+            if (f < flows[s - 1].size()) tightReasm.input(s, 99, flows[s - 1][f]);
+        }
+    }
+    std::printf("\nOverflow run (same flows, %zu B arena):\n", tightArena.capacity());
+    std::printf("%-42s %8llu\n", "datagrams delivered",
+                static_cast<unsigned long long>(tightDelivered));
+    std::printf("%-42s %8zu\n", "arena high-water bytes",
+                tightArena.stats().highWaterBytes);
+    std::printf("%-42s %8llu\n", "overflow drops (arena + slots)",
+                static_cast<unsigned long long>(tightReasm.stats().arenaDrops +
+                                                tightReasm.stats().slotDrops));
     return 0;
 }

@@ -1,0 +1,167 @@
+// BufferArena — a fixed-capacity byte arena modelling a mote packet heap.
+//
+// Constrained IP stacks do not malloc per datagram: TinyOS/BLIP and
+// OpenThread both reserve a fixed message pool at boot and carve every
+// packet buffer out of it, dropping traffic when the pool is exhausted
+// (Ayers et al. flag exactly this buffer pressure as the footprint cost of
+// full-scale protocols; Tables 3/4 of the TCPlp paper size it). This class
+// reproduces that memory model in host code so the reassembly path can be
+// allocation-free and the memory benches can report genuine pressure:
+// drops on exhaustion and a byte high-water mark instead of an elastic heap.
+//
+// ## Design
+//
+//  * One contiguous block, allocated once at construction. carve() hands out
+//    8-byte-aligned chunks via a first-fit free list; release() returns a
+//    chunk and coalesces it with free neighbors, so long-running simulations
+//    do not fragment into confetti.
+//  * Each chunk is preceded by a small header recording its span, so
+//    release() needs only the pointer.
+//  * carve() NEVER falls back to the heap: exhaustion returns nullptr and is
+//    counted in stats().exhaustionDrops. Callers model a mote dropping a
+//    packet, not a host growing a vector.
+//  * Free-list bookkeeping lives in a vector whose capacity is reserved up
+//    front for the worst case (maximally fragmented arena), so steady-state
+//    carve/release performs zero heap allocations.
+//
+// ## Lifetime
+//
+// The arena must outlive every chunk carved from it — including any
+// PacketBuffer whose storage was placed here via PacketBuffer::allocateFrom
+// (see packet_buffer.hpp "Arena-backed storage"). In this codebase each
+// mesh::Node owns its reassembly arena and every reassembled datagram is
+// consumed within the node graph's lifetime, which satisfies the rule by
+// construction — with one teardown caveat: a *scheduled* callback (e.g. a
+// WiredLink transfer) can capture an arena-backed payload, and the
+// simulator typically outlives the nodes. Orchestration layers therefore
+// cancel all pending events before destroying nodes (see
+// Simulator::cancelAllPending and Testbed::~Testbed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tcplp/common/assert.hpp"
+
+namespace tcplp {
+
+struct ArenaStats {
+    std::uint64_t carves = 0;           // successful allocations
+    std::uint64_t releases = 0;         // chunks returned
+    std::uint64_t exhaustionDrops = 0;  // carve() failures (no fitting chunk)
+    std::size_t bytesInUse = 0;         // currently carved, incl. headers
+    std::size_t highWaterBytes = 0;     // max bytesInUse ever observed
+};
+
+class BufferArena {
+public:
+    explicit BufferArena(std::size_t capacity)
+        : capacity_(roundUp(capacity)), storage_(new std::uint8_t[capacity_]) {
+        // Worst case the arena alternates carved/free chunks of minimal
+        // size; reserving that many free-list entries up front keeps
+        // carve/release heap-silent forever after.
+        free_.reserve(capacity_ / (kHeaderBytes + kAlign) + 2);
+        free_.push_back(Span{0, capacity_});
+    }
+
+    BufferArena(const BufferArena&) = delete;
+    BufferArena& operator=(const BufferArena&) = delete;
+
+    /// Carves `bytes` usable bytes; nullptr (counted) when nothing fits.
+    void* carve(std::size_t bytes) {
+        const std::size_t need = kHeaderBytes + roundUp(bytes);
+        for (std::size_t i = 0; i < free_.size(); ++i) {
+            if (free_[i].len < need) continue;
+            const std::size_t off = free_[i].off;
+            if (free_[i].len == need) {
+                free_.erase(free_.begin() + long(i));
+            } else {
+                free_[i].off += need;
+                free_[i].len -= need;
+            }
+            auto* hdr = reinterpret_cast<Header*>(storage_.get() + off);
+            hdr->span = std::uint32_t(need);
+            ++stats_.carves;
+            stats_.bytesInUse += need;
+            if (stats_.bytesInUse > stats_.highWaterBytes) {
+                stats_.highWaterBytes = stats_.bytesInUse;
+            }
+            return storage_.get() + off + kHeaderBytes;
+        }
+        ++stats_.exhaustionDrops;
+        return nullptr;
+    }
+
+    /// Returns a chunk obtained from carve(); coalesces with free neighbors.
+    void release(void* p) {
+        TCPLP_ASSERT(owns(p));
+        // Step back to the header via uintptr_t: p provably points into
+        // storage_, but when release() is inlined behind an arena-null
+        // check GCC's -Warray-bounds reasons about the dead branch.
+        auto* bytes = reinterpret_cast<std::uint8_t*>(
+            reinterpret_cast<std::uintptr_t>(p) - kHeaderBytes);
+        const auto* hdr = reinterpret_cast<const Header*>(bytes);
+        const std::size_t off = std::size_t(bytes - storage_.get());
+        const std::size_t len = hdr->span;
+        TCPLP_ASSERT(len >= kHeaderBytes && off + len <= capacity_);
+        ++stats_.releases;
+        TCPLP_ASSERT(stats_.bytesInUse >= len);
+        stats_.bytesInUse -= len;
+
+        // Insert sorted by offset, then merge with adjacent free spans.
+        std::size_t i = 0;
+        while (i < free_.size() && free_[i].off < off) ++i;
+        free_.insert(free_.begin() + long(i), Span{off, len});
+        if (i + 1 < free_.size() && free_[i].off + free_[i].len == free_[i + 1].off) {
+            free_[i].len += free_[i + 1].len;
+            free_.erase(free_.begin() + long(i) + 1);
+        }
+        if (i > 0 && free_[i - 1].off + free_[i - 1].len == free_[i].off) {
+            free_[i - 1].len += free_[i].len;
+            free_.erase(free_.begin() + long(i));
+        }
+    }
+
+    /// True if `p` points into this arena's storage (valid carve result).
+    /// The upper bound is inclusive: a zero-byte carve at the arena tail
+    /// legitimately returns one-past-the-last-header.
+    bool owns(const void* p) const {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        return b >= storage_.get() + kHeaderBytes && b <= storage_.get() + capacity_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    /// Largest single request carve() could currently satisfy.
+    std::size_t largestFreeChunk() const {
+        std::size_t best = 0;
+        for (const Span& s : free_)
+            if (s.len > best) best = s.len;
+        return best > kHeaderBytes ? best - kHeaderBytes : 0;
+    }
+    std::size_t outstandingChunks() const {
+        return std::size_t(stats_.carves - stats_.releases);
+    }
+    const ArenaStats& stats() const { return stats_; }
+
+private:
+    static constexpr std::size_t kAlign = 8;
+    struct Header {
+        std::uint32_t span;  // header + payload + padding, in bytes
+    };
+    static constexpr std::size_t kHeaderBytes = kAlign;  // keep payload aligned
+    struct Span {
+        std::size_t off;
+        std::size_t len;
+    };
+
+    static std::size_t roundUp(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+    std::size_t capacity_;
+    std::unique_ptr<std::uint8_t[]> storage_;
+    std::vector<Span> free_;  // sorted by offset, coalesced
+    ArenaStats stats_;
+};
+
+}  // namespace tcplp

@@ -29,6 +29,26 @@
 //    originate buffers with enough headroom for the headers below them
 //    (kDefaultHeadroom covers TCP framing + IPHC + FRAG1).
 //
+// ## Arena-backed storage (reassembly gather buffers)
+//
+//  * `allocateFrom(arena, n)` places the storage block inside a BufferArena
+//    instead of the heap — the 6LoWPAN reassembler uses this so gathering a
+//    fragmented datagram performs zero heap allocations. Exhaustion returns
+//    an invalid buffer (`!valid()`); callers drop the datagram and count it,
+//    exactly as a mote with a full packet heap would.
+//  * Sharing semantics are identical to heap storage: subview/copy bump the
+//    refcount, and when the LAST reference dies the block is returned to its
+//    arena (not the heap). The chunk therefore stays carved for as long as
+//    any layer still references the reassembled payload — this is the
+//    "buffer pressure" the Table 3/4 benches measure.
+//  * Mutating fallbacks (`copyForWrite()`, the `prepend()` slow path)
+//    allocate their fresh storage on the HEAP, never in the arena: a
+//    shared-buffer rewrite is a host-side correctness escape hatch, and it
+//    must not be able to exhaust the mote-sized pool.
+//  * Lifetime rule: the arena must strictly outlive every buffer carved from
+//    it (see arena.hpp). Node owns its arena and its reassembler together,
+//    so the rule holds by member ordering.
+//
 // The refcount is deliberately non-atomic: the simulator is single-threaded,
 // and this buffer is a model of a mote packet heap, not a concurrency
 // primitive.
@@ -39,6 +59,7 @@
 #include <cstring>
 #include <new>
 
+#include "tcplp/common/arena.hpp"
 #include "tcplp/common/assert.hpp"
 #include "tcplp/common/bytes.hpp"
 
@@ -105,6 +126,28 @@ public:
         if (n > 0) std::memset(b.storage_->bytes() + b.off_, 0, n);
         return b;
     }
+
+    /// Carves a zero-filled buffer of `n` bytes (plus headroom) out of
+    /// `arena` instead of the heap. Returns an invalid buffer (!valid())
+    /// when the arena cannot satisfy the request — the arena counts the
+    /// exhaustion; the caller decides what "drop" means at its layer.
+    static PacketBuffer allocateFrom(BufferArena& arena, std::size_t n,
+                                     std::size_t headroom = 0) {
+        void* mem = arena.carve(sizeof(Storage) + headroom + n);
+        if (mem == nullptr) return PacketBuffer();
+        PacketBuffer b;
+        b.storage_ = ::new (mem) Storage{1, std::uint32_t(headroom + n), &arena};
+        b.off_ = headroom;
+        b.len_ = n;
+        if (n > 0) std::memset(b.storage_->bytes() + b.off_, 0, n);
+        return b;
+    }
+
+    /// False only for a default-constructed buffer or a failed arena carve.
+    /// (A zero-length view of real storage is still valid.)
+    bool valid() const { return storage_ != nullptr; }
+    /// True when the storage block lives in a BufferArena.
+    bool arenaBacked() const { return storage_ != nullptr && storage_->arena != nullptr; }
 
     /// Copies `data` into a fresh buffer (deliberate origination copy).
     static PacketBuffer copyOf(BytesView data, std::size_t headroom = kDefaultHeadroom) {
@@ -238,19 +281,25 @@ private:
     struct Storage {
         std::uint32_t refs;
         std::uint32_t capacity;
+        BufferArena* arena;  // nullptr = heap-owned
         std::uint8_t* bytes() { return reinterpret_cast<std::uint8_t*>(this + 1); }
     };
 
     static Storage* newStorage(std::size_t capacity) {
         void* mem = ::operator new(sizeof(Storage) + capacity);
-        ++stats_.allocations;
-        return ::new (mem) Storage{1, std::uint32_t(capacity)};
+        ++stats_.allocations;  // heap blocks only; arena carves are counted by the arena
+        return ::new (mem) Storage{1, std::uint32_t(capacity), nullptr};
     }
 
     void release() {
         if (storage_ != nullptr && --storage_->refs == 0) {
+            BufferArena* arena = storage_->arena;
             storage_->~Storage();
-            ::operator delete(storage_);
+            if (arena != nullptr) {
+                arena->release(storage_);
+            } else {
+                ::operator delete(storage_);
+            }
         }
         storage_ = nullptr;
         off_ = len_ = 0;

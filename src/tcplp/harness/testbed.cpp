@@ -14,6 +14,8 @@ Testbed::Testbed(TestbedConfig config)
     if (config_.linkLoss > 0.0) channel_.setDefaultLoss(config_.linkLoss);
 }
 
+Testbed::~Testbed() { simulator_.cancelAllPending(); }
+
 mesh::Node& Testbed::addNode(phy::NodeId id, phy::Position pos, mesh::NodeConfig config) {
     nodes_.push_back(std::make_unique<mesh::Node>(simulator_, &channel_, id, pos, config));
     return *nodes_.back();

@@ -36,6 +36,11 @@ struct TestbedConfig {
 class Testbed {
 public:
     explicit Testbed(TestbedConfig config = {});
+    /// Cancels all pending simulator events before members are destroyed:
+    /// a scheduled callback may hold in-flight packets whose payloads live
+    /// in a node's reassembly arena, and those must be released while the
+    /// nodes (declared after simulator_, destroyed first) still exist.
+    ~Testbed();
 
     sim::Simulator& simulator() { return simulator_; }
     phy::Channel& channel() { return channel_; }

@@ -106,6 +106,20 @@ std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::Shor
     return 1 + (remaining + chunk - 1) / chunk;
 }
 
+Reassembler::Slot* Reassembler::findSlot(ip6::ShortAddr src, std::uint16_t tag) {
+    for (Slot& s : slots_) {
+        if (s.active && s.src == src && s.tag == tag) return &s;
+    }
+    return nullptr;
+}
+
+void Reassembler::releaseSlot(Slot& slot) {
+    slot.active = false;
+    // Drop the gather buffer now (returns its chunk to the arena) rather
+    // than when the slot is next recycled.
+    slot.packet = ip6::Packet{};
+}
+
 void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
                         const PacketBuffer& macPayload) {
     expire();
@@ -122,11 +136,26 @@ void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
         return;
     }
 
-    const auto key = std::make_pair(macSrc, info->tag);
     if (info->isFirst) {
-        Partial part;
+        // New FRAG1 replaces any stale partial with the same (src, tag);
+        // otherwise it claims a free slot, or is dropped when a mote-sized
+        // table would be full.
+        Slot* slot = findSlot(macSrc, info->tag);
+        if (slot == nullptr) {
+            for (Slot& s : slots_) {
+                if (!s.active) {
+                    slot = &s;
+                    break;
+                }
+            }
+        }
+        if (slot == nullptr) {
+            ++stats_.slotDrops;
+            return;
+        }
         const PacketBuffer rest = macPayload.subview(info->headerLen);
-        const auto consumed = decompressHeader(rest, macSrc, macDst, part.packet);
+        ip6::Packet header;
+        const auto consumed = decompressHeader(rest, macSrc, macDst, header);
         if (!consumed) return;
         const std::size_t lead = rest.size() - *consumed;
         if (info->datagramSize < ip6::kUncompressedHeaderBytes ||
@@ -135,37 +164,59 @@ void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
             return;
         }
         const std::size_t total = info->datagramSize - ip6::kUncompressedHeaderBytes;
-        // Gather fragments into one allocation sized from the FRAG1 header
-        // (no per-fragment growth reallocations).
-        part.packet.payload = PacketBuffer::allocate(total, /*headroom=*/0);
-        part.packet.payload.writeAt(0, BytesView(rest.data() + *consumed, lead));
-        part.expectedSize = info->datagramSize;
-        part.receivedUncompressed = ip6::kUncompressedHeaderBytes + lead;
-        part.lastActivity = simulator_.now();
-        partials_[key] = std::move(part);  // new FRAG1 replaces any stale one
+        // Gather fragments into one chunk sized from the FRAG1 header (no
+        // per-fragment growth reallocations) — carved from the arena when
+        // one is attached, so the steady-state path never touches the heap.
+        // Carve BEFORE touching any stale same-key partial: a transiently
+        // full arena then usually leaves the old partial intact. If the
+        // carve fails, the stale partial is sacrificed and the carve
+        // retried — its chunk is the replacement's best chance to fit, and
+        // an in-order continuation of the abandoned attempt is unlikely
+        // once the sender has restarted the datagram. If the retry fails
+        // too, both attempts are lost and the drop is counted.
+        PacketBuffer gather = arena_ != nullptr
+                                  ? PacketBuffer::allocateFrom(*arena_, total)
+                                  : PacketBuffer::allocate(total, /*headroom=*/0);
+        if (arena_ != nullptr && !gather.valid() && slot->active) {
+            releaseSlot(*slot);
+            gather = PacketBuffer::allocateFrom(*arena_, total);
+        }
+        if (!gather.valid()) {
+            ++stats_.arenaDrops;  // packet heap full: the datagram is lost
+            return;
+        }
+        releaseSlot(*slot);  // new FRAG1 replaces any stale same-key partial
+        slot->active = true;
+        slot->src = macSrc;
+        slot->tag = info->tag;
+        slot->packet = std::move(header);
+        slot->packet.payload = std::move(gather);
+        slot->packet.payload.writeAt(0, BytesView(rest.data() + *consumed, lead));
+        slot->expectedSize = info->datagramSize;
+        slot->receivedUncompressed = ip6::kUncompressedHeaderBytes + lead;
+        slot->lastActivity = simulator_.now();
         return;
     }
 
-    auto it = partials_.find(key);
-    if (it == partials_.end()) return;  // FRAG1 lost: datagram unrecoverable
-    Partial& part = it->second;
+    Slot* slot = findSlot(macSrc, info->tag);
+    if (slot == nullptr) return;  // FRAG1 lost: datagram unrecoverable
     const std::size_t frag = macPayload.size() - info->headerLen;
-    const std::size_t at = part.receivedUncompressed - ip6::kUncompressedHeaderBytes;
-    if (info->offsetBytes != part.receivedUncompressed ||
-        at + frag > part.packet.payload.size()) {
+    const std::size_t at = slot->receivedUncompressed - ip6::kUncompressedHeaderBytes;
+    if (info->offsetBytes != slot->receivedUncompressed ||
+        at + frag > slot->packet.payload.size()) {
         // Gap, duplicate, or overflow: a fragment was lost despite link
         // retries (or the header lied about the datagram size).
         ++stats_.dropped;
-        partials_.erase(it);
+        releaseSlot(*slot);
         return;
     }
-    part.packet.payload.writeAt(at, BytesView(macPayload.data() + info->headerLen, frag));
-    part.receivedUncompressed += frag;
-    part.lastActivity = simulator_.now();
+    slot->packet.payload.writeAt(at, BytesView(macPayload.data() + info->headerLen, frag));
+    slot->receivedUncompressed += frag;
+    slot->lastActivity = simulator_.now();
 
-    if (part.receivedUncompressed >= part.expectedSize) {
-        ip6::Packet done = std::move(part.packet);
-        partials_.erase(it);
+    if (slot->receivedUncompressed >= slot->expectedSize) {
+        ip6::Packet done = std::move(slot->packet);
+        releaseSlot(*slot);
         ++stats_.delivered;
         deliver_(std::move(done), macSrc);
     }
@@ -173,12 +224,10 @@ void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
 
 void Reassembler::expire() {
     const sim::Time now = simulator_.now();
-    for (auto it = partials_.begin(); it != partials_.end();) {
-        if (now - it->second.lastActivity > timeout_) {
+    for (Slot& s : slots_) {
+        if (s.active && now - s.lastActivity > timeout_) {
             ++stats_.timedOut;
-            it = partials_.erase(it);
-        } else {
-            ++it;
+            releaseSlot(s);
         }
     }
 }

@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "tcplp/common/arena.hpp"
 #include "tcplp/ip6/packet.hpp"
 #include "tcplp/lowpan/iphc.hpp"
 #include "tcplp/sim/simulator.hpp"
@@ -53,43 +53,73 @@ std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::Shor
 struct ReassemblyStats {
     std::uint64_t delivered = 0;
     std::uint64_t timedOut = 0;
-    std::uint64_t dropped = 0;  // out-of-order / overlapping fragments
+    std::uint64_t dropped = 0;     // out-of-order / overlapping fragments
+    std::uint64_t arenaDrops = 0;  // gather buffer did not fit in the arena
+    std::uint64_t slotDrops = 0;   // all partial-datagram slots were busy
 };
 
 /// Per-node reassembly state machine. Fragments of a datagram must arrive
 /// in order (the MAC's ARQ provides this on a single hop); a gap or timeout
 /// discards the partial datagram.
+///
+/// Memory model: partial-datagram state lives in a fixed slot array sized at
+/// construction (a mote tracks a handful of concurrent reassemblies, not an
+/// elastic map), and the gather buffer for each datagram is carved out of an
+/// optional BufferArena sized from the FRAG1 header. With an arena attached,
+/// the steady-state reassembly path performs zero heap allocations; running
+/// out of slots or arena bytes drops the datagram and counts it, exactly as
+/// a mote with a full packet heap would.
 class Reassembler {
 public:
     using Deliver = std::function<void(ip6::Packet, ip6::ShortAddr macSrc)>;
 
+    /// Concurrent partial datagrams tracked (OpenThread keeps a similar
+    /// small fixed table; exceeding it drops the newest datagram). Sized so
+    /// a border router riding out an interference burst — live reassemblies
+    /// from every sensor plus dead tails awaiting the 5 s timeout — does not
+    /// shed traffic in the paper's full-day office run.
+    static constexpr std::size_t kDefaultMaxPartials = 16;
+
     Reassembler(sim::Simulator& simulator, Deliver deliver,
-                sim::Time timeout = 5 * sim::kSecond)
-        : simulator_(simulator), deliver_(std::move(deliver)), timeout_(timeout) {}
+                sim::Time timeout = 5 * sim::kSecond, BufferArena* arena = nullptr,
+                std::size_t maxPartials = kDefaultMaxPartials)
+        : simulator_(simulator),
+          deliver_(std::move(deliver)),
+          timeout_(timeout),
+          arena_(arena),
+          slots_(maxPartials) {}
 
     /// Feeds one received MAC payload (fragment or whole datagram). An
     /// unfragmented datagram is delivered as a zero-copy subview of
-    /// `macPayload`; fragments are gathered into a single allocation sized
-    /// from the FRAG1 header.
+    /// `macPayload`; fragments are gathered into a single arena chunk (heap
+    /// buffer when no arena is attached) sized from the FRAG1 header.
     void input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst, const PacketBuffer& macPayload);
 
     const ReassemblyStats& stats() const { return stats_; }
+    const BufferArena* arena() const { return arena_; }
+    std::size_t maxPartials() const { return slots_.size(); }
 
 private:
-    struct Partial {
+    struct Slot {
+        bool active = false;
+        ip6::ShortAddr src = 0;
+        std::uint16_t tag = 0;
         ip6::Packet packet;        // header decoded from FRAG1
         std::uint16_t expectedSize = 0;
         std::size_t receivedUncompressed = 0;  // 40 + payload bytes so far
         sim::Time lastActivity = 0;
     };
 
+    Slot* findSlot(ip6::ShortAddr src, std::uint16_t tag);
+    void releaseSlot(Slot& slot);
     void expire();
 
     sim::Simulator& simulator_;
     Deliver deliver_;
     sim::Time timeout_;
+    BufferArena* arena_;
     ReassemblyStats stats_;
-    std::map<std::pair<ip6::ShortAddr, std::uint16_t>, Partial> partials_;
+    std::vector<Slot> slots_;  // fixed size after construction
 };
 
 }  // namespace tcplp::lowpan

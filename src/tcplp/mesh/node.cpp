@@ -24,12 +24,15 @@ Node::Node(sim::Simulator& simulator, phy::Channel* channel, NodeId id, phy::Pos
                                                   : ip6::Address::meshLocal(id);
     if (config_.role != Role::kCloudHost) {
         TCPLP_ASSERT(channel != nullptr);
+        arena_ = std::make_unique<BufferArena>(config_.reassemblyArenaBytes);
         radio_ = std::make_unique<phy::Radio>(simulator, *channel, id, pos);
         mac_ = std::make_unique<mac::CsmaMac>(*radio_, config_.macConfig);
         reassembler_ = std::make_unique<lowpan::Reassembler>(
-            simulator, [this](ip6::Packet p, ip6::ShortAddr src) {
+            simulator,
+            [this](ip6::Packet p, ip6::ShortAddr src) {
                 handleAssembled(std::move(p), src);
-            });
+            },
+            5 * sim::kSecond, arena_.get(), config_.reassemblySlots);
         queue_ = std::make_unique<ip6::RedQueue>(simulator.rng(), config_.queueConfig);
         if (config_.role == Role::kLeaf) {
             // Parent is set later via setParent(); construct lazily there.
@@ -41,6 +44,17 @@ Node::Node(sim::Simulator& simulator, phy::Channel* channel, NodeId id, phy::Pos
 }
 
 Node::~Node() = default;
+
+const NodeStats& Node::stats() const {
+    // Refresh the reassembly-pressure fields from the live counters so
+    // readers see the memory model without reaching into sublayers.
+    if (reassembler_) {
+        stats_.reassemblyOverflowDrops =
+            reassembler_->stats().arenaDrops + reassembler_->stats().slotDrops;
+    }
+    if (arena_) stats_.reassemblyArenaHighWater = arena_->stats().highWaterBytes;
+    return stats_;
+}
 
 void Node::setParent(NodeId parent) {
     TCPLP_ASSERT(config_.role == Role::kLeaf);

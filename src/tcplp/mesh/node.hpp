@@ -40,6 +40,14 @@ struct NodeConfig {
     /// CPU charge per IPv6 datagram processed above the MAC.
     sim::Time cpuPerPacket = 150;
 
+    // --- Reassembly memory model (Tables 3/4) --------------------------
+    /// Bytes of packet heap reserved for 6LoWPAN reassembly gather buffers
+    /// (default sized like OpenThread's message pool on a larger mote:
+    /// 64 x 128 B). Exhaustion drops datagrams and is counted in NodeStats.
+    std::size_t reassemblyArenaBytes = 8192;
+    /// Concurrent partial datagrams tracked before new FRAG1s are dropped.
+    std::size_t reassemblySlots = lowpan::Reassembler::kDefaultMaxPartials;
+
     // --- Network-stack profile emulation (§6.3) ------------------------
     /// Usable MAC payload per frame; smaller values emulate stacks with
     /// more per-frame header overhead (e.g. GNRC vs OpenThread).
@@ -59,6 +67,12 @@ struct NodeStats {
     /// zero-copy fast path keeps this at 0; only a datagram-tag collision
     /// forces a copy-on-write of a relayed fragment).
     std::uint64_t payloadDeepCopies = 0;
+    /// Datagrams lost to reassembly buffer pressure: arena exhaustion plus
+    /// partial-slot exhaustion (mirrors Reassembler stats).
+    std::uint64_t reassemblyOverflowDrops = 0;
+    /// High-water mark of the reassembly arena, in bytes (Tables 3/4:
+    /// genuine buffer pressure, not elastic heap growth).
+    std::size_t reassemblyArenaHighWater = 0;
 };
 
 class Node;
@@ -99,7 +113,7 @@ public:
 
     NodeId id() const { return id_; }
     Role role() const { return config_.role; }
-    const NodeStats& stats() const { return stats_; }
+    const NodeStats& stats() const;
     NodeConfig& config() { return config_; }
 
     phy::Radio* radio() { return radio_.get(); }
@@ -107,6 +121,7 @@ public:
     mac::SleepyMac* sleepyMac() { return sleepy_.get(); }
     ip6::RedQueue* forwardQueue() { return queue_.get(); }
     const lowpan::Reassembler* reassembler() const { return reassembler_.get(); }
+    const BufferArena* reassemblyArena() const { return arena_.get(); }
 
     // --- Topology wiring -------------------------------------------------
     /// Route packets for `dst` (short address) via neighbor `nextHop`.
@@ -160,8 +175,12 @@ private:
     NodeId id_;
     NodeConfig config_;
     ip6::Address address_;
-    NodeStats stats_;
+    // Mutable so stats() can refresh the reassembly-pressure fields from the
+    // arena/reassembler counters on read.
+    mutable NodeStats stats_;
 
+    // Must outlive reassembler_ and every packet it delivers (arena rule).
+    std::unique_ptr<BufferArena> arena_;
     std::unique_ptr<phy::Radio> radio_;
     std::unique_ptr<mac::CsmaMac> mac_;
     std::unique_ptr<mac::SleepyMac> sleepy_;

@@ -1,13 +1,80 @@
 #include "tcplp/phy/channel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "tcplp/common/assert.hpp"
 #include "tcplp/common/log.hpp"
 #include "tcplp/phy/radio.hpp"
 
 namespace tcplp::phy {
 
-void Channel::addRadio(Radio* radio) { radios_.push_back(radio); }
+Channel::CellKey Channel::cellOf(Position p) const {
+    return CellKey{std::int32_t(std::floor(p.x / range_)),
+                   std::int32_t(std::floor(p.y / range_))};
+}
+
+void Channel::insertIntoGrid(Radio* radio, CellKey key) {
+    // Cell order is irrelevant: neighborsOf sorts the merged candidate set.
+    grid_[key].push_back(radio);
+}
+
+void Channel::addRadio(Radio* radio) {
+    auto it = std::lower_bound(
+        radiosById_.begin(), radiosById_.end(), radio,
+        [](const Radio* a, const Radio* b) { return a->id() < b->id(); });
+    radiosById_.insert(it, radio);
+    insertIntoGrid(radio, cellOf(radio->position()));
+    ++gridEpoch_;
+}
+
+void Channel::radioMoved(Radio* radio, Position oldPos) {
+    const CellKey oldKey = cellOf(oldPos);
+    const CellKey newKey = cellOf(radio->position());
+    if (oldKey == newKey) return;  // same cell: candidate sets are unchanged
+    std::vector<Radio*>& cell = grid_[oldKey];
+    cell.erase(std::find(cell.begin(), cell.end(), radio));
+    insertIntoGrid(radio, newKey);
+    ++gridEpoch_;
+}
+
+const std::vector<Radio*>& Channel::neighborsOf(Radio* transmitter) {
+    NeighborCache& cache = neighborCache_[transmitter];
+    if (cache.epoch != gridEpoch_) {
+        cache.epoch = gridEpoch_;
+        cache.radios.clear();
+        ++channelStats_.neighborRebuilds;
+        const CellKey center = cellOf(transmitter->position());
+        for (std::int32_t dx = -1; dx <= 1; ++dx) {
+            for (std::int32_t dy = -1; dy <= 1; ++dy) {
+                const auto it = grid_.find(CellKey{center.cx + dx, center.cy + dy});
+                if (it == grid_.end()) continue;
+                for (Radio* r : it->second) {
+                    if (r != transmitter) cache.radios.push_back(r);
+                }
+            }
+        }
+        std::sort(cache.radios.begin(), cache.radios.end(),
+                  [](const Radio* a, const Radio* b) { return a->id() < b->id(); });
+    }
+    return cache.radios;
+}
+
+template <typename Fn>
+void Channel::forEachCandidate(Radio* transmitter, Fn&& fn) {
+    if (mode_ == DeliveryMode::kSpatialIndex) {
+        for (Radio* r : neighborsOf(transmitter)) {
+            ++channelStats_.listenerVisits;
+            fn(r);
+        }
+    } else {
+        for (Radio* r : radiosById_) {
+            if (r == transmitter) continue;
+            ++channelStats_.listenerVisits;
+            fn(r);
+        }
+    }
+}
 
 void Channel::setLinkLoss(NodeId a, NodeId b, double probability) {
     linkLoss_[{a, b}] = probability;
@@ -21,8 +88,19 @@ bool Channel::inRange(const Radio* a, const Radio* b) const {
 }
 
 bool Channel::clearAt(const Radio* listener) const {
+    const CellKey lc = cellOf(listener->position());
     for (const Transmission& t : active_) {
-        if (t.transmitter != listener && inRange(listener, t.transmitter)) return false;
+        if (t.transmitter == listener) continue;
+        if (mode_ == DeliveryMode::kSpatialIndex) {
+            // Cells >= 2 apart in either axis are strictly farther than
+            // `range` (cell side == range): reject without the distance math.
+            const CellKey tc = cellOf(t.transmitter->position());
+            if (tc.cx - lc.cx > 1 || lc.cx - tc.cx > 1 || tc.cy - lc.cy > 1 ||
+                lc.cy - tc.cy > 1) {
+                continue;
+            }
+        }
+        if (inRange(listener, t.transmitter)) return false;
     }
     return true;
 }
@@ -41,32 +119,93 @@ double Channel::lossFor(NodeId src, NodeId dst, sim::Time now) const {
 void Channel::startTransmission(Radio* transmitter, const Frame& frame) {
     ++framesTransmitted_;
     const std::uint64_t txId = nextTxId_++;
-    active_.push_back(Transmission{transmitter, frame, simulator_.now() + frame.airTime()});
-    active_.back().frame.seq = frame.seq;
+    const sim::Time end = simulator_.now() + frame.airTime();
+    active_.push_back(Transmission{txId, transmitter, frame, end});
 
     // Let every other in-range radio react to the rising carrier.
-    for (Radio* r : radios_) {
-        if (r == transmitter || !inRange(r, transmitter)) continue;
-        r->airStarted(txId);
+    forEachCandidate(transmitter, [&](Radio* r) {
+        if (inRange(r, transmitter)) r->airStarted(txId);
+    });
+
+    if (mode_ == DeliveryMode::kLinearScan) {
+        // Frozen seed behavior: one delivery event per transmission.
+        simulator_.schedule(frame.airTime(), [this, txId] { deliverOne(txId); });
+        return;
     }
 
-    simulator_.schedule(frame.airTime(), [this, txId, transmitter, frame] {
-        // Remove from the active list first so CCA during delivery
-        // callbacks sees the carrier down.
-        for (std::size_t i = 0; i < active_.size(); ++i) {
-            if (active_[i].transmitter == transmitter && active_[i].end == simulator_.now()) {
-                active_.erase(active_.begin() + long(i));
-                break;
-            }
+    // Coalesce into the pending batch for this end tick, or open one.
+    for (Batch& b : batches_) {
+        if (b.end == end) {
+            b.txIds.push_back(txId);
+            return;
         }
-        for (Radio* r : radios_) {
-            if (r == transmitter || !inRange(r, transmitter)) continue;
-            const bool faded =
-                simulator_.rng().chance(lossFor(transmitter->id(), r->id(), simulator_.now()));
-            if (faded) ++framesLostToFading_;
-            r->airFinished(txId, frame, faded);
-        }
+    }
+    Batch batch;
+    batch.end = end;
+    if (!batchPool_.empty()) {
+        batch.txIds = std::move(batchPool_.back());
+        batchPool_.pop_back();
+    }
+    batch.txIds.push_back(txId);
+    batches_.push_back(std::move(batch));
+    simulator_.schedule(frame.airTime(), [this, end] { deliverBatch(end); });
+}
+
+Channel::Transmission Channel::retireActive(std::uint64_t txId) {
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i].txId != txId) continue;
+        Transmission tx = std::move(active_[i]);
+        active_[i] = std::move(active_.back());
+        active_.pop_back();
+        return tx;
+    }
+    TCPLP_ASSERT(false && "unknown txId");
+    return Transmission{};
+}
+
+void Channel::deliverTransmission(const Transmission& tx) {
+    forEachCandidate(tx.transmitter, [&](Radio* r) {
+        if (!inRange(r, tx.transmitter)) return;
+        const bool faded = simulator_.rng().chance(
+            lossFor(tx.transmitter->id(), r->id(), simulator_.now()));
+        if (faded) ++framesLostToFading_;
+        r->airFinished(tx.txId, tx.frame, faded);
     });
+}
+
+void Channel::deliverOne(std::uint64_t txId) {
+    ++channelStats_.deliveryEvents;
+    // Remove from the active list first so CCA during delivery callbacks
+    // sees the carrier down.
+    const Transmission tx = retireActive(txId);
+    deliverTransmission(tx);
+}
+
+void Channel::deliverBatch(sim::Time end) {
+    ++channelStats_.deliveryEvents;
+    std::vector<std::uint64_t> txIds;
+    for (std::size_t i = 0; i < batches_.size(); ++i) {
+        if (batches_[i].end != end) continue;
+        txIds = std::move(batches_[i].txIds);
+        batches_[i] = std::move(batches_.back());
+        batches_.pop_back();
+        break;
+    }
+    TCPLP_ASSERT(!txIds.empty());
+
+    // Retire every transmission in the batch from the active list BEFORE
+    // delivering any of them, so CCA during delivery callbacks sees all
+    // same-tick carriers down. Lookup is keyed on txId: two back-to-back
+    // frames from one transmitter ending the same tick retire independently.
+    deliverScratch_.clear();
+    for (const std::uint64_t txId : txIds) deliverScratch_.push_back(retireActive(txId));
+    txIds.clear();
+    batchPool_.push_back(std::move(txIds));
+
+    // Deliver in txId (= start) order; listeners in ascending NodeId order,
+    // so the per-listener RNG draws replay identically in both modes.
+    for (const Transmission& tx : deliverScratch_) deliverTransmission(tx);
+    deliverScratch_.clear();
 }
 
 }  // namespace tcplp::phy

@@ -10,11 +10,57 @@
 // On top of geometry the channel supports per-link Bernoulli loss and a
 // time-varying ambient loss function, used to model the office testbed's
 // daytime interference (Fig. 10) and the injected-loss experiment (Fig. 9).
+//
+// ## Spatial index (uniform grid)
+//
+// Radios are indexed by a uniform grid whose cell side equals the radio
+// range. Invariants the implementation relies on:
+//
+//  * cell(p) = (floor(p.x / range), floor(p.y / range)). Because the cell
+//    side is exactly `range`, every radio within range of a transmitter lies
+//    in the 3×3 cell neighborhood of the transmitter's cell; conversely any
+//    radio whose cell differs by >= 2 in either axis is strictly farther
+//    than `range` and can be rejected without a distance computation.
+//  * The grid is maintained eagerly: addRadio() inserts, and a radio that
+//    moves (Radio::setPosition) re-files itself via radioMoved(). There is
+//    no deferred rebuild — startTransmission/clearAt may trust the grid at
+//    any instant.
+//  * Per-transmitter neighbor lists (the 3×3 candidate set, self excluded,
+//    sorted by NodeId) are cached and invalidated by a global epoch that
+//    bumps whenever grid membership changes. Candidate sets still require
+//    the exact inRange() test at use; the cache only bounds who is examined.
+//  * Delivery iterates listeners in ascending NodeId order in BOTH delivery
+//    modes, so the RNG draw sequence (one Bernoulli draw per in-range
+//    listener) is identical between the spatial index and the linear scan —
+//    and reproducible run to run. This is what keeps the figure benches
+//    byte-identical across the indexing rework.
+//  * Caveat on exact linear-vs-indexed replay: a batch fires at the FIRST
+//    member's position in the same-tick event order, while the seed fired
+//    each transmission's delivery at its own position. A third event
+//    scheduled between those positions at exactly that tick (e.g. a CCA
+//    check) could therefore observe a later batch member's carrier already
+//    down in indexed mode. None of the in-tree workloads can hit this
+//    window — the equivalence suites pre-schedule every transmission (their
+//    event seqs all precede any delivery seq) and bench_channel's slotted
+//    starts (≡0 mod 320 us) never share a tick with carrier ends (≡160 mod
+//    320 us) — and the production mode is verified byte-identical against
+//    the seed on the figure benches, but new mode-comparison workloads must
+//    respect it.
+//
+// ## Batched delivery
+//
+// Transmissions whose air time ends at the same tick are coalesced into one
+// pooled delivery event per end tick (instead of one event per frame). Each
+// batch retires its transmissions from the active list first — so CCA during
+// delivery callbacks sees every same-tick carrier down — then delivers them
+// in transmission-id order. Active transmissions are keyed by a unique txId;
+// the old (transmitter, end-time) linear erase could match the wrong entry
+// when one transmitter had two frames ending at the same tick.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "tcplp/phy/frame.hpp"
@@ -29,15 +75,35 @@ struct Position {
     double y = 0.0;
 };
 
+/// Counters exposing how much work the medium performs per frame; the
+/// channel bench uses these to show O(all-radios) vs O(neighborhood).
+struct ChannelStats {
+    std::uint64_t deliveryEvents = 0;   // pooled end-of-air events fired
+    std::uint64_t listenerVisits = 0;   // candidate radios examined
+    std::uint64_t neighborRebuilds = 0; // neighbor-cache misses
+};
+
 class Channel {
 public:
+    /// kSpatialIndex is the production path. kLinearScan is the frozen seed
+    /// reference the equivalence tests and the channel bench compare
+    /// against: every radio examined per frame AND one delivery event per
+    /// transmission (no batching).
+    enum class DeliveryMode : std::uint8_t { kSpatialIndex, kLinearScan };
+
     explicit Channel(sim::Simulator& simulator, double range = 12.0)
         : simulator_(simulator), range_(range) {}
 
     sim::Simulator& simulator() { return simulator_; }
     double range() const { return range_; }
 
+    void setDeliveryMode(DeliveryMode mode) { mode_ = mode; }
+    DeliveryMode deliveryMode() const { return mode_; }
+
     void addRadio(Radio* radio);
+    /// Re-files `radio` under its new position (called by Radio::setPosition
+    /// after the position is updated; `oldPos` is where it was indexed).
+    void radioMoved(Radio* radio, Position oldPos);
 
     /// Per-link frame error probability (applied after geometry/collisions),
     /// set symmetrically.
@@ -66,31 +132,84 @@ public:
     std::uint64_t framesTransmitted() const { return framesTransmitted_; }
     std::uint64_t framesCollided() const { return framesCollided_; }
     std::uint64_t framesLostToFading() const { return framesLostToFading_; }
+    const ChannelStats& channelStats() const { return channelStats_; }
+
+    /// Carriers currently in the air (test/diagnostic hook).
+    std::size_t activeTransmissionCount() const { return active_.size(); }
 
     /// Receiver-side collision report (called by Radio).
     void noteCollision() { ++framesCollided_; }
 
 private:
     struct Transmission {
+        std::uint64_t txId;
         Radio* transmitter;
         Frame frame;
         sim::Time end;
     };
+    /// Transmissions whose carriers drop at the same tick share one pooled
+    /// delivery event; the txIds are appended in ascending order.
+    struct Batch {
+        sim::Time end;
+        std::vector<std::uint64_t> txIds;
+    };
+    struct NeighborCache {
+        std::uint64_t epoch = 0;
+        std::vector<Radio*> radios;  // 3x3-cell candidates, NodeId-ascending
+    };
+
+    struct CellKey {
+        std::int32_t cx;
+        std::int32_t cy;
+        bool operator==(const CellKey& o) const { return cx == o.cx && cy == o.cy; }
+    };
+    struct CellKeyHash {
+        std::size_t operator()(const CellKey& k) const {
+            return std::size_t((std::uint64_t(std::uint32_t(k.cx)) << 32) |
+                               std::uint32_t(k.cy));
+        }
+    };
+    /// NodeId pairs hash into a perfect 32-bit key (ids are 16-bit).
+    struct LinkKeyHash {
+        std::size_t operator()(const std::pair<NodeId, NodeId>& k) const {
+            return std::size_t((std::uint32_t(k.first) << 16) | k.second);
+        }
+    };
+
+    CellKey cellOf(Position p) const;
+    void insertIntoGrid(Radio* radio, CellKey key);
+    const std::vector<Radio*>& neighborsOf(Radio* transmitter);
+    /// Calls fn(listener) for each candidate in ascending NodeId order;
+    /// callers still apply inRange(). Spatial mode visits the cached 3x3
+    /// neighborhood, linear mode every other radio.
+    template <typename Fn>
+    void forEachCandidate(Radio* transmitter, Fn&& fn);
 
     double lossFor(NodeId src, NodeId dst, sim::Time now) const;
-    void finishTransmission(std::size_t txIndex);
+    Transmission retireActive(std::uint64_t txId);
+    void deliverTransmission(const Transmission& tx);
+    void deliverBatch(sim::Time end);
+    void deliverOne(std::uint64_t txId);
 
     sim::Simulator& simulator_;
     double range_;
+    DeliveryMode mode_ = DeliveryMode::kSpatialIndex;
     double defaultLoss_ = 0.0;
-    std::vector<Radio*> radios_;
-    std::map<std::pair<NodeId, NodeId>, double> linkLoss_;
+    std::vector<Radio*> radiosById_;  // all radios, ascending NodeId
+    std::unordered_map<CellKey, std::vector<Radio*>, CellKeyHash> grid_;
+    std::uint64_t gridEpoch_ = 1;
+    std::unordered_map<const Radio*, NeighborCache> neighborCache_;
+    std::unordered_map<std::pair<NodeId, NodeId>, double, LinkKeyHash> linkLoss_;
     std::function<double(sim::Time, NodeId)> ambientLoss_;
     std::vector<Transmission> active_;
+    std::vector<Batch> batches_;                        // pending, small
+    std::vector<std::vector<std::uint64_t>> batchPool_; // recycled id vectors
+    std::vector<Transmission> deliverScratch_;          // reused per batch
     std::uint64_t nextTxId_ = 1;
     std::uint64_t framesTransmitted_ = 0;
     std::uint64_t framesCollided_ = 0;
     std::uint64_t framesLostToFading_ = 0;
+    ChannelStats channelStats_;
 };
 
 }  // namespace tcplp::phy

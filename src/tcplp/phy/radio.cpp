@@ -10,6 +10,12 @@ Radio::Radio(sim::Simulator& simulator, Channel& channel, NodeId id, Position po
     channel_.addRadio(this);
 }
 
+void Radio::setPosition(Position pos) {
+    const Position old = position_;
+    position_ = pos;
+    channel_.radioMoved(this, old);
+}
+
 void Radio::changeState(RadioState next) {
     if (next == state_) return;
     energy_.radioTransition(state_, next, simulator_.now());

@@ -27,6 +27,8 @@ public:
 
     NodeId id() const { return id_; }
     const Position& position() const { return position_; }
+    /// Moves the radio; the channel re-files it in the spatial grid index.
+    void setPosition(Position pos);
     RadioState state() const { return state_; }
     EnergyMeter& energy() { return energy_; }
     const EnergyMeter& energy() const { return energy_; }

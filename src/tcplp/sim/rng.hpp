@@ -53,6 +53,14 @@ public:
     /// Bernoulli trial with success probability p.
     bool chance(double p) { return uniform() < p; }
 
+    /// Order-sensitive digest of the generator state. Two simulations that
+    /// start from the same seed have equal digests iff they consumed the
+    /// same number of draws — the channel-equivalence tests use this to
+    /// prove the spatial index replays the linear scan's RNG sequence.
+    std::uint64_t stateDigest() const {
+        return state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^ rotl(state_[3], 47);
+    }
+
 private:
     static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
     std::uint64_t state_[4];

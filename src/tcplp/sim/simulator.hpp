@@ -137,6 +137,20 @@ public:
     std::size_t pendingEvents() const { return heap_.size(); }
     const SchedulerStats& stats() const { return stats_; }
 
+    /// Cancels every pending event, destroying the captured callbacks NOW.
+    /// Orchestration layers call this before tearing down the components
+    /// those callbacks reference — e.g. Testbed's destructor must release
+    /// in-flight packets (which may hold arena-backed reassembly buffers)
+    /// while the owning nodes are still alive.
+    void cancelAllPending() {
+        while (!heap_.empty()) {
+            const std::uint32_t slot = heap_.front();
+            heapRemove(0);
+            releaseRecord(slot);
+            ++stats_.cancelled;
+        }
+    }
+
 private:
     friend class EventHandle;
 

@@ -1,0 +1,245 @@
+// Spatial-index equivalence: the grid-indexed channel must be externally
+// indistinguishable from the frozen linear-scan reference — identical
+// delivery sets, identical collision/fading counts, and an identical RNG
+// draw sequence (so every figure bench replays byte-for-byte). Topologies
+// are randomized; traffic is dense enough to exercise hidden-terminal
+// collisions and same-tick batched deliveries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "tcplp/phy/channel.hpp"
+#include "tcplp/phy/radio.hpp"
+#include "tcplp/sim/simulator.hpp"
+
+using namespace tcplp;
+using namespace tcplp::phy;
+
+namespace {
+
+struct DeliveryRecord {
+    NodeId receiver;
+    NodeId src;
+    std::uint8_t seq;
+    sim::Time at;
+    bool operator==(const DeliveryRecord& o) const {
+        return receiver == o.receiver && src == o.src && seq == o.seq && at == o.at;
+    }
+};
+
+struct Outcome {
+    std::vector<DeliveryRecord> deliveries;
+    std::uint64_t transmitted = 0;
+    std::uint64_t collided = 0;
+    std::uint64_t faded = 0;
+    std::uint64_t rngDigest = 0;
+};
+
+/// One simulated world: `n` radios at topology-RNG-chosen positions, every
+/// radio periodically transmitting (directly onto the medium, so the
+/// workload is identical in both modes and all randomness flows through the
+/// channel's loss draws).
+Outcome runWorld(Channel::DeliveryMode mode, std::uint64_t seed, std::size_t n,
+                 double area, double loss) {
+    sim::Simulator simulator(seed);
+    Channel channel(simulator, 12.0);
+    channel.setDeliveryMode(mode);
+    channel.setDefaultLoss(loss);
+    channel.setAmbientLoss([](sim::Time now, NodeId dst) {
+        return ((now / 1000) % 7 == dst % 7) ? 0.5 : 0.0;
+    });
+
+    // Positions from a dedicated RNG so both modes build the same topology
+    // without touching the simulation RNG.
+    sim::Rng topo(seed * 1315423911ULL + 17);
+    std::vector<std::unique_ptr<Radio>> radios;
+    Outcome out;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Position pos{double(topo.uniformInt(std::uint64_t(area * 100))) / 100.0,
+                           double(topo.uniformInt(std::uint64_t(area * 100))) / 100.0};
+        radios.push_back(
+            std::make_unique<Radio>(simulator, channel, NodeId(i + 1), pos));
+        Radio* r = radios.back().get();
+        r->setAutoAck(false);
+        r->setReceiveCallback([&out, r](const Frame& f) {
+            out.deliveries.push_back(DeliveryRecord{r->id(), f.src, f.seq, r->simulator().now()});
+        });
+    }
+
+    // Dense periodic broadcast traffic. Staggered but overlapping: stretches
+    // of equal frame sizes make same-tick endings (batched deliveries)
+    // common, and close transmitters exercise collisions.
+    for (std::size_t i = 0; i < n; ++i) {
+        const sim::Time start = sim::Time(137 * (i % 11));
+        const std::size_t len = 20 + (i % 3) * 40;
+        for (int burst = 0; burst < 6; ++burst) {
+            simulator.schedule(start + sim::Time(burst) * 9000, [&, i, len, burst] {
+                Frame f;
+                f.src = radios[i]->id();
+                f.dst = kBroadcast;
+                f.seq = std::uint8_t(burst);
+                f.payload = patternBytes(i, len);
+                channel.startTransmission(radios[i].get(), f);
+            });
+        }
+    }
+
+    simulator.run();
+    out.transmitted = channel.framesTransmitted();
+    out.collided = channel.framesCollided();
+    out.faded = channel.framesLostToFading();
+    out.rngDigest = simulator.rng().stateDigest();
+    return out;
+}
+
+}  // namespace
+
+TEST(ChannelEquivalence, DenseRandomTopologiesMatchLinearReference) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 23ULL, 99ULL}) {
+        for (const std::size_t n : {15ULL, 40ULL, 80ULL}) {
+            const Outcome indexed =
+                runWorld(Channel::DeliveryMode::kSpatialIndex, seed, n, 60.0, 0.05);
+            const Outcome linear =
+                runWorld(Channel::DeliveryMode::kLinearScan, seed, n, 60.0, 0.05);
+            ASSERT_EQ(indexed.transmitted, linear.transmitted) << "seed " << seed;
+            EXPECT_EQ(indexed.collided, linear.collided) << "seed " << seed << " n " << n;
+            EXPECT_EQ(indexed.faded, linear.faded) << "seed " << seed << " n " << n;
+            ASSERT_EQ(indexed.deliveries.size(), linear.deliveries.size())
+                << "seed " << seed << " n " << n;
+            for (std::size_t i = 0; i < indexed.deliveries.size(); ++i) {
+                ASSERT_TRUE(indexed.deliveries[i] == linear.deliveries[i])
+                    << "delivery " << i << " differs at seed " << seed << " n " << n;
+            }
+            // Same final RNG state == the loss draws happened in the same
+            // order for the same listeners (one draw per in-range listener).
+            EXPECT_EQ(indexed.rngDigest, linear.rngDigest) << "seed " << seed << " n " << n;
+        }
+    }
+}
+
+TEST(ChannelEquivalence, SpatialModeDoesFarLessWork) {
+    const std::size_t n = 80;
+    const auto visits = [&](Channel::DeliveryMode mode) {
+        sim::Simulator simulator(5);
+        Channel channel(simulator, 12.0);
+        channel.setDeliveryMode(mode);
+        sim::Rng topo(42);
+        std::vector<std::unique_ptr<Radio>> radios;
+        for (std::size_t i = 0; i < n; ++i) {
+            radios.push_back(std::make_unique<Radio>(
+                simulator, channel, NodeId(i + 1),
+                Position{double(topo.uniformInt(8000)) / 100.0,
+                         double(topo.uniformInt(8000)) / 100.0}));
+        }
+        Frame f;
+        f.dst = kBroadcast;
+        f.payload = patternBytes(1, 30);
+        for (std::size_t i = 0; i < n; ++i) {
+            f.src = radios[i]->id();
+            simulator.schedule(sim::Time(i) * 7001, [&, i, f] {
+                channel.startTransmission(radios[i].get(), f);
+            });
+        }
+        simulator.run();
+        return channel.channelStats().listenerVisits;
+    };
+    const std::uint64_t indexed = visits(Channel::DeliveryMode::kSpatialIndex);
+    const std::uint64_t linear = visits(Channel::DeliveryMode::kLinearScan);
+    // 80 radios spread over an 80x80 m area with 12 m cells: the 3x3
+    // neighborhood holds a small fraction of the network.
+    EXPECT_LT(indexed * 4, linear);
+}
+
+TEST(ChannelEquivalence, MovedRadioIsReindexed) {
+    sim::Simulator simulator;
+    Channel channel(simulator, 12.0);
+    Radio a(simulator, channel, 1, {0, 0});
+    Radio b(simulator, channel, 2, {100, 100});  // far outside a's neighborhood
+
+    int got = 0;
+    b.setReceiveCallback([&](const Frame&) { ++got; });
+
+    Frame f;
+    f.src = 1;
+    f.dst = kBroadcast;
+    f.payload = toBytes("x");
+    a.transmit(f, nullptr);
+    simulator.run();
+    EXPECT_EQ(got, 0);
+
+    b.setPosition({10, 0});  // walks into range; the grid must re-file it
+    a.transmit(f, nullptr);
+    simulator.run();
+    EXPECT_EQ(got, 1);
+
+    b.setPosition({100, 100});  // walks away again
+    a.transmit(f, nullptr);
+    simulator.run();
+    EXPECT_EQ(got, 1);
+}
+
+// Regression for the retired (transmitter, end-time) erase: transmissions
+// are keyed by txId, so two frames from ONE transmitter whose carriers drop
+// at the same tick retire independently and both deliver. (The old linear
+// erase matched the first entry with that transmitter+end pair.)
+TEST(ChannelRegression, SameTransmitterSameEndTickRetiresBoth) {
+    sim::Simulator simulator;
+    Channel channel(simulator, 12.0);
+    Radio tx(simulator, channel, 1, {0, 0});
+    Radio rx(simulator, channel, 2, {10, 0});
+
+    Frame f1;
+    f1.src = 1;
+    f1.dst = kBroadcast;
+    f1.seq = 10;
+    f1.payload = patternBytes(0, 24);
+    Frame f2 = f1;
+    f2.seq = 11;
+
+    // Drive the medium directly: same instant, same air time -> same end
+    // tick, one transmitter. (The radio state machine cannot produce this,
+    // which is exactly why the bookkeeping must not rely on it.)
+    channel.startTransmission(&tx, f1);
+    channel.startTransmission(&tx, f2);
+    EXPECT_EQ(channel.activeTransmissionCount(), 2u);
+    EXPECT_FALSE(channel.clearAt(&rx));
+
+    simulator.run();
+    // Both entries retired — nothing leaks in the active list, and the
+    // overlapping carriers were observed as a collision at the receiver.
+    EXPECT_EQ(channel.activeTransmissionCount(), 0u);
+    EXPECT_TRUE(channel.clearAt(&rx));
+    EXPECT_EQ(channel.framesTransmitted(), 2u);
+    EXPECT_EQ(channel.framesCollided(), 1u);
+    // The pair shared one pooled delivery event (batched by end tick).
+    EXPECT_EQ(channel.channelStats().deliveryEvents, 1u);
+}
+
+TEST(ChannelRegression, BackToBackFramesStaggeredEndsRetireInOrder) {
+    sim::Simulator simulator;
+    Channel channel(simulator, 12.0);
+    Radio tx(simulator, channel, 1, {0, 0});
+    Radio rx(simulator, channel, 2, {10, 0});
+
+    Frame shortFrame;
+    shortFrame.src = 1;
+    shortFrame.dst = kBroadcast;
+    shortFrame.payload = patternBytes(0, 8);
+    Frame longFrame = shortFrame;
+    longFrame.payload = patternBytes(0, 80);
+
+    channel.startTransmission(&tx, longFrame);
+    channel.startTransmission(&tx, shortFrame);
+    EXPECT_EQ(channel.activeTransmissionCount(), 2u);
+
+    simulator.runUntil(shortFrame.airTime());
+    // The short frame's entry (started second) retired first — the txId
+    // keying picked the right one even though transmitter+start matched.
+    EXPECT_EQ(channel.activeTransmissionCount(), 1u);
+    EXPECT_FALSE(channel.clearAt(&rx));
+
+    simulator.run();
+    EXPECT_EQ(channel.activeTransmissionCount(), 0u);
+    EXPECT_TRUE(channel.clearAt(&rx));
+}
