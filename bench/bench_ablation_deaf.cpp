@@ -3,46 +3,35 @@
 // With deaf listening the radio cannot hear incoming frames during CSMA
 // backoff, which breaks TCP's bidirectional data/ACK flow. Expected: a
 // large goodput gap in favor of software CSMA.
-#include "bench/common.hpp"
-
-using namespace bench;
+#include "bench/driver.hpp"
 
 namespace {
-double runWith(bool softwareCsma, std::uint64_t seed) {
-    harness::TestbedConfig cfg;
-    cfg.seed = seed;
-    cfg.nodeDefaults.macConfig.softwareCsma = softwareCsma;
-    cfg.nodeDefaults.macConfig.retryDelayMax = sim::fromMillis(10);
-    cfg.nodeDefaults.queueConfig.capacityPackets = 24;
-    auto tb = harness::Testbed::line(1, cfg);
+using namespace bench;
 
-    mesh::Node& mote = *tb->findNode(10);
-    tcp::TcpStack moteStack(mote);
-    tcp::TcpStack cloudStack(tb->cloud());
-    app::GoodputMeter meter(tb->simulator());
-    cloudStack.listen(80, serverTcpConfig(), [&](tcp::TcpSocket& s) {
-        s.setOnData([&](BytesView d) { meter.onData(d); });
-        s.setOnPeerFin([&s] { s.close(); });
-    });
-    tcp::TcpSocket& client = moteStack.createSocket(moteTcpConfig(mssForFrames(5)));
-    app::BulkSender sender(client, 80000);
-    client.connect(tb->cloud().address(), 80);
-    tb->simulator().runUntil(30 * sim::kMinute);
-    return meter.goodputKbps();
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "ablation_deaf";
+    d.title = "Ablation: software CSMA vs deaf-listening hardware CSMA (Sec. 4)";
+    d.base.topology.hops = 1;
+    d.base.topology.retryDelayMax = sim::fromMillis(10);
+    d.base.topology.queueCapacityPackets = 24;
+    d.base.workload.totalBytes = 80000;
+    d.base.workload.timeLimit = 30 * sim::kMinute;
+    d.axes = {{"software_csma", {1, 0}}};
+    d.seeds = {1, 2, 3};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.topology.softwareCsma = p.value("software_csma") != 0;
+    };
+    d.present = [](const SweepResult& r) {
+        const double software = r.mean("goodput_kbps", {{"software_csma", 1}});
+        const double deaf = r.mean("goodput_kbps", {{"software_csma", 0}});
+        std::printf("software CSMA (TCPlp's fix): %7.1f kb/s\n", software);
+        std::printf("deaf listening (hardware):   %7.1f kb/s\n", deaf);
+        std::printf("penalty for deaf listening:  %6.1f%%\n",
+                    100.0 * (1.0 - deaf / software));
+    };
+    return d;
 }
+
+Registration reg{def()};
 }  // namespace
-
-int main() {
-    printHeader("Ablation: software CSMA vs deaf-listening hardware CSMA (§4)");
-    double software = 0, deaf = 0;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        software += runWith(true, seed);
-        deaf += runWith(false, seed);
-    }
-    software /= 3;
-    deaf /= 3;
-    std::printf("software CSMA (TCPlp's fix): %7.1f kb/s\n", software);
-    std::printf("deaf listening (hardware):   %7.1f kb/s\n", deaf);
-    std::printf("penalty for deaf listening:  %6.1f%%\n", 100.0 * (1.0 - deaf / software));
-    return 0;
-}

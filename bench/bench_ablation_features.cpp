@@ -1,62 +1,46 @@
 // Ablation: the value of the full-scale features (Table 1) one at a time —
 // SACK, delayed ACKs, TCP timestamps, and the in-place reassembly queue —
 // measured as bulk goodput over a 5%-lossy single hop.
-#include "bench/common.hpp"
-
-using namespace bench;
+#include "bench/driver.hpp"
 
 namespace {
-double runWith(void (*tweak)(tcp::TcpConfig&), std::uint64_t seed) {
-    harness::TestbedConfig cfg;
-    cfg.seed = seed;
-    cfg.linkLoss = 0.05;
-    cfg.nodeDefaults.macConfig.retryDelayMax = sim::fromMillis(20);
-    cfg.nodeDefaults.macConfig.maxFrameRetries = 2;  // let TCP see the loss
-    cfg.nodeDefaults.queueConfig.capacityPackets = 24;
-    auto tb = harness::Testbed::line(1, cfg);
+using namespace bench;
 
-    mesh::Node& mote = *tb->findNode(10);
-    tcp::TcpStack moteStack(mote);
-    tcp::TcpStack cloudStack(tb->cloud());
-    app::GoodputMeter meter(tb->simulator());
+const char* kVariants[] = {"full TCPlp (baseline)", "no SACK", "no delayed ACKs",
+                           "no timestamps", "drop out-of-order (uIP-style)"};
 
-    tcp::TcpConfig clientCfg = moteTcpConfig(mssForFrames(5));
-    tcp::TcpConfig servCfg = serverTcpConfig(mssForFrames(5));
-    tweak(clientCfg);
-    tweak(servCfg);
-
-    cloudStack.listen(80, servCfg, [&](tcp::TcpSocket& s) {
-        s.setOnData([&](BytesView d) { meter.onData(d); });
-        s.setOnPeerFin([&s] { s.close(); });
-    });
-    tcp::TcpSocket& client = moteStack.createSocket(clientCfg);
-    app::BulkSender sender(client, 60000);
-    client.connect(tb->cloud().address(), 80);
-    tb->simulator().runUntil(40 * sim::kMinute);
-    return meter.goodputKbps();
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "ablation_features";
+    d.title = "Ablation: full-scale TCP features under 5% frame loss";
+    d.base.topology.hops = 1;
+    d.base.topology.linkLoss = 0.05;
+    d.base.topology.retryDelayMax = sim::fromMillis(20);
+    d.base.topology.maxFrameRetries = 2;  // let TCP see the loss
+    d.base.topology.queueCapacityPackets = 24;
+    d.base.workload.totalBytes = 60000;
+    d.axes = {{"variant", {0, 1, 2, 3, 4}}};
+    d.seeds = {1, 2, 3};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        switch (int(p.value("variant"))) {
+            case 1: s.workload.sack = false; break;
+            case 2: s.workload.delayedAck = false; break;
+            case 3: s.workload.timestamps = false; break;
+            case 4: s.workload.dropOutOfOrder = true; break;
+            default: break;
+        }
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-34s %14s\n", "Configuration", "Goodput kb/s");
+        for (double v : {0., 1., 2., 3., 4.}) {
+            std::printf("%-34s %14.1f\n", kVariants[std::size_t(v)],
+                        r.mean("goodput_kbps", {{"variant", v}}));
+        }
+        std::printf("\nShape: dropping reassembly costs the most under loss; SACK and\n"
+                    "delayed ACKs contribute smaller but visible gains.\n");
+    };
+    return d;
 }
 
-double average(void (*tweak)(tcp::TcpConfig&)) {
-    double sum = 0;
-    for (std::uint64_t seed = 1; seed <= 3; ++seed) sum += runWith(tweak, seed);
-    return sum / 3;
-}
+Registration reg{def()};
 }  // namespace
-
-int main() {
-    printHeader("Ablation: full-scale TCP features under 5% frame loss");
-    std::printf("%-34s %14s\n", "Configuration", "Goodput kb/s");
-    std::printf("%-34s %14.1f\n", "full TCPlp (baseline)",
-                average(+[](tcp::TcpConfig&) {}));
-    std::printf("%-34s %14.1f\n", "no SACK",
-                average(+[](tcp::TcpConfig& c) { c.sack = false; }));
-    std::printf("%-34s %14.1f\n", "no delayed ACKs",
-                average(+[](tcp::TcpConfig& c) { c.delayedAck = false; }));
-    std::printf("%-34s %14.1f\n", "no timestamps",
-                average(+[](tcp::TcpConfig& c) { c.timestamps = false; }));
-    std::printf("%-34s %14.1f\n", "drop out-of-order (uIP-style)",
-                average(+[](tcp::TcpConfig& c) { c.dropOutOfOrder = true; }));
-    std::printf("\nShape: dropping reassembly costs the most under loss; SACK and\n"
-                "delayed ACKs contribute smaller but visible gains.\n");
-    return 0;
-}

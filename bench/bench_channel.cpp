@@ -1,37 +1,35 @@
 // Shared-medium microbenchmark: spatially-indexed batched delivery vs the
-// frozen linear-scan reference, on dense office-style grids of 15-100 nodes.
+// frozen linear-scan reference vs the kAuto adaptive mode, on dense
+// office-style grids of 15-100 nodes.
 //
-// Emits ONE line of JSON to stdout so future PRs can track the perf
-// trajectory in BENCH_*.json files:
+// The presenter emits ONE line of JSON to stdout so future PRs can track
+// the perf trajectory in BENCH_*.json files:
 //
 //   {"bench":"channel","grids":[...],"speedup_100":...,...}
 //
 // The workload drives the medium directly (periodic broadcast frames from
 // every node, with collisions and Bernoulli loss) so the measured cost is
-// the channel's: who gets examined at carrier-up and at delivery. Both
-// modes replay the identical simulation — same RNG draw sequence, same
-// delivered frames (the equivalence tests prove it); only the wall-clock
-// differs. "Linear scan" is the seed behavior: every radio in the network
-// examined twice per frame.
+// the channel's: who gets examined at carrier-up and at delivery. All modes
+// replay the identical simulation — same RNG draw sequence, same delivered
+// frames (the equivalence tests prove it); only the wall-clock differs.
+// "Linear scan" is the seed behavior: every radio in the network examined
+// twice per frame. "Auto" is the production default: linear below
+// Channel::kAutoLinearThreshold radios (making the index strictly free on
+// small-n runs like the 15-node office), spatial above it.
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <memory>
-#include <string>
-#include <vector>
 
+#include "bench/driver.hpp"
 #include "tcplp/mesh/node.hpp"
 #include "tcplp/phy/channel.hpp"
 #include "tcplp/phy/radio.hpp"
-#include "tcplp/sim/simulator.hpp"
-
-using namespace tcplp;
-using namespace tcplp::phy;
 
 namespace {
+using namespace bench;
+using namespace tcplp::phy;
 
 struct GridResult {
-    std::size_t nodes = 0;
     std::uint64_t transmitted = 0;
     std::uint64_t delivered = 0;
     std::uint64_t listenerVisits = 0;
@@ -98,8 +96,8 @@ GridResult runGrid(Channel::DeliveryMode mode, std::size_t n) {
     // duty: a saturated medium where hidden senders collide constantly.
     // (Mode-replay precondition: starts land on ticks ≡ 0 mod 320 us while
     // carrier ends land on ≡ 160 mod 320 us — no event can interleave
-    // between same-tick deliveries, so linear and indexed runs replay the
-    // identical RNG sequence; see the caveat in phy/channel.hpp.)
+    // between same-tick deliveries, so all modes replay the identical RNG
+    // sequence; see the caveat in phy/channel.hpp.)
     constexpr sim::Time kSlot = 320;
     constexpr sim::Time kHorizon = 30 * sim::kSecond;
     constexpr std::size_t kSlotsPerRound = 16;
@@ -123,7 +121,6 @@ GridResult runGrid(Channel::DeliveryMode mode, std::size_t n) {
         double(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) / 1e6;
 
     GridResult r;
-    r.nodes = n;
     r.transmitted = channel.framesTransmitted();
     r.delivered = delivered;
     r.listenerVisits = channel.channelStats().listenerVisits;
@@ -133,49 +130,74 @@ GridResult runGrid(Channel::DeliveryMode mode, std::size_t n) {
     return r;
 }
 
-}  // namespace
-
-int main() {
-    const std::size_t sizes[] = {15, 50, 100};
-    std::string grids;
-    double speedup100 = 0.0;
-    double visitReduction100 = 0.0;
-    for (const std::size_t n : sizes) {
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "channel_grid";
+    d.title = "Channel microbench: spatial index vs linear scan vs auto";
+    d.axes = {{"nodes", {15, 50, 100}}};
+    d.seeds = {11};
+    d.measure = [](const ScenarioSpec&, const Point& p) {
+        const std::size_t n = std::size_t(p.value("nodes"));
         const GridResult indexed = runGrid(Channel::DeliveryMode::kSpatialIndex, n);
         const GridResult linear = runGrid(Channel::DeliveryMode::kLinearScan, n);
-        if (indexed.delivered != linear.delivered ||
-            indexed.rngDigest != linear.rngDigest) {
-            std::fprintf(stderr,
-                         "equivalence violated at n=%zu (delivered %llu vs %llu)\n", n,
-                         static_cast<unsigned long long>(indexed.delivered),
-                         static_cast<unsigned long long>(linear.delivered));
-            return 1;
+        const GridResult automatic = runGrid(Channel::DeliveryMode::kAuto, n);
+        // All three modes must replay the identical simulation.
+        TCPLP_ASSERT(indexed.delivered == linear.delivered &&
+                     indexed.rngDigest == linear.rngDigest &&
+                     automatic.delivered == linear.delivered &&
+                     automatic.rngDigest == linear.rngDigest);
+        scenario::MetricRow row;
+        row.set("frames", indexed.transmitted)
+            .set("delivered", indexed.delivered)
+            .set("indexed_delivered_per_sec", indexed.deliveredPerSec)
+            .set("linear_delivered_per_sec", linear.deliveredPerSec)
+            .set("auto_delivered_per_sec", automatic.deliveredPerSec)
+            .set("indexed_listener_visits", indexed.listenerVisits)
+            .set("linear_listener_visits", linear.listenerVisits)
+            .set("auto_listener_visits", automatic.listenerVisits)
+            .set("auto_mode", n < Channel::kAutoLinearThreshold ? "linear" : "spatial")
+            .set("speedup", indexed.deliveredPerSec / linear.deliveredPerSec)
+            .set("auto_speedup", automatic.deliveredPerSec / linear.deliveredPerSec)
+            .set("visit_reduction",
+                 double(linear.listenerVisits) / double(indexed.listenerVisits));
+        return row;
+    };
+    d.present = [](const SweepResult& r) {
+        std::string grids;
+        double speedup100 = 0.0, visitReduction100 = 0.0, autoSpeedup15 = 0.0;
+        for (const auto& record : r.records) {
+            const std::size_t n = std::size_t(record.point.value("nodes"));
+            const auto& row = record.row;
+            if (n == 100) {
+                speedup100 = row.number("speedup");
+                visitReduction100 = row.number("visit_reduction");
+            }
+            if (n == 15) autoSpeedup15 = row.number("auto_speedup");
+            char buf[640];
+            std::snprintf(
+                buf, sizeof buf,
+                "%s{\"nodes\":%zu,\"frames\":%.0f,\"delivered\":%.0f,"
+                "\"indexed_delivered_per_sec\":%.0f,\"linear_delivered_per_sec\":%.0f,"
+                "\"auto_delivered_per_sec\":%.0f,\"auto_mode\":\"%s\","
+                "\"indexed_listener_visits\":%.0f,\"linear_listener_visits\":%.0f,"
+                "\"speedup\":%.2f,\"auto_speedup\":%.2f,\"visit_reduction\":%.1f}",
+                grids.empty() ? "" : ",", n, row.number("frames"),
+                row.number("delivered"), row.number("indexed_delivered_per_sec"),
+                row.number("linear_delivered_per_sec"),
+                row.number("auto_delivered_per_sec"), row.str("auto_mode").c_str(),
+                row.number("indexed_listener_visits"),
+                row.number("linear_listener_visits"), row.number("speedup"),
+                row.number("auto_speedup"), row.number("visit_reduction"));
+            grids += buf;
         }
-        const double speedup = indexed.deliveredPerSec / linear.deliveredPerSec;
-        const double visitReduction =
-            double(linear.listenerVisits) / double(indexed.listenerVisits);
-        if (n == 100) {
-            speedup100 = speedup;
-            visitReduction100 = visitReduction;
-        }
-        char buf[512];
-        std::snprintf(buf, sizeof buf,
-                      "%s{\"nodes\":%zu,\"frames\":%llu,\"delivered\":%llu,"
-                      "\"indexed_delivered_per_sec\":%.0f,\"linear_delivered_per_sec\":%.0f,"
-                      "\"indexed_listener_visits\":%llu,\"linear_listener_visits\":%llu,"
-                      "\"speedup\":%.2f,\"visit_reduction\":%.1f}",
-                      grids.empty() ? "" : ",", n,
-                      static_cast<unsigned long long>(indexed.transmitted),
-                      static_cast<unsigned long long>(indexed.delivered),
-                      indexed.deliveredPerSec, linear.deliveredPerSec,
-                      static_cast<unsigned long long>(indexed.listenerVisits),
-                      static_cast<unsigned long long>(linear.listenerVisits), speedup,
-                      visitReduction);
-        grids += buf;
-    }
-    std::printf(
-        "{\"bench\":\"channel\",\"grids\":[%s],"
-        "\"speedup_100\":%.2f,\"visit_reduction_100\":%.1f}\n",
-        grids.c_str(), speedup100, visitReduction100);
-    return 0;
+        std::printf("{\"bench\":\"channel\",\"auto_linear_threshold\":%zu,\"grids\":[%s],"
+                    "\"speedup_100\":%.2f,\"visit_reduction_100\":%.1f,"
+                    "\"auto_speedup_15\":%.2f}\n",
+                    Channel::kAutoLinearThreshold, grids.c_str(), speedup100,
+                    visitReduction100, autoSpeedup15);
+    };
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

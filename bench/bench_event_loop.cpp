@@ -1,7 +1,7 @@
 // Event-core microbenchmark: pooled scheduler vs the seed design.
 //
-// Emits ONE line of JSON to stdout so future PRs can track the perf
-// trajectory in BENCH_*.json files:
+// The presenter emits ONE line of JSON to stdout so future PRs can track
+// the perf trajectory in BENCH_*.json files:
 //
 //   {"bench":"event_loop","events":...,"pooled_allocs_per_event":...,...}
 //
@@ -23,6 +23,7 @@
 #include <queue>
 #include <vector>
 
+#include "bench/driver.hpp"
 #include "tcplp/sim/simulator.hpp"
 
 // --- Counting allocator ----------------------------------------------------
@@ -172,26 +173,47 @@ RunResult runWorkload() {
     return r;
 }
 
-}  // namespace
+using namespace bench;
 
-int main() {
-    const RunResult pooled = runWorkload<tcplp::sim::Simulator, tcplp::sim::Timer>();
-    const RunResult legacy = runWorkload<LegacySimulator, LegacyTimer>();
-
-    const double denom = pooled.allocsPerEvent > 1e-9 ? pooled.allocsPerEvent : 1e-9;
-    const double allocReduction = legacy.allocsPerEvent / denom;
-
-    std::printf(
-        "{\"bench\":\"event_loop\",\"events\":%llu,\"timers\":%d,"
-        "\"pooled_events_per_sec\":%.0f,\"pooled_ns_per_event\":%.1f,"
-        "\"pooled_allocs_per_event\":%.6f,"
-        "\"legacy_events_per_sec\":%.0f,\"legacy_ns_per_event\":%.1f,"
-        "\"legacy_allocs_per_event\":%.6f,"
-        "\"alloc_reduction_factor\":%.1f,"
-        "\"smallfn_heap_fallbacks\":%llu}\n",
-        static_cast<unsigned long long>(kEvents), kTimers, pooled.eventsPerSec,
-        pooled.nsPerEvent, pooled.allocsPerEvent, legacy.eventsPerSec, legacy.nsPerEvent,
-        legacy.allocsPerEvent, allocReduction,
-        static_cast<unsigned long long>(tcplp::sim::SmallFn::heapFallbacks()));
-    return 0;
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "event_loop";
+    d.title = "Event-core microbench: pooled scheduler vs the seed design";
+    d.measure = [](const ScenarioSpec&, const Point&) {
+        const RunResult pooled = runWorkload<tcplp::sim::Simulator, tcplp::sim::Timer>();
+        const RunResult legacy = runWorkload<LegacySimulator, LegacyTimer>();
+        const double denom = pooled.allocsPerEvent > 1e-9 ? pooled.allocsPerEvent : 1e-9;
+        scenario::MetricRow row;
+        row.set("events", kEvents)
+            .set("timers", std::int64_t(kTimers))
+            .set("pooled_events_per_sec", pooled.eventsPerSec)
+            .set("pooled_ns_per_event", pooled.nsPerEvent)
+            .set("pooled_allocs_per_event", pooled.allocsPerEvent)
+            .set("legacy_events_per_sec", legacy.eventsPerSec)
+            .set("legacy_ns_per_event", legacy.nsPerEvent)
+            .set("legacy_allocs_per_event", legacy.allocsPerEvent)
+            .set("alloc_reduction_factor", legacy.allocsPerEvent / denom)
+            .set("smallfn_heap_fallbacks", tcplp::sim::SmallFn::heapFallbacks());
+        return row;
+    };
+    d.present = [](const SweepResult& r) {
+        const auto& row = r.records.front().row;
+        std::printf(
+            "{\"bench\":\"event_loop\",\"events\":%.0f,\"timers\":%.0f,"
+            "\"pooled_events_per_sec\":%.0f,\"pooled_ns_per_event\":%.1f,"
+            "\"pooled_allocs_per_event\":%.6f,"
+            "\"legacy_events_per_sec\":%.0f,\"legacy_ns_per_event\":%.1f,"
+            "\"legacy_allocs_per_event\":%.6f,"
+            "\"alloc_reduction_factor\":%.1f,"
+            "\"smallfn_heap_fallbacks\":%.0f}\n",
+            row.number("events"), row.number("timers"),
+            row.number("pooled_events_per_sec"), row.number("pooled_ns_per_event"),
+            row.number("pooled_allocs_per_event"), row.number("legacy_events_per_sec"),
+            row.number("legacy_ns_per_event"), row.number("legacy_allocs_per_event"),
+            row.number("alloc_reduction_factor"), row.number("smallfn_heap_fallbacks"));
+    };
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

@@ -8,53 +8,70 @@
 // Expected shape: CoAP cheaper at night; TCPlp competitive (or slightly
 // better) during high-interference hours; reliable protocols ~99%+ vs ~93-95%
 // unreliable, at ~3x the duty cycle.
-#include "bench/common.hpp"
-#include "tcplp/harness/anemometer.hpp"
+#include "bench/driver.hpp"
 
+namespace {
 using namespace bench;
 using harness::SensorProtocol;
 
-namespace {
-harness::AnemometerResult runDay(SensorProtocol proto, bool batching) {
-    harness::AnemometerOptions o;
-    o.protocol = proto;
-    o.batching = batching;
-    o.diurnal = true;
-    o.duration = 24 * sim::kHour;
-    o.warmup = 2 * sim::kMinute;
-    o.mssFrames = 3;  // §9.5: MSS reduced to 3 frames for the daytime study
-    o.seed = 7;
-    return harness::runAnemometer(o);
+// cfg axis: protocol/batching combinations in Table 8 row order.
+struct DayConfig {
+    SensorProtocol proto;
+    bool batching;
+    const char* label;
+    const char* paper;
+};
+constexpr DayConfig kConfigs[] = {
+    {SensorProtocol::kTcp, true, "TCPlp", "(paper: 99.3 / 2.29 / 0.97)"},
+    {SensorProtocol::kCoap, true, "CoAP", "(paper: 99.5 / 1.84 / 0.83)"},
+    {SensorProtocol::kUnreliable, false, "Unrel., no batch", "(paper: 93.4 / 1.13 / 0.52)"},
+    {SensorProtocol::kUnreliable, true, "Unrel., with batch", "(paper: 95.3 / 0.73 / 0.30)"},
+};
+
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "fig10_table8_day";
+    d.title = "Figure 10 + Table 8: a full day in the lossy office";
+    d.base.workload.kind = WorkloadKind::kAnemometer;
+    d.base.workload.anemometer.diurnal = true;
+    d.base.workload.anemometer.duration = 24 * sim::kHour;
+    d.base.workload.anemometer.warmup = 2 * sim::kMinute;
+    d.base.workload.anemometer.mssFrames = 3;  // §9.5: MSS reduced for daytime
+    d.axes = {{"cfg", {0, 1, 2, 3}}};
+    d.seeds = {7};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        const DayConfig& c = kConfigs[std::size_t(p.value("cfg"))];
+        s.workload.anemometer.protocol = c.proto;
+        s.workload.anemometer.batching = c.batching;
+    };
+    d.present = [](const SweepResult& r) {
+        // Key rows off the cfg axis, never off record position: --seeds can
+        // add replications, multiplying the record count.
+        const auto* tcpRec = r.first({{"cfg", 0}});
+        const auto* coapRec = r.first({{"cfg", 1}});
+        if (tcpRec != nullptr && coapRec != nullptr) {
+            std::printf("%-6s %12s %12s\n", "Hour", "TCPlp DC%", "CoAP DC%");
+            const std::vector<double> tcp = splitCsv(tcpRec->row.str("hourly_radio_dc"));
+            const std::vector<double> coap = splitCsv(coapRec->row.str("hourly_radio_dc"));
+            const std::size_t hours = std::min(tcp.size(), coap.size());
+            for (std::size_t h = 0; h < hours; ++h)
+                std::printf("%-6zu %12.2f %12.2f\n", h, tcp[h] * 100.0, coap[h] * 100.0);
+        }
+
+        printHeader("Table 8: full-day summary");
+        std::printf("%-22s %12s %10s %10s\n", "Protocol", "Reliability", "RadioDC%",
+                    "CpuDC%");
+        for (std::size_t cfg = 0; cfg < 4; ++cfg) {
+            const auto* rec = r.first({{"cfg", double(cfg)}});
+            if (rec == nullptr) continue;
+            const auto& row = rec->row;
+            std::printf("%-22s %11.1f%% %10.2f %10.2f   %s\n", kConfigs[cfg].label,
+                        row.number("reliability") * 100.0, row.number("radio_dc") * 100.0,
+                        row.number("cpu_dc") * 100.0, kConfigs[cfg].paper);
+        }
+    };
+    return d;
 }
+
+Registration reg{def()};
 }  // namespace
-
-int main() {
-    printHeader("Figure 10: hourly radio duty cycle over a full day");
-    const auto tcp = runDay(SensorProtocol::kTcp, true);
-    const auto coap = runDay(SensorProtocol::kCoap, true);
-    std::printf("%-6s %12s %12s\n", "Hour", "TCPlp DC%", "CoAP DC%");
-    const std::size_t hours = std::min(tcp.hourlyRadioDutyCycle.size(),
-                                       coap.hourlyRadioDutyCycle.size());
-    for (std::size_t h = 0; h < hours; ++h) {
-        std::printf("%-6zu %12.2f %12.2f\n", h, tcp.hourlyRadioDutyCycle[h] * 100.0,
-                    coap.hourlyRadioDutyCycle[h] * 100.0);
-    }
-
-    printHeader("Table 8: full-day summary");
-    std::printf("%-22s %12s %10s %10s\n", "Protocol", "Reliability", "RadioDC%", "CpuDC%");
-    std::printf("%-22s %11.1f%% %10.2f %10.2f   (paper: 99.3 / 2.29 / 0.97)\n", "TCPlp",
-                tcp.reliability * 100.0, tcp.radioDutyCycle * 100.0, tcp.cpuDutyCycle * 100.0);
-    std::printf("%-22s %11.1f%% %10.2f %10.2f   (paper: 99.5 / 1.84 / 0.83)\n", "CoAP",
-                coap.reliability * 100.0, coap.radioDutyCycle * 100.0,
-                coap.cpuDutyCycle * 100.0);
-
-    const auto unrelNoBatch = runDay(SensorProtocol::kUnreliable, false);
-    std::printf("%-22s %11.1f%% %10.2f %10.2f   (paper: 93.4 / 1.13 / 0.52)\n",
-                "Unrel., no batch", unrelNoBatch.reliability * 100.0,
-                unrelNoBatch.radioDutyCycle * 100.0, unrelNoBatch.cpuDutyCycle * 100.0);
-    const auto unrelBatch = runDay(SensorProtocol::kUnreliable, true);
-    std::printf("%-22s %11.1f%% %10.2f %10.2f   (paper: 95.3 / 0.73 / 0.30)\n",
-                "Unrel., with batch", unrelBatch.reliability * 100.0,
-                unrelBatch.radioDutyCycle * 100.0, unrelBatch.cpuDutyCycle * 100.0);
-    return 0;
-}

@@ -4,40 +4,65 @@
 // Expected shape (Appendix C.1): uplink RTTs cluster at ~1 multiple of the
 // sleep interval; downlink RTTs spread across multiples of it (ACKs wait in
 // the uplink queue across duty cycles).
-#include "bench/sleepy_common.hpp"
-
-using namespace bench;
+#include "bench/driver.hpp"
 
 namespace {
-void histogram(const char* label, const Summary& rtt) {
-    std::printf("\n%s: n=%zu median=%.0f ms p10=%.0f p90=%.0f max=%.0f\n", label, rtt.count(),
-                rtt.median(), rtt.percentile(10), rtt.percentile(90), rtt.max());
-    const auto h = rtt.histogram(0.0, 8000.0, 16);  // 500 ms buckets
-    for (std::size_t i = 0; i < h.size(); ++i) {
-        std::printf("  %4zu-%4zu ms |", i * 500, (i + 1) * 500);
-        for (std::size_t b = 0; b < h[i] && b < 60; ++b) std::printf("#");
-        std::printf(" %zu\n", h[i]);
-    }
+using namespace bench;
+
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "fig13_fixedsleep";
+    d.title = "Figure 13: RTT distribution at a fixed 2 s sleep interval";
+    d.base.workload.kind = WorkloadKind::kSleepyBulk;
+    d.base.workload.sleepy.policy = mac::PollPolicy::kFixed;
+    d.base.workload.sleepy.sleepInterval = 2 * sim::kSecond;
+    d.base.workload.totalBytes = 20000;
+    d.base.workload.timeLimit = 60 * sim::kMinute;
+    d.axes = {{"uplink", {1, 0}}};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.workload.uplink = p.value("uplink") != 0;
+    };
+    // Custom measure: the standard sleepy row plus the 500 ms-bucket RTT
+    // histogram the figure plots.
+    d.measure = [](const ScenarioSpec& spec, const Point& p) {
+        const scenario::SleepyRunResult r = scenario::runSleepyBulk(spec, p.seed);
+        scenario::MetricRow row;
+        row.set("goodput_kbps", r.goodputKbps)
+            .set("rtt_n", std::uint64_t(r.rttMs.count()))
+            .set("rtt_median_ms", r.rttMs.median())
+            .set("rtt_p10_ms", r.rttMs.percentile(10))
+            .set("rtt_p90_ms", r.rttMs.percentile(90))
+            .set("rtt_max_ms", r.rttMs.max());
+        std::string hist;
+        for (std::size_t count : r.rttMs.histogram(0.0, 8000.0, 16)) {
+            if (!hist.empty()) hist += ',';
+            hist += std::to_string(count);
+        }
+        row.set("rtt_hist_500ms", hist).set("rng_digest", r.rngDigest);
+        return row;
+    };
+    d.present = [](const SweepResult& r) {
+        for (const auto& record : r.records) {
+            const auto& row = record.row;
+            std::printf("\n%s: n=%.0f median=%.0f ms p10=%.0f p90=%.0f max=%.0f\n",
+                        record.point.value("uplink") != 0 ? "Uplink (leaf sends)"
+                                                          : "Downlink (leaf receives)",
+                        row.number("rtt_n"), row.number("rtt_median_ms"),
+                        row.number("rtt_p10_ms"), row.number("rtt_p90_ms"),
+                        row.number("rtt_max_ms"));
+            const std::vector<double> hist = splitCsv(row.str("rtt_hist_500ms"));
+            for (std::size_t i = 0; i < hist.size(); ++i) {
+                std::printf("  %4zu-%4zu ms |", i * 500, (i + 1) * 500);
+                for (std::size_t b = 0; b < std::size_t(hist[i]) && b < 60; ++b)
+                    std::printf("#");
+                std::printf(" %zu\n", std::size_t(hist[i]));
+            }
+        }
+        std::printf("\nPaper shape: uplink concentrated near the 2 s interval; downlink\n"
+                    "spread over multiples of it.\n");
+    };
+    return d;
 }
+
+Registration reg{def()};
 }  // namespace
-
-int main() {
-    printHeader("Figure 13: RTT distribution at a fixed 2 s sleep interval");
-    SleepyOptions o;
-    o.sleepy.policy = mac::PollPolicy::kFixed;
-    o.sleepy.sleepInterval = 2 * sim::kSecond;
-    o.totalBytes = 20000;
-    o.timeLimit = 60 * sim::kMinute;
-
-    o.uplink = true;
-    const SleepyRun up = runSleepyTransfer(o);
-    histogram("Uplink (leaf sends)", up.rttMs);
-
-    o.uplink = false;
-    const SleepyRun down = runSleepyTransfer(o);
-    histogram("Downlink (leaf receives)", down.rttMs);
-
-    std::printf("\nPaper shape: uplink concentrated near the 2 s interval; downlink\n"
-                "spread over multiples of it.\n");
-    return 0;
-}

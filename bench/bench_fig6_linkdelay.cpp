@@ -9,52 +9,51 @@
 //
 // The "Pred." column is Equation 2 evaluated with the measured RTT and
 // segment loss — the dotted lines of Figs. 6(a)/6(b).
-#include "bench/common.hpp"
+#include "bench/driver.hpp"
 
-using namespace bench;
+#include "tcplp/model/models.hpp"
 
 namespace {
-void sweep(std::size_t hops, std::size_t totalBytes) {
-    std::printf("\n-- %zu hop(s) --\n", hops);
-    std::printf("%-8s %12s %10s %10s %12s %12s\n", "d(ms)", "Goodput", "SegLoss", "RTT ms",
-                "Frames", "Pred kb/s");
-    const std::uint16_t mss = mssForFrames(5);
-    for (int d : {0, 5, 10, 20, 30, 40, 60, 80, 100}) {
-        double goodput = 0, loss = 0, rtt = 0, frames = 0;
-        const int kSeeds = 3;
-        for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-            BulkOptions o;
-            o.hops = hops;
-            o.totalBytes = totalBytes;
-            o.retryDelayMax = sim::fromMillis(d);
-            o.mss = mss;
-            o.seed = seed;
-            const BulkResult r = runBulkTransfer(o);
-            goodput += r.goodputKbps;
-            loss += r.segmentLoss;
-            rtt += r.rttMedianMs;
-            frames += double(r.framesTransmitted);
-        }
-        goodput /= kSeeds;
-        loss /= kSeeds;
-        rtt /= kSeeds;
-        frames /= kSeeds;
-        // Equation 2 with w = 4 segments, measured RTT and loss.
-        const double predicted =
-            model::llnGoodput(double(mss), rtt / 1000.0, loss, 4.0) * 8.0 / 1000.0;
-        std::printf("%-8d %9.1f kb/s %9.3f %10.0f %12.0f %12.1f\n", d, goodput, loss, rtt,
-                    frames, predicted);
-    }
-}
-}  // namespace
+using namespace bench;
 
-int main() {
-    printHeader("Figure 6: link-retry delay sweep (goodput/loss/RTT/frames + Eq. 2)");
-    sweep(1, 120000);
-    sweep(3, 50000);
-    std::printf(
-        "\nPaper shape: 3-hop segment loss ~6%% at d=0 vs <1%% at d>=30 ms, with\n"
-        "nearly unchanged goodput (small windows recover instantly, §7.3); the\n"
-        "frame count falls with d as fewer link retries are spent per frame.\n");
-    return 0;
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "fig6_linkdelay";
+    d.title = "Figure 6: link-retry delay sweep (goodput/loss/RTT/frames + Eq. 2)";
+    d.base.topology.queueCapacityPackets = 24;
+    d.axes = {{"hops", {1, 3}}, {"d_ms", {0, 5, 10, 20, 30, 40, 60, 80, 100}}};
+    d.seeds = {1, 2, 3};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.topology.hops = std::size_t(p.value("hops"));
+        s.topology.retryDelayMax = sim::fromMillis(sim::Time(p.value("d_ms")));
+        s.workload.totalBytes = s.topology.hops == 1 ? 120000 : 50000;
+    };
+    d.present = [](const SweepResult& r) {
+        const std::uint16_t mss = scenario::mssForFrames(5);
+        for (double hops : {1.0, 3.0}) {
+            std::printf("\n-- %.0f hop(s) --\n", hops);
+            std::printf("%-8s %12s %10s %10s %12s %12s\n", "d(ms)", "Goodput", "SegLoss",
+                        "RTT ms", "Frames", "Pred kb/s");
+            for (double ms : {0., 5., 10., 20., 30., 40., 60., 80., 100.}) {
+                const double goodput =
+                    r.mean("goodput_kbps", {{"hops", hops}, {"d_ms", ms}});
+                const double loss = r.mean("segment_loss", {{"hops", hops}, {"d_ms", ms}});
+                const double rtt = r.mean("rtt_median_ms", {{"hops", hops}, {"d_ms", ms}});
+                const double frames = r.mean("frames_tx", {{"hops", hops}, {"d_ms", ms}});
+                // Equation 2 with w = 4 segments, measured RTT and loss.
+                const double predicted =
+                    model::llnGoodput(double(mss), rtt / 1000.0, loss, 4.0) * 8.0 / 1000.0;
+                std::printf("%-8.0f %9.1f kb/s %9.3f %10.0f %12.0f %12.1f\n", ms, goodput,
+                            loss, rtt, frames, predicted);
+            }
+        }
+        std::printf(
+            "\nPaper shape: 3-hop segment loss ~6%% at d=0 vs <1%% at d>=30 ms, with\n"
+            "nearly unchanged goodput (small windows recover instantly, §7.3); the\n"
+            "frame count falls with d as fewer link retries are spent per frame.\n");
+    };
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

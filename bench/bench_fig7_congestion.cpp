@@ -4,57 +4,100 @@
 //      the (small) buffer cap and snaps back immediately after loss (§7.3).
 //  (b) loss-recovery mix vs d: fast retransmissions shrink as d grows
 //      (hidden-terminal losses disappear); timeouts stay roughly flat.
-#include "bench/common.hpp"
+#include "bench/driver.hpp"
 
+namespace {
 using namespace bench;
 
-int main() {
-    printHeader("Figure 7(a): cwnd trace, 3 hops, d = 0 (sampled transitions)");
-    const std::uint16_t mss = mssForFrames(5);
+ScenarioDef traceDef() {
+    ScenarioDef d;
+    d.name = "fig7_cwnd_trace";
+    d.title = "Figure 7(a): cwnd trace, 3 hops, d = 0 (sampled transitions)";
+    d.base.topology.hops = 3;
+    d.base.topology.retryDelayMax = sim::Time(0);
+    d.base.topology.queueCapacityPackets = 24;
+    d.base.workload.totalBytes = 60000;
+    d.seeds = {2};
+    d.measure = [](const ScenarioSpec& spec, const Point& p) {
+        std::vector<std::pair<double, std::uint32_t>> trace;
+        ScenarioSpec s = spec;
+        s.workload.cwndTracer = [&trace](sim::Time t, std::uint32_t cwnd, std::uint32_t) {
+            trace.emplace_back(sim::toSeconds(t), cwnd);
+        };
+        const scenario::BulkRunResult r = scenario::runBulk(s, p.seed);
 
-    std::vector<std::pair<double, std::uint32_t>> trace;
-    BulkOptions o;
-    o.hops = 3;
-    o.totalBytes = 60000;
-    o.retryDelayMax = 0;
-    o.mss = mss;
-    o.seed = 2;
-    o.cwndTracer = [&trace](sim::Time t, std::uint32_t cwnd, std::uint32_t) {
-        trace.emplace_back(sim::toSeconds(t), cwnd);
-    };
-    const BulkResult r0 = runBulkTransfer(o);
-
-    // Print a decimated trace plus summary statistics.
-    const std::uint32_t cap = std::uint32_t(4 * mss);
-    std::size_t atCap = 0;
-    for (const auto& [t, c] : trace) atCap += (c >= cap);
-    std::printf("trace points=%zu, fraction at max window=%0.2f (paper: \"almost always "
-                "maxed out\")\n",
-                trace.size(), trace.empty() ? 0.0 : double(atCap) / double(trace.size()));
-    for (std::size_t i = 0; i < trace.size(); i += std::max<std::size_t>(1, trace.size() / 24))
-        std::printf("  t=%7.2fs cwnd=%5u\n", trace[i].first, trace[i].second);
-    std::printf("(transfer: %.1f kb/s, fast rexmits=%llu, timeouts=%llu)\n", r0.goodputKbps,
-                (unsigned long long)r0.fastRetransmissions, (unsigned long long)r0.timeouts);
-
-    printHeader("Figure 7(b): loss recovery mix vs link-retry delay, 3 hops");
-    std::printf("%-8s %18s %10s\n", "d(ms)", "FastRetransmits", "Timeouts");
-    for (int d : {0, 10, 20, 40, 60, 100}) {
-        std::uint64_t fast = 0, rto = 0;
-        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-            BulkOptions opt;
-            opt.hops = 3;
-            opt.totalBytes = 40000;
-            opt.retryDelayMax = sim::fromMillis(d);
-            opt.mss = mss;
-            opt.seed = seed;
-            const BulkResult r = runBulkTransfer(opt);
-            fast += r.fastRetransmissions;
-            rto += r.timeouts;
+        const std::uint32_t cap = std::uint32_t(4 * scenario::resolveMss(s.workload));
+        std::size_t atCap = 0;
+        for (const auto& [t, c] : trace) atCap += (c >= cap);
+        std::string decimated;
+        for (std::size_t i = 0; i < trace.size();
+             i += std::max<std::size_t>(1, trace.size() / 24)) {
+            if (!decimated.empty()) decimated += ';';
+            decimated += scenario::formatDouble(trace[i].first) + ':' +
+                         std::to_string(trace[i].second);
         }
-        std::printf("%-8d %18llu %10llu\n", d, (unsigned long long)fast,
-                    (unsigned long long)rto);
-    }
-    std::printf("\nPaper shape: fast retransmissions dominate at d=0 and fall with d;\n"
-                "timeouts come from other loss sources and stay roughly constant.\n");
-    return 0;
+        scenario::MetricRow row;
+        row.set("trace_points", std::uint64_t(trace.size()))
+            .set("frac_at_cap",
+                 trace.empty() ? 0.0 : double(atCap) / double(trace.size()))
+            .set("goodput_kbps", r.goodputKbps)
+            .set("fast_rexmits", r.fastRetransmissions)
+            .set("timeouts", r.timeouts)
+            .set("cwnd_trace", decimated)
+            .set("rng_digest", r.rngDigest);
+        return row;
+    };
+    d.present = [](const SweepResult& r) {
+        const auto& row = r.records.front().row;
+        std::printf("trace points=%.0f, fraction at max window=%0.2f (paper: \"almost "
+                    "always maxed out\")\n",
+                    row.number("trace_points"), row.number("frac_at_cap"));
+        const std::string& trace = row.str("cwnd_trace");
+        std::size_t pos = 0;
+        while (pos < trace.size()) {
+            std::size_t semi = trace.find(';', pos);
+            if (semi == std::string::npos) semi = trace.size();
+            const std::string sample = trace.substr(pos, semi - pos);
+            const std::size_t colon = sample.find(':');
+            if (colon != std::string::npos) {
+                std::printf("  t=%7.2fs cwnd=%5.0f\n",
+                            std::strtod(sample.substr(0, colon).c_str(), nullptr),
+                            std::strtod(sample.substr(colon + 1).c_str(), nullptr));
+            }
+            pos = semi + 1;
+        }
+        std::printf("(transfer: %.1f kb/s, fast rexmits=%.0f, timeouts=%.0f)\n",
+                    row.number("goodput_kbps"), row.number("fast_rexmits"),
+                    row.number("timeouts"));
+    };
+    return d;
 }
+
+ScenarioDef mixDef() {
+    ScenarioDef d;
+    d.name = "fig7_loss_mix";
+    d.title = "Figure 7(b): loss recovery mix vs link-retry delay, 3 hops";
+    d.base.topology.hops = 3;
+    d.base.topology.queueCapacityPackets = 24;
+    d.base.workload.totalBytes = 40000;
+    d.axes = {{"d_ms", {0, 10, 20, 40, 60, 100}}};
+    d.seeds = {1, 2, 3};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.topology.retryDelayMax = sim::fromMillis(sim::Time(p.value("d_ms")));
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-8s %18s %10s\n", "d(ms)", "FastRetransmits", "Timeouts");
+        for (double ms : {0., 10., 20., 40., 60., 100.}) {
+            std::printf("%-8.0f %18.0f %10.0f\n", ms,
+                        sumAt(r, "fast_rexmits", {{"d_ms", ms}}),
+                        sumAt(r, "timeouts", {{"d_ms", ms}}));
+        }
+        std::printf("\nPaper shape: fast retransmissions dominate at d=0 and fall with d;\n"
+                    "timeouts come from other loss sources and stay roughly constant.\n");
+    };
+    return d;
+}
+
+Registration regTrace{traceDef()};
+Registration regMix{mixDef()};
+}  // namespace

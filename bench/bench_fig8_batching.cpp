@@ -3,31 +3,45 @@
 //
 // Expected shape: all three protocols comparable; batching markedly cheaper
 // than per-reading sends; reliability 100% everywhere.
-#include "bench/common.hpp"
-#include "tcplp/harness/anemometer.hpp"
+#include "bench/driver.hpp"
 
+namespace {
 using namespace bench;
 using harness::SensorProtocol;
 
-int main() {
-    printHeader("Figure 8: batching vs no batching (night conditions)");
-    std::printf("%-10s %-12s %12s %12s %12s\n", "Protocol", "Batching", "Radio DC %",
-                "CPU DC %", "Reliability");
-    for (SensorProtocol proto :
-         {SensorProtocol::kCoap, SensorProtocol::kCocoa, SensorProtocol::kTcp}) {
-        for (bool batching : {false, true}) {
-            harness::AnemometerOptions o;
-            o.protocol = proto;
-            o.batching = batching;
-            o.duration = 20 * sim::kMinute;
-            o.seed = 3;
-            const auto r = harness::runAnemometer(o);
-            std::printf("%-10s %-12s %12.2f %12.2f %11.1f%%\n", harness::protocolName(proto),
-                        batching ? "Batching" : "No Batching", r.radioDutyCycle * 100.0,
-                        r.cpuDutyCycle * 100.0, r.reliability * 100.0);
+constexpr SensorProtocol kProtoOrder[] = {SensorProtocol::kCoap, SensorProtocol::kCocoa,
+                                          SensorProtocol::kTcp};
+
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "fig8_batching";
+    d.title = "Figure 8: batching vs no batching (night conditions)";
+    d.base.workload.kind = WorkloadKind::kAnemometer;
+    d.base.workload.anemometer.duration = 20 * sim::kMinute;
+    d.axes = {{"proto", {0, 1, 2}}, {"batching", {0, 1}}};
+    d.seeds = {3};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.workload.anemometer.protocol = kProtoOrder[std::size_t(p.value("proto"))];
+        s.workload.anemometer.batching = p.value("batching") != 0;
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-10s %-12s %12s %12s %12s\n", "Protocol", "Batching", "Radio DC %",
+                    "CPU DC %", "Reliability");
+        for (const auto& record : r.records) {
+            const SensorProtocol proto =
+                kProtoOrder[std::size_t(record.point.value("proto"))];
+            std::printf("%-10s %-12s %12.2f %12.2f %11.1f%%\n",
+                        harness::protocolName(proto),
+                        record.point.value("batching") != 0 ? "Batching" : "No Batching",
+                        record.row.number("radio_dc") * 100.0,
+                        record.row.number("cpu_dc") * 100.0,
+                        record.row.number("reliability") * 100.0);
         }
-    }
-    std::printf("\nPaper shape: every protocol 100%% reliable; batching roughly halves\n"
-                "the duty cycles; the three protocols are comparable (within ~3x).\n");
-    return 0;
+        std::printf("\nPaper shape: every protocol 100%% reliable; batching roughly halves\n"
+                    "the duty cycles; the three protocols are comparable (within ~3x).\n");
+    };
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

@@ -6,37 +6,51 @@
 //  (b) transport retransmissions climb with loss; TCP's RTO subset shown.
 //  (c)/(d) radio and CPU duty cycles rise with loss, comparable across
 //      protocols.
-#include "bench/common.hpp"
-#include "tcplp/harness/anemometer.hpp"
+#include "bench/driver.hpp"
 
+namespace {
 using namespace bench;
 using harness::SensorProtocol;
 
-int main() {
-    printHeader("Figure 9: injected loss sweep (reliability / rexmits / duty cycles)");
-    std::printf("%-10s %-8s %12s %14s %12s %10s %10s\n", "Protocol", "Loss", "Reliab.",
-                "Rexmit/10min", "TCP RTOs", "RadioDC%", "CpuDC%");
-    const double losses[] = {0.0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21};
-    for (SensorProtocol proto :
-         {SensorProtocol::kTcp, SensorProtocol::kCoap, SensorProtocol::kCocoa}) {
-        for (double p : losses) {
-            harness::AnemometerOptions o;
-            o.protocol = proto;
-            o.batching = true;
-            o.duration = 20 * sim::kMinute;
-            o.injectedLoss = p;
-            o.seed = 5;
-            const auto r = harness::runAnemometer(o);
+constexpr SensorProtocol kProtoOrder[] = {SensorProtocol::kTcp, SensorProtocol::kCoap,
+                                          SensorProtocol::kCocoa};
+
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "fig9_lossy";
+    d.title = "Figure 9: injected loss sweep (reliability / rexmits / duty cycles)";
+    d.base.workload.kind = WorkloadKind::kAnemometer;
+    d.base.workload.anemometer.duration = 20 * sim::kMinute;
+    d.base.workload.anemometer.batching = true;
+    d.axes = {{"proto", {0, 1, 2}},
+              {"loss", {0.0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.18, 0.21}}};
+    d.seeds = {5};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.workload.anemometer.protocol = kProtoOrder[std::size_t(p.value("proto"))];
+        s.workload.anemometer.injectedLoss = p.value("loss");
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-10s %-8s %12s %14s %12s %10s %10s\n", "Protocol", "Loss", "Reliab.",
+                    "Rexmit/10min", "TCP RTOs", "RadioDC%", "CpuDC%");
+        const double durationSecs = sim::toSeconds(20 * sim::kMinute);
+        for (const auto& record : r.records) {
+            const SensorProtocol proto =
+                kProtoOrder[std::size_t(record.point.value("proto"))];
             const double perTen =
-                double(r.transportRetransmissions) / (sim::toSeconds(o.duration) / 600.0) / 4.0;
-            std::printf("%-10s %-8.2f %11.1f%% %14.1f %12llu %10.2f %10.2f\n",
-                        harness::protocolName(proto), p, r.reliability * 100.0, perTen,
-                        (unsigned long long)r.tcpTimeouts, r.radioDutyCycle * 100.0,
-                        r.cpuDutyCycle * 100.0);
+                record.row.number("rexmits") / (durationSecs / 600.0) / 4.0;
+            std::printf("%-10s %-8.2f %11.1f%% %14.1f %12.0f %10.2f %10.2f\n",
+                        harness::protocolName(proto), record.point.value("loss"),
+                        record.row.number("reliability") * 100.0, perTen,
+                        record.row.number("tcp_rtos"),
+                        record.row.number("radio_dc") * 100.0,
+                        record.row.number("cpu_dc") * 100.0);
         }
-    }
-    std::printf("\nPaper shape: TCP & CoAP ~100%% to 15%% loss; CoCoA degrades after\n"
-                "~10%%; beyond 15%% CoAP > TCP (backoff policy); duty cycles grow\n"
-                "with loss and stay comparable between TCP and CoAP.\n");
-    return 0;
+        std::printf("\nPaper shape: TCP & CoAP ~100%% to 15%% loss; CoCoA degrades after\n"
+                    "~10%%; beyond 15%% CoAP > TCP (backoff policy); duty cycles grow\n"
+                    "with loss and stay comparable between TCP and CoAP.\n");
+    };
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

@@ -4,52 +4,54 @@
 // The profiles differ in per-frame header budget and per-datagram
 // processing latency (GNRC's thread-per-layer IPC, §6.3). Expected shape:
 // OpenThread > BLIP > GNRC, all in the 60-75 kb/s band.
-#include "bench/common.hpp"
+#include "bench/driver.hpp"
 
-using namespace bench;
+#include "tcplp/phy/frame.hpp"
 
 namespace {
-double runPair(std::size_t payloadBudget, sim::Time processingDelay, std::uint64_t seed) {
-    harness::TestbedConfig cfg;
-    cfg.seed = seed;
-    cfg.nodeDefaults.macConfig.retryDelayMax = 0;
-    cfg.nodeDefaults.macPayloadBudget = payloadBudget;
-    cfg.nodeDefaults.txProcessingDelay = processingDelay;
-    cfg.nodeDefaults.queueConfig.capacityPackets = 24;
-    auto tb = harness::Testbed::pair(cfg);
+using namespace bench;
 
-    mesh::Node& a = tb->node(0);
-    mesh::Node& b = tb->node(1);
-    tcp::TcpStack stackA(a);
-    tcp::TcpStack stackB(b);
+struct StackProfile {
+    const char* label;
+    std::size_t payloadBudget;
+    sim::Time processingDelay;
+    const char* paper;
+};
+const StackProfile kProfiles[] = {
+    {"OpenThread-like (lean)", phy::kMaxMacPayloadBytes, 0, "75"},
+    {"BLIP-like (event-driven)", phy::kMaxMacPayloadBytes - 2, 2 * sim::kMillisecond, "71"},
+    {"GNRC-like (IPC per layer)", phy::kMaxMacPayloadBytes - 8, 6 * sim::kMillisecond, "63"},
+};
 
-    const std::uint16_t mss = mssForFrames(5);
-    app::GoodputMeter meter(tb->simulator());
-    stackB.listen(80, moteTcpConfig(mss, 6), [&](tcp::TcpSocket& s) {
-        s.setOnData([&](BytesView d) { meter.onData(d); });
-        s.setOnPeerFin([&s] { s.close(); });
-    });
-    tcp::TcpSocket& client = stackA.createSocket(moteTcpConfig(mss, 4));
-    app::BulkSender sender(client, 150000);
-    client.connect(b.address(), 80);
-    tb->simulator().runUntil(30 * sim::kMinute);
-    return meter.goodputKbps();
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "sec63_stacks";
+    d.title = "Sec. 6.3: node-to-node goodput across stack profiles";
+    d.base.topology.kind = TopologyKind::kPair;
+    d.base.topology.retryDelayMax = sim::Time(0);
+    d.base.topology.queueCapacityPackets = 24;
+    d.base.workload.totalBytes = 150000;
+    d.base.workload.windowSegments = 4;
+    d.base.workload.recvWindowSegments = 6;
+    d.base.workload.timeLimit = 30 * sim::kMinute;
+    d.axes = {{"profile", {0, 1, 2}}};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        const StackProfile& prof = kProfiles[std::size_t(p.value("profile"))];
+        s.topology.macPayloadBudget = prof.payloadBudget;
+        s.topology.txProcessingDelay = prof.processingDelay;
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-34s %14s %10s\n", "Stack profile", "Goodput kb/s", "Paper");
+        for (const auto& record : r.records) {
+            const StackProfile& prof = kProfiles[std::size_t(record.point.value("profile"))];
+            std::printf("%-34s %14.1f %10s\n", prof.label,
+                        record.row.number("goodput_kbps"), prof.paper);
+        }
+        std::printf("\nShape: the underlying stack's overhead shifts goodput by ~15%%,\n"
+                    "reproducing the paper's GNRC < BLIP < OpenThread ordering.\n");
+    };
+    return d;
 }
+
+Registration reg{def()};
 }  // namespace
-
-int main() {
-    printHeader("Sec. 6.3: node-to-node goodput across stack profiles");
-    std::printf("%-34s %14s %10s\n", "Stack profile", "Goodput kb/s", "Paper");
-    // OpenThread: full frame budget, lean processing.
-    std::printf("%-34s %14.1f %10s\n", "OpenThread-like (lean)",
-                runPair(phy::kMaxMacPayloadBytes, 0, 1), "75");
-    // BLIP: event-driven, slightly higher per-packet cost.
-    std::printf("%-34s %14.1f %10s\n", "BLIP-like (event-driven)",
-                runPair(phy::kMaxMacPayloadBytes - 2, 2 * sim::kMillisecond, 1), "71");
-    // GNRC: more header overhead + IPC thread hops per datagram.
-    std::printf("%-34s %14.1f %10s\n", "GNRC-like (IPC per layer)",
-                runPair(phy::kMaxMacPayloadBytes - 8, 6 * sim::kMillisecond, 1), "63");
-    std::printf("\nShape: the underlying stack's overhead shifts goodput by ~15%%,\n"
-                "reproducing the paper's GNRC < BLIP < OpenThread ordering.\n");
-    return 0;
-}

@@ -1,0 +1,59 @@
+// Sweep-runner scaling harness (own main, not a registry scenario).
+//
+// Runs the sweep_smoke scenario over an 8-seed list serially and at
+// --jobs 8, verifies the merged JSON is byte-identical, and emits ONE line
+// of JSON (BENCH_sweep.json) recording wall-clock for both plus the
+// speedup. The speedup is bounded by the machine: `cores` is recorded so a
+// 1-core container's ~1.0x is not mistaken for a runner regression — on an
+// 8-core host the 8 independent simulations shard perfectly.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/driver.hpp"
+
+int main() {
+    using namespace tcplp::scenario;
+    const ScenarioDef* def = Registry::instance().find("sweep_smoke");
+    if (def == nullptr) {
+        std::fprintf(stderr, "sweep_smoke scenario not linked in\n");
+        return 1;
+    }
+
+    // 8 seeds on the 2-hop uplink cell: one run point per seed.
+    ScenarioDef scaled = *def;
+    scaled.axes = {{"hops", {2}}, {"uplink", {1}}};
+    scaled.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+
+    const auto timeRun = [&scaled](int jobs, SweepResult& out) {
+        const auto t0 = std::chrono::steady_clock::now();
+        out = runSweep(scaled, SweepOptions{jobs, {}});
+        const auto t1 = std::chrono::steady_clock::now();
+        return double(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                          .count()) /
+               1e6;
+    };
+
+    SweepResult serial, parallel;
+    const double serialMs = timeRun(1, serial);
+    const double parallelMs = timeRun(8, parallel);
+    if (!serial.ok || !parallel.ok) {
+        std::fprintf(stderr, "sweep failed: %s%s\n", serial.error.c_str(),
+                     parallel.error.c_str());
+        return 1;
+    }
+    const bool identical = serial.jsonLines() == parallel.jsonLines();
+    if (!identical) {
+        std::fprintf(stderr, "determinism violated: --jobs 8 output differs from serial\n");
+        return 1;
+    }
+
+    long cores = sysconf(_SC_NPROCESSORS_ONLN);
+    std::printf("{\"bench\":\"sweep\",\"scenario\":\"sweep_smoke\",\"points\":%zu,"
+                "\"jobs\":8,\"cores\":%ld,\"serial_ms\":%.1f,\"parallel_ms\":%.1f,"
+                "\"speedup\":%.2f,\"byte_identical\":true}\n",
+                serial.records.size(), cores, serialMs, parallelMs,
+                serialMs / parallelMs);
+    return 0;
+}

@@ -3,12 +3,11 @@
 // The uIP/BLIP rows describe our EmbeddedTcpSocket profiles; the TCPlp row
 // describes the full-scale engine. Each "Yes" is backed by an implemented
 // mechanism in this repository (file references printed alongside).
-#include <cstdio>
-
-#include "tcplp/tcp/tcp.hpp"
-#include "tcplp/transport/embedded_tcp.hpp"
+#include "bench/driver.hpp"
 
 namespace {
+using namespace bench;
+
 struct FeatureRow {
     const char* feature;
     const char* uip;
@@ -16,35 +15,53 @@ struct FeatureRow {
     const char* gnrc;
     const char* tcplp;
 };
-}  // namespace
 
-int main() {
-    std::printf("=== Table 1: TCP feature comparison (paper Table 1) ===\n");
-    // GNRC column reflects RIOT's stack as characterized by the paper; our
-    // simulator reproduces uIP/BLIP behavior via EmbeddedProfile and TCPlp
-    // via the full engine.
-    const FeatureRow rows[] = {
-        {"Flow Control", "Yes", "Yes", "Yes", "Yes"},
-        {"Congestion Control", "N/A", "No", "Yes", "Yes (New Reno)"},
-        {"RTT Estimation", "Yes", "No", "Yes", "Yes"},
-        {"MSS Option", "Yes", "No", "Yes", "Yes"},
-        {"TCP Timestamps", "No", "No", "No", "Yes"},
-        {"OOO Reassembly", "No", "No", "Yes", "Yes (in-place queue)"},
-        {"Selective ACKs", "No", "No", "No", "Yes"},
-        {"Delayed ACKs", "No", "No", "No", "Yes"},
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "table1_features";
+    d.title = "Table 1: TCP feature comparison (paper Table 1)";
+    d.measure = [](const ScenarioSpec&, const Point&) {
+        // Back the table's claims with the live configuration defaults.
+        tcp::TcpConfig full;
+        transport::EmbeddedTcpConfig uip;
+        uip.profile = transport::EmbeddedProfile::kUip;
+        scenario::MetricRow row;
+        row.set("tcplp_sack", full.sack)
+            .set("tcplp_timestamps", full.timestamps)
+            .set("tcplp_delayed_ack", full.delayedAck)
+            .set("tcplp_drop_ooo", full.dropOutOfOrder)
+            .set("uip_mss", std::uint64_t(uip.mss));
+        return row;
     };
-    std::printf("%-20s %-8s %-8s %-8s %s\n", "Feature", "uIP", "BLIP", "GNRC", "TCPlp");
-    for (const auto& r : rows)
-        std::printf("%-20s %-8s %-8s %-8s %s\n", r.feature, r.uip, r.blip, r.gnrc, r.tcplp);
-
-    // Back the claims with the live configuration defaults.
-    tcplp::tcp::TcpConfig full;
-    tcplp::transport::EmbeddedTcpConfig uip;
-    uip.profile = tcplp::transport::EmbeddedProfile::kUip;
-    std::printf("\nTCPlp defaults: sack=%d timestamps=%d delayedAck=%d (src/tcplp/tcp/tcp.hpp)\n",
-                full.sack, full.timestamps, full.delayedAck);
-    std::printf("uIP profile: single outstanding segment, mss=%u "
-                "(src/tcplp/transport/embedded_tcp.hpp)\n",
-                uip.mss);
-    return 0;
+    d.present = [](const SweepResult& r) {
+        // GNRC column reflects RIOT's stack as characterized by the paper;
+        // our simulator reproduces uIP/BLIP behavior via EmbeddedProfile and
+        // TCPlp via the full engine.
+        const FeatureRow rows[] = {
+            {"Flow Control", "Yes", "Yes", "Yes", "Yes"},
+            {"Congestion Control", "N/A", "No", "Yes", "Yes (New Reno)"},
+            {"RTT Estimation", "Yes", "No", "Yes", "Yes"},
+            {"MSS Option", "Yes", "No", "Yes", "Yes"},
+            {"TCP Timestamps", "No", "No", "No", "Yes"},
+            {"OOO Reassembly", "No", "No", "Yes", "Yes (in-place queue)"},
+            {"Selective ACKs", "No", "No", "No", "Yes"},
+            {"Delayed ACKs", "No", "No", "No", "Yes"},
+        };
+        std::printf("%-20s %-8s %-8s %-8s %s\n", "Feature", "uIP", "BLIP", "GNRC", "TCPlp");
+        for (const auto& row : rows)
+            std::printf("%-20s %-8s %-8s %-8s %s\n", row.feature, row.uip, row.blip,
+                        row.gnrc, row.tcplp);
+        const auto& live = r.records.front().row;
+        std::printf("\nTCPlp defaults: sack=%.0f timestamps=%.0f delayedAck=%.0f "
+                    "(src/tcplp/tcp/tcp.hpp)\n",
+                    live.number("tcplp_sack"), live.number("tcplp_timestamps"),
+                    live.number("tcplp_delayed_ack"));
+        std::printf("uIP profile: single outstanding segment, mss=%.0f "
+                    "(src/tcplp/transport/embedded_tcp.hpp)\n",
+                    live.number("uip_mss"));
+    };
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

@@ -1,32 +1,52 @@
 // Table 5: frame transmission time of IEEE 802.15.4 vs traditional links.
-#include <cstdio>
+#include "bench/driver.hpp"
 
 #include "tcplp/phy/frame.hpp"
 
-int main() {
-    std::printf("=== Table 5: link comparison ===\n");
-    std::printf("%-18s %12s %10s %10s\n", "Physical Layer", "Bandwidth", "Frame", "Tx Time");
-    struct Row {
-        const char* name;
-        double bitsPerSec;
-        double frameBytes;
+namespace {
+using namespace bench;
+
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "table5_linkcompare";
+    d.title = "Table 5: link comparison";
+    d.measure = [](const ScenarioSpec&, const Point&) {
+        // The 802.15.4 row comes from the live PHY model.
+        scenario::MetricRow row;
+        row.set("lln_bandwidth_bps", phy::kBitsPerSecond)
+            .set("lln_frame_bytes", std::uint64_t(phy::kMaxFrameBytes))
+            .set("lln_tx_time_ms", sim::toMillis(phy::maxFrameAirTime()));
+        return row;
     };
-    const Row rows[] = {
-        {"Gigabit Ethernet", 1e9, 1500},
-        {"Fast Ethernet", 100e6, 1500},
-        {"WiFi", 54e6, 1500},
-        {"Ethernet", 10e6, 1500},
+    d.present = [](const SweepResult& r) {
+        std::printf("%-18s %12s %10s %10s\n", "Physical Layer", "Bandwidth", "Frame",
+                    "Tx Time");
+        struct Row {
+            const char* name;
+            double bitsPerSec;
+            double frameBytes;
+        };
+        const Row rows[] = {
+            {"Gigabit Ethernet", 1e9, 1500},
+            {"Fast Ethernet", 100e6, 1500},
+            {"WiFi", 54e6, 1500},
+            {"Ethernet", 10e6, 1500},
+        };
+        for (const auto& row : rows) {
+            std::printf("%-18s %9.0f Mb/s %7.0f B %7.3f ms\n", row.name,
+                        row.bitsPerSec / 1e6, row.frameBytes,
+                        row.frameBytes * 8.0 / row.bitsPerSec * 1000.0);
+        }
+        const auto& live = r.records.front().row;
+        std::printf("%-18s %9.0f kb/s %7.0f B %7.3f ms  (from phy::maxFrameAirTime)\n",
+                    "IEEE 802.15.4", live.number("lln_bandwidth_bps") / 1e3,
+                    live.number("lln_frame_bytes"), live.number("lln_tx_time_ms"));
+        std::printf("\nPaper reports 4.1 ms for the 127 B frame; the model includes the\n"
+                    "6-byte PHY sync header, hence %.3f ms.\n",
+                    live.number("lln_tx_time_ms"));
     };
-    for (const auto& r : rows) {
-        std::printf("%-18s %9.0f Mb/s %7.0f B %7.3f ms\n", r.name, r.bitsPerSec / 1e6,
-                    r.frameBytes, r.frameBytes * 8.0 / r.bitsPerSec * 1000.0);
-    }
-    // The 802.15.4 row comes from the live PHY model.
-    std::printf("%-18s %9.0f kb/s %7zu B %7.3f ms  (from phy::maxFrameAirTime)\n",
-                "IEEE 802.15.4", tcplp::phy::kBitsPerSecond / 1e3, tcplp::phy::kMaxFrameBytes,
-                tcplp::sim::toMillis(tcplp::phy::maxFrameAirTime()));
-    std::printf("\nPaper reports 4.1 ms for the 127 B frame; the model includes the\n"
-                "6-byte PHY sync header, hence %.3f ms.\n",
-                tcplp::sim::toMillis(tcplp::phy::maxFrameAirTime()));
-    return 0;
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

@@ -4,56 +4,77 @@
 // fragmentation codecs and reports the header bytes of the first and
 // subsequent frames, mirroring Table 6's "first frame" vs "other frames"
 // split.
-#include <cstdio>
+#include "bench/driver.hpp"
 
-#include "bench/common.hpp"
 #include "tcplp/lowpan/frag.hpp"
+#include "tcplp/phy/frame.hpp"
 
-using namespace tcplp;
+namespace {
+using namespace bench;
 
-int main() {
-    std::printf("=== Table 6: header overhead per frame ===\n");
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "table6_headers";
+    d.title = "Table 6: header overhead per frame";
+    d.measure = [](const ScenarioSpec&, const Point&) {
+        tcp::Segment seg;
+        seg.srcPort = 49152;
+        seg.dstPort = 80;
+        seg.timestamps = tcp::Timestamps{1, 2};
+        seg.flags.ack = true;
+        seg.payload = patternBytes(0, 424);  // ~5-frame segment
 
-    tcp::Segment seg;
-    seg.srcPort = 49152;
-    seg.dstPort = 80;
-    seg.timestamps = tcp::Timestamps{1, 2};
-    seg.flags.ack = true;
-    seg.payload = patternBytes(0, 424);  // ~5-frame segment
+        ip6::Packet p;
+        p.src = ip6::Address::meshLocal(10);
+        p.dst = ip6::Address::cloud(1000);
+        p.nextHeader = ip6::kProtoTcp;
+        p.payload = seg.encode();
 
-    ip6::Packet p;
-    p.src = ip6::Address::meshLocal(10);
-    p.dst = ip6::Address::cloud(1000);
-    p.nextHeader = ip6::kProtoTcp;
-    p.payload = seg.encode();
+        const auto iphc = lowpan::compressHeader(p, 10, 1);
+        const auto frames = lowpan::encodeDatagram(p, 10, 1, 1, phy::kMaxMacPayloadBytes);
 
-    const auto iphc = lowpan::compressHeader(p, 10, 1);
-    const auto frames = lowpan::encodeDatagram(p, 10, 1, 1, phy::kMaxMacPayloadBytes);
+        ip6::Packet local;
+        local.src = ip6::Address::linkLocal(10);
+        local.dst = ip6::Address::linkLocal(11);
+        local.nextHeader = ip6::kProtoTcp;
+        const auto iphcLocal = lowpan::compressHeader(local, 10, 11);
 
-    std::printf("%-22s %12s %14s\n", "Header", "First Frame", "Other Frames");
-    std::printf("%-22s %9zu B %11zu B\n", "IEEE 802.15.4", phy::kMacDataHeaderBytes,
-                phy::kMacDataHeaderBytes);
-    std::printf("%-22s %9zu B %11zu B\n", "6LoWPAN Frag.", lowpan::kFrag1HeaderBytes,
-                lowpan::kFragNHeaderBytes);
-    std::printf("%-22s %9zu B %11d B\n", "IPv6 (IPHC, to cloud)", iphc.size(), 0);
-    std::printf("%-22s %9zu B %11d B\n", "TCP (w/ timestamps)", seg.headerBytes(), 0);
-    const std::size_t firstTotal = phy::kMacDataHeaderBytes + lowpan::kFrag1HeaderBytes +
-                                   iphc.size() + seg.headerBytes();
-    const std::size_t otherTotal = phy::kMacDataHeaderBytes + lowpan::kFragNHeaderBytes;
-    std::printf("%-22s %9zu B %11zu B   (paper: 50-107 B / 28-35 B)\n", "Total", firstTotal,
-                otherTotal);
-
-    // Also show the best-case IPHC (link-local mesh neighbors): the low end
-    // of Table 6's 2-28 B IPv6 range.
-    ip6::Packet local;
-    local.src = ip6::Address::linkLocal(10);
-    local.dst = ip6::Address::linkLocal(11);
-    local.nextHeader = ip6::kProtoTcp;
-    const auto iphcLocal = lowpan::compressHeader(local, 10, 11);
-    std::printf("\nIPv6 compressed range: %zu B (link-local) to %zu B (off-mesh) "
-                "[paper: 2-28 B]\n",
-                iphcLocal.size(), iphc.size());
-    std::printf("Segment occupies %zu frames at MSS %zu B.\n", frames.size(),
-                seg.payload.size());
-    return 0;
+        scenario::MetricRow row;
+        row.set("mac_header_bytes", std::uint64_t(phy::kMacDataHeaderBytes))
+            .set("frag1_header_bytes", std::uint64_t(lowpan::kFrag1HeaderBytes))
+            .set("fragn_header_bytes", std::uint64_t(lowpan::kFragNHeaderBytes))
+            .set("iphc_cloud_bytes", std::uint64_t(iphc.size()))
+            .set("iphc_local_bytes", std::uint64_t(iphcLocal.size()))
+            .set("tcp_header_bytes", std::uint64_t(seg.headerBytes()))
+            .set("frames", std::uint64_t(frames.size()))
+            .set("payload_bytes", std::uint64_t(seg.payload.size()));
+        return row;
+    };
+    d.present = [](const SweepResult& r) {
+        const auto& row = r.records.front().row;
+        const auto n = [&row](const char* key) { return std::size_t(row.number(key)); };
+        std::printf("%-22s %12s %14s\n", "Header", "First Frame", "Other Frames");
+        std::printf("%-22s %9zu B %11zu B\n", "IEEE 802.15.4", n("mac_header_bytes"),
+                    n("mac_header_bytes"));
+        std::printf("%-22s %9zu B %11zu B\n", "6LoWPAN Frag.", n("frag1_header_bytes"),
+                    n("fragn_header_bytes"));
+        std::printf("%-22s %9zu B %11d B\n", "IPv6 (IPHC, to cloud)", n("iphc_cloud_bytes"),
+                    0);
+        std::printf("%-22s %9zu B %11d B\n", "TCP (w/ timestamps)", n("tcp_header_bytes"),
+                    0);
+        const std::size_t firstTotal = n("mac_header_bytes") + n("frag1_header_bytes") +
+                                       n("iphc_cloud_bytes") + n("tcp_header_bytes");
+        const std::size_t otherTotal = n("mac_header_bytes") + n("fragn_header_bytes");
+        std::printf("%-22s %9zu B %11zu B   (paper: 50-107 B / 28-35 B)\n", "Total",
+                    firstTotal, otherTotal);
+        std::printf("\nIPv6 compressed range: %zu B (link-local) to %zu B (off-mesh) "
+                    "[paper: 2-28 B]\n",
+                    n("iphc_local_bytes"), n("iphc_cloud_bytes"));
+        std::printf("Segment occupies %zu frames at MSS %zu B.\n", n("frames"),
+                    n("payload_bytes"));
+    };
+    return d;
 }
+
+Registration reg{def()};
+}  // namespace

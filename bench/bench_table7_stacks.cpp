@@ -2,79 +2,56 @@
 // one-hop and multi-hop goodput.
 //
 // Expected shape: TCPlp 5-40x the single-outstanding-segment stacks.
-#include "bench/common.hpp"
-
-using namespace bench;
+#include "bench/driver.hpp"
 
 namespace {
+using namespace bench;
 
-double runEmbedded(transport::EmbeddedProfile profile, std::size_t hops,
-                   std::size_t totalBytes, std::uint64_t seed) {
-    harness::TestbedConfig cfg;
-    cfg.seed = seed;
-    cfg.nodeDefaults.macConfig.retryDelayMax = sim::fromMillis(40);
-    auto tb = harness::Testbed::line(hops, cfg);
-
-    mesh::Node& mote = *tb->findNode(phy::NodeId(9 + hops));
-    transport::EmbeddedTcpConfig ec;
-    ec.profile = profile;
-    // uIP negotiates 4-frame segments in some studies; classic deployments
-    // used 1 frame. We follow Table 7's headline rows: 1-frame MSS.
-    ec.mss = 60;
-    transport::EmbeddedTcpSocket client(mote, ec);
-    tcp::TcpStack cloudStack(tb->cloud());
-
-    app::GoodputMeter meter(tb->simulator());
-    cloudStack.listen(80, serverTcpConfig(), [&](tcp::TcpSocket& s) {
-        s.setOnData([&](BytesView d) { meter.onData(d); });
-    });
-    app::EmbeddedBulkSender sender(client, totalBytes);
-    client.connect(tb->cloud().address(), 80);
-    // The stop-and-wait stack has no send-space callback; poll it.
-    std::function<void()> poll = [&] {
-        sender.pump();
-        if (sender.offered() < totalBytes || client.backlog() > 0)
-            tb->simulator().schedule(sim::kSecond, poll);
+// stack axis: 0 = uIP profile, 1 = BLIP profile, 2 = full-scale TCPlp.
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "table7_stacks";
+    d.title = "Table 7: goodput across TCP stacks (kb/s)";
+    d.base.topology.retryDelayMax = sim::fromMillis(40);
+    d.axes = {{"stack", {0, 1, 2}}, {"hops", {1, 3}}};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        const int stack = int(p.value("stack"));
+        s.topology.hops = std::size_t(p.value("hops"));
+        if (stack < 2) {
+            // uIP negotiates 4-frame segments in some studies; classic
+            // deployments used 1 frame. Table 7's headline rows: 1-frame MSS.
+            s.workload.kind = WorkloadKind::kEmbeddedBulk;
+            s.workload.embeddedProfile = stack == 0 ? transport::EmbeddedProfile::kUip
+                                                    : transport::EmbeddedProfile::kBlip;
+            s.workload.embeddedMss = 60;
+            s.workload.totalBytes = s.topology.hops == 1 ? 20000 : 8000;
+            s.workload.timeLimit = 60 * sim::kMinute;
+        } else {
+            s.topology.queueCapacityPackets = 24;
+            s.workload.totalBytes = s.topology.hops == 1 ? 150000 : 60000;
+        }
     };
-    tb->simulator().schedule(sim::kSecond, poll);
-    tb->simulator().runUntil(60 * sim::kMinute);
-    return meter.goodputKbps();
+    d.present = [](const SweepResult& r) {
+        std::printf("%-28s %12s %12s\n", "Stack", "One hop", "Three hops");
+        const double uip1 = r.mean("goodput_kbps", {{"stack", 0}, {"hops", 1}});
+        const double uip3 = r.mean("goodput_kbps", {{"stack", 0}, {"hops", 3}});
+        const double blip1 = r.mean("goodput_kbps", {{"stack", 1}, {"hops", 1}});
+        const double blip3 = r.mean("goodput_kbps", {{"stack", 1}, {"hops", 3}});
+        const double full1 = r.mean("goodput_kbps", {{"stack", 2}, {"hops", 1}});
+        const double full3 = r.mean("goodput_kbps", {{"stack", 2}, {"hops", 3}});
+        std::printf("%-28s %12.2f %12.2f   (paper: 1.5-12 / 0.55-12)\n",
+                    "uIP profile (1 seg, 1 frame)", uip1, uip3);
+        std::printf("%-28s %12.2f %12.2f   (paper: 4.8 / 2.4)\n",
+                    "BLIP profile (1 seg, no RTT)", blip1, blip3);
+        std::printf("%-28s %12.2f %12.2f   (paper: 75 / 20)\n", "TCPlp (full-scale)",
+                    full1, full3);
+        std::printf("\nImprovement factors: one hop %.0fx over uIP, %.0fx over BLIP;\n",
+                    full1 / uip1, full1 / blip1);
+        std::printf("three hops %.0fx over uIP, %.0fx over BLIP (paper: 5-40x).\n",
+                    full3 / uip3, full3 / blip3);
+    };
+    return d;
 }
 
-double runFull(std::size_t hops, std::uint64_t seed) {
-    BulkOptions o;
-    o.hops = hops;
-    o.totalBytes = hops == 1 ? 150000 : 60000;
-    o.retryDelayMax = sim::fromMillis(40);
-    o.mss = mssForFrames(5);
-    o.seed = seed;
-    return runBulkTransfer(o).goodputKbps;
-}
-
+Registration reg{def()};
 }  // namespace
-
-int main() {
-    printHeader("Table 7: goodput across TCP stacks (kb/s)");
-    std::printf("%-28s %12s %12s\n", "Stack", "One hop", "Three hops");
-
-    const double uip1 = runEmbedded(transport::EmbeddedProfile::kUip, 1, 20000, 1);
-    const double uip3 = runEmbedded(transport::EmbeddedProfile::kUip, 3, 8000, 1);
-    std::printf("%-28s %12.2f %12.2f   (paper: 1.5-12 / 0.55-12)\n",
-                "uIP profile (1 seg, 1 frame)", uip1, uip3);
-
-    const double blip1 = runEmbedded(transport::EmbeddedProfile::kBlip, 1, 20000, 1);
-    const double blip3 = runEmbedded(transport::EmbeddedProfile::kBlip, 3, 8000, 1);
-    std::printf("%-28s %12.2f %12.2f   (paper: 4.8 / 2.4)\n",
-                "BLIP profile (1 seg, no RTT)", blip1, blip3);
-
-    const double full1 = runFull(1, 1);
-    const double full3 = runFull(3, 1);
-    std::printf("%-28s %12.2f %12.2f   (paper: 75 / 20)\n", "TCPlp (full-scale)", full1,
-                full3);
-
-    std::printf("\nImprovement factors: one hop %.0fx over uIP, %.0fx over BLIP;\n",
-                full1 / uip1, full1 / blip1);
-    std::printf("three hops %.0fx over uIP, %.0fx over BLIP (paper: 5-40x).\n",
-                full3 / uip3, full3 / blip3);
-    return 0;
-}

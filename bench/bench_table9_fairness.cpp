@@ -5,113 +5,63 @@
 // Expected shape: with 4-segment buffers, the two flows share goodput
 // roughly evenly at one and three hops. With 7-segment buffers, tail drops
 // at the relay skew sharing; per-hop reassembly + RED + ECN restores it.
-#include "bench/common.hpp"
-
-using namespace bench;
+#include "bench/driver.hpp"
 
 namespace {
-struct TwoFlowResult {
-    double goodputA = 0.0;
-    double goodputB = 0.0;
-    double rttA = 0.0;
-    double rttB = 0.0;
-    double lossA = 0.0;
-    double lossB = 0.0;
+using namespace bench;
+
+struct FairnessConfig {
+    const char* label;
+    std::size_t hops;
+    std::size_t windowSegments;
+    bool redEcn;
+};
+const FairnessConfig kConfigs[] = {
+    {"1 hop, 4-seg buffers", 1, 4, false},
+    {"3 hops, 4-seg buffers", 3, 4, false},
+    {"3 hops, 7-seg buffers", 3, 7, false},
+    {"3 hops, 7-seg + RED/ECN", 3, 7, true},
 };
 
-// Two sources, both `hops` away from the border router, sharing all but the
-// first hop (the Appendix A setup). For one hop, both attach directly.
-TwoFlowResult runTwoFlows(std::size_t hops, std::size_t windowSegments, bool redEcn,
-                          std::uint64_t seed) {
-    harness::TestbedConfig cfg;
-    cfg.seed = seed;
-    cfg.nodeDefaults.macConfig.retryDelayMax = sim::fromMillis(40);
-    cfg.nodeDefaults.queueConfig.capacityPackets = 7;  // relay buffer limit
-    if (redEcn) {
-        cfg.nodeDefaults.perHopReassembly = true;  // the Appendix A change
-        cfg.nodeDefaults.queueConfig.discipline = ip6::QueueDiscipline::kRed;
-        cfg.nodeDefaults.queueConfig.ecnMarking = true;
-    }
-    auto tb = harness::Testbed::line(hops, cfg);
-
-    // Second source: a sibling of the last node, attached to the same relay
-    // (or to the border router for one hop).
-    const phy::NodeId firstSrc = phy::NodeId(9 + hops);
-    const phy::NodeId attach = hops == 1 ? 1 : phy::NodeId(9 + hops - 1);
-    mesh::NodeConfig nc = cfg.nodeDefaults;
-    nc.role = mesh::Role::kRouter;
-    mesh::Node* relay = tb->findNode(attach);
-    mesh::Node& second =
-        tb->addNode(99, {relay->radio()->position().x + 8.0,
-                         relay->radio()->position().y + 6.0},
-                    nc);
-    second.setDefaultRoute(attach);
-    relay->addRoute(99, 99);
-    // Downlink routes toward the new node at every upstream hop.
-    tb->borderRouter().addRoute(99, hops == 1 ? phy::NodeId(99) : phy::NodeId(10));
-    for (std::size_t i = 1; i + 1 < hops; ++i)
-        tb->findNode(phy::NodeId(9 + i))->addRoute(99, phy::NodeId(9 + i + 1));
-    if (hops > 1) tb->findNode(attach)->addRoute(99, 99);
-
-    const std::uint16_t mss = mssForFrames(5);
-    tcp::TcpConfig moteCfg = moteTcpConfig(mss, windowSegments);
-    moteCfg.ecn = redEcn;
-    tcp::TcpConfig servCfg = serverTcpConfig(mss);
-    servCfg.ecn = redEcn;
-
-    tcp::TcpStack stackA(*tb->findNode(firstSrc));
-    tcp::TcpStack stackB(second);
-    tcp::TcpStack cloud(tb->cloud());
-
-    app::GoodputMeter meterA(tb->simulator()), meterB(tb->simulator());
-    cloud.listen(80, servCfg, [&](tcp::TcpSocket& s) {
-        s.setOnData([&](BytesView d) { meterA.onData(d); });
-    });
-    cloud.listen(81, servCfg, [&](tcp::TcpSocket& s) {
-        s.setOnData([&](BytesView d) { meterB.onData(d); });
-    });
-
-    tcp::TcpSocket& a = stackA.createSocket(moteCfg);
-    tcp::TcpSocket& b = stackB.createSocket(moteCfg);
-    // Five-minute simultaneous transfer, per Appendix A.
-    app::BulkSender sendA(a, 10'000'000);
-    app::BulkSender sendB(b, 10'000'000);
-    a.connect(tb->cloud().address(), 80);
-    b.connect(tb->cloud().address(), 81);
-    tb->simulator().runUntil(5 * sim::kMinute);
-
-    TwoFlowResult r;
-    const double secs = sim::toSeconds(5 * sim::kMinute);
-    r.goodputA = double(meterA.bytes()) * 8.0 / 1000.0 / secs;
-    r.goodputB = double(meterB.bytes()) * 8.0 / 1000.0 / secs;
-    r.rttA = a.stats().rttSamples.median();
-    r.rttB = b.stats().rttSamples.median();
-    r.lossA = a.stats().segsSent ? 100.0 * double(a.stats().retransmissions) /
-                                       double(a.stats().segsSent)
-                                 : 0.0;
-    r.lossB = b.stats().segsSent ? 100.0 * double(b.stats().retransmissions) /
-                                       double(b.stats().segsSent)
-                                 : 0.0;
-    return r;
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "table9_fairness";
+    d.title = "Table 9 / Appendix A: two-flow fairness";
+    d.base.workload.kind = WorkloadKind::kTwoFlow;
+    d.base.topology.retryDelayMax = sim::fromMillis(40);
+    d.base.topology.queueCapacityPackets = 7;  // relay buffer limit
+    d.base.workload.totalBytes = 10'000'000;   // saturating for the window
+    d.base.workload.timeLimit = 5 * sim::kMinute;  // per Appendix A
+    d.axes = {{"cfg", {0, 1, 2, 3}}};
+    d.seeds = {2};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        const FairnessConfig& c = kConfigs[std::size_t(p.value("cfg"))];
+        s.topology.hops = c.hops;
+        s.workload.windowSegments = c.windowSegments;
+        if (c.redEcn) {
+            s.topology.perHopReassembly = true;  // the Appendix A change
+            s.topology.redQueue = true;
+            s.topology.ecnMarking = true;
+            s.workload.ecn = true;
+        }
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-34s %15s %6s %14s %11s\n", "Scenario", "Goodput kb/s", "Fair",
+                    "RTT ms", "Rexmit %");
+        for (const auto& record : r.records) {
+            const FairnessConfig& c = kConfigs[std::size_t(record.point.value("cfg"))];
+            const auto& row = record.row;
+            std::printf("%-34s %6.1f / %-6.1f %6.2f %7.0f/%-6.0f %5.2f/%-5.2f\n", c.label,
+                        row.number("goodput_a_kbps"), row.number("goodput_b_kbps"),
+                        row.number("fairness"), row.number("rtt_a_ms"),
+                        row.number("rtt_b_ms"), row.number("rexmit_a_pct"),
+                        row.number("rexmit_b_pct"));
+        }
+        std::printf("\nPaper shape: 4-segment buffers share fairly (41.7/35.2 one hop,\n"
+                    "10.9/9.4 three hops); 7-segment buffers degrade without RED/ECN.\n");
+    };
+    return d;
 }
 
-void report(const char* label, const TwoFlowResult& r) {
-    const double fairness = std::min(r.goodputA, r.goodputB) /
-                            std::max(1e-9, std::max(r.goodputA, r.goodputB));
-    std::printf("%-34s %6.1f / %-6.1f %6.2f %7.0f/%-6.0f %5.2f/%-5.2f\n", label, r.goodputA,
-                r.goodputB, fairness, r.rttA, r.rttB, r.lossA, r.lossB);
-}
+Registration reg{def()};
 }  // namespace
-
-int main() {
-    printHeader("Table 9 / Appendix A: two-flow fairness");
-    std::printf("%-34s %15s %6s %14s %11s\n", "Scenario", "Goodput kb/s", "Fair", "RTT ms",
-                "Rexmit %");
-    report("1 hop, 4-seg buffers", runTwoFlows(1, 4, false, 2));
-    report("3 hops, 4-seg buffers", runTwoFlows(3, 4, false, 2));
-    report("3 hops, 7-seg buffers", runTwoFlows(3, 7, false, 2));
-    report("3 hops, 7-seg + RED/ECN", runTwoFlows(3, 7, true, 2));
-    std::printf("\nPaper shape: 4-segment buffers share fairly (41.7/35.2 one hop,\n"
-                "10.9/9.4 three hops); 7-segment buffers degrade without RED/ECN.\n");
-    return 0;
-}

@@ -230,6 +230,7 @@ AnemometerResult runAnemometer(const AnemometerOptions& options) {
     result.delivered = collector.total();
     result.reliability =
         result.generated > 0 ? double(result.delivered) / double(result.generated) : 0.0;
+    result.rngDigest = simulator.rng().stateDigest();
     return result;
 }
 

@@ -51,6 +51,9 @@ struct AnemometerResult {
     std::uint64_t tcpTimeouts = 0;               // RTO subset (Fig. 9b)
     /// Fig. 10: per-hour mean radio duty cycle (diurnal runs only).
     std::vector<double> hourlyRadioDutyCycle;
+    /// Rng::stateDigest at run end; sweep determinism tests compare runs
+    /// executed serially vs sharded across workers through this.
+    std::uint64_t rngDigest = 0;
 };
 
 AnemometerResult runAnemometer(const AnemometerOptions& options);

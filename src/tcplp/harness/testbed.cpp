@@ -124,11 +124,22 @@ std::unique_ptr<Testbed> Testbed::office(TestbedConfig config) {
         tb->addNode(sp.id, phy::Position{sp.x, sp.y}, nc);
     }
 
+    tb->installTreeRoutes();
+    return tb;
+}
+
+void Testbed::installTreeRoutes() {
+    const auto isLeaf = [this](phy::NodeId id) {
+        for (phy::NodeId l : config_.sleepyLeaves)
+            if (l == id) return true;
+        return false;
+    };
+
     // Parent selection: BFS tree toward the border router over the
     // connectivity graph (OpenThread picks good-quality uplinks; with a
     // unit-disk channel, hop count is the quality metric). Leaves never
     // relay, so only routers expand the frontier.
-    const std::size_t n = tb->nodeCount();
+    const std::size_t n = nodeCount();
     std::vector<int> parent(n, -1);
     std::vector<int> depth(n, -1);
     std::queue<std::size_t> frontier;
@@ -138,10 +149,10 @@ std::unique_ptr<Testbed> Testbed::office(TestbedConfig config) {
     while (!frontier.empty()) {
         const std::size_t u = frontier.front();
         frontier.pop();
-        if (isLeaf(tb->node(u).id())) continue;  // leaves don't forward
+        if (isLeaf(node(u).id())) continue;  // leaves don't forward
         for (std::size_t v = 0; v < n; ++v) {
             if (depth[v] != -1) continue;
-            if (!tb->channel().inRange(tb->node(u).radio(), tb->node(v).radio())) continue;
+            if (!channel().inRange(node(u).radio(), node(v).radio())) continue;
             depth[v] = depth[u] + 1;
             parent[v] = int(u);
             frontier.push(v);
@@ -152,8 +163,8 @@ std::unique_ptr<Testbed> Testbed::office(TestbedConfig config) {
     // routes at each ancestor pointing down the tree.
     for (std::size_t v = 1; v < n; ++v) {
         TCPLP_ASSERT(parent[v] >= 0);
-        mesh::Node& child = tb->node(v);
-        mesh::Node& par = tb->node(std::size_t(parent[v]));
+        mesh::Node& child = node(v);
+        mesh::Node& par = node(std::size_t(parent[v]));
         if (child.role() == mesh::Role::kLeaf) {
             child.setParent(par.id());
             par.adoptSleepyChild(child.id());
@@ -164,10 +175,60 @@ std::unique_ptr<Testbed> Testbed::office(TestbedConfig config) {
         int cur = int(v);
         while (parent[std::size_t(cur)] >= 0) {
             const int up = parent[std::size_t(cur)];
-            tb->node(std::size_t(up)).addRoute(child.id(), tb->node(std::size_t(cur)).id());
+            node(std::size_t(up)).addRoute(child.id(), node(std::size_t(cur)).id());
             cur = up;
         }
     }
+}
+
+std::unique_ptr<Testbed> Testbed::grid(std::size_t n, TestbedConfig config) {
+    TCPLP_ASSERT(n >= 2);
+    auto tb = std::make_unique<Testbed>(config);
+    const double s = config.nodeSpacingMeters;
+    const auto cols = std::size_t(std::ceil(std::sqrt(double(n))));
+
+    const auto isLeaf = [&config](phy::NodeId id) {
+        for (phy::NodeId l : config.sleepyLeaves)
+            if (l == id) return true;
+        return false;
+    };
+
+    // Border router = id 1 in the corner cell; ids 2..n fill the grid
+    // row-major. 10 m spacing at 12 m range keeps adjacent nodes in range
+    // and nodes two apart hidden from each other (§7.1 geometry), so dense
+    // grids collide at relays exactly like the office runs.
+    mesh::NodeConfig rc = config.nodeDefaults;
+    rc.role = mesh::Role::kRouter;
+    tb->addBorderRouterAndCloud(1, phy::Position{0.0, 0.0}, rc);
+    for (std::size_t i = 1; i < n; ++i) {
+        const phy::NodeId id = phy::NodeId(i + 1);
+        mesh::NodeConfig nc = config.nodeDefaults;
+        nc.role = isLeaf(id) ? mesh::Role::kLeaf : mesh::Role::kRouter;
+        nc.sleepyConfig = config.sleepyConfig;
+        tb->addNode(id, phy::Position{double(i % cols) * s, double(i / cols) * s}, nc);
+    }
+    tb->installTreeRoutes();
+    return tb;
+}
+
+std::unique_ptr<Testbed> Testbed::star(std::size_t n, TestbedConfig config) {
+    TCPLP_ASSERT(n >= 2);
+    auto tb = std::make_unique<Testbed>(config);
+
+    mesh::NodeConfig rc = config.nodeDefaults;
+    rc.role = mesh::Role::kRouter;
+    tb->addBorderRouterAndCloud(1, phy::Position{0.0, 0.0}, rc);
+    const std::size_t spokes = n - 1;
+    for (std::size_t i = 0; i < spokes; ++i) {
+        const double angle = 2.0 * 3.14159265358979323846 * double(i) / double(spokes);
+        mesh::NodeConfig nc = config.nodeDefaults;
+        nc.role = mesh::Role::kRouter;
+        tb->addNode(phy::NodeId(i + 2),
+                    phy::Position{config.nodeSpacingMeters * std::cos(angle),
+                                  config.nodeSpacingMeters * std::sin(angle)},
+                    nc);
+    }
+    tb->installTreeRoutes();
     return tb;
 }
 

@@ -61,6 +61,13 @@ public:
     /// and routes every on-path node's default toward position 0.
     void installLineRoutes(const std::vector<phy::NodeId>& path);
 
+    /// Parent selection + route install for an arbitrary mesh: BFS tree
+    /// toward the border router (node index 0) over the connectivity graph,
+    /// default routes up the tree, downlink routes at every ancestor, and
+    /// sleepy-leaf adoption per config.sleepyLeaves. Used by office(),
+    /// grid() and star(); call after all nodes are added.
+    void installTreeRoutes();
+
     mesh::Node* findNode(phy::NodeId id);
 
     // --- Canned topologies ---------------------------------------------
@@ -72,6 +79,12 @@ public:
     static std::unique_ptr<Testbed> line(std::size_t hops, TestbedConfig config = {});
     /// 15-node office tree per Fig. 3; sensors 12-15 are 3-5 hops out.
     static std::unique_ptr<Testbed> office(TestbedConfig config = {});
+    /// Dense n-node grid (ids 1..n, border router = 1 in the corner),
+    /// node spacing vs radio range giving the §7.1 hidden-terminal
+    /// geometry. Stresses the channel's spatial index at scale.
+    static std::unique_ptr<Testbed> grid(std::size_t n, TestbedConfig config = {});
+    /// Border router (id 1) with n-1 single-hop neighbors on a circle.
+    static std::unique_ptr<Testbed> star(std::size_t n, TestbedConfig config = {});
 
 private:
     TestbedConfig config_;

@@ -62,7 +62,7 @@ const std::vector<Radio*>& Channel::neighborsOf(Radio* transmitter) {
 
 template <typename Fn>
 void Channel::forEachCandidate(Radio* transmitter, Fn&& fn) {
-    if (mode_ == DeliveryMode::kSpatialIndex) {
+    if (effectiveMode() == DeliveryMode::kSpatialIndex) {
         for (Radio* r : neighborsOf(transmitter)) {
             ++channelStats_.listenerVisits;
             fn(r);
@@ -91,7 +91,7 @@ bool Channel::clearAt(const Radio* listener) const {
     const CellKey lc = cellOf(listener->position());
     for (const Transmission& t : active_) {
         if (t.transmitter == listener) continue;
-        if (mode_ == DeliveryMode::kSpatialIndex) {
+        if (effectiveMode() == DeliveryMode::kSpatialIndex) {
             // Cells >= 2 apart in either axis are strictly farther than
             // `range` (cell side == range): reject without the distance math.
             const CellKey tc = cellOf(t.transmitter->position());
@@ -127,7 +127,7 @@ void Channel::startTransmission(Radio* transmitter, const Frame& frame) {
         if (inRange(r, transmitter)) r->airStarted(txId);
     });
 
-    if (mode_ == DeliveryMode::kLinearScan) {
+    if (effectiveMode() == DeliveryMode::kLinearScan) {
         // Frozen seed behavior: one delivery event per transmission.
         simulator_.schedule(frame.airTime(), [this, txId] { deliverOne(txId); });
         return;

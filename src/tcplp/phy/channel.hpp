@@ -85,11 +85,19 @@ struct ChannelStats {
 
 class Channel {
 public:
-    /// kSpatialIndex is the production path. kLinearScan is the frozen seed
+    /// kSpatialIndex is the indexed path; kLinearScan is the frozen seed
     /// reference the equivalence tests and the channel bench compare
     /// against: every radio examined per frame AND one delivery event per
-    /// transmission (no batching).
-    enum class DeliveryMode : std::uint8_t { kSpatialIndex, kLinearScan };
+    /// transmission (no batching). kAuto — the production default — picks
+    /// per operation: linear scan below kAutoLinearThreshold radios (where
+    /// grid upkeep ≈ the scan it saves, e.g. the 15-node office runs),
+    /// spatial index above it. The two paths replay the identical RNG
+    /// sequence, so the switch point is a pure perf decision and may even
+    /// move mid-run as radios join.
+    enum class DeliveryMode : std::uint8_t { kSpatialIndex, kLinearScan, kAuto };
+
+    /// Below this many radios kAuto stays on the linear scan.
+    static constexpr std::size_t kAutoLinearThreshold = 20;
 
     explicit Channel(sim::Simulator& simulator, double range = 12.0)
         : simulator_(simulator), range_(range) {}
@@ -99,6 +107,12 @@ public:
 
     void setDeliveryMode(DeliveryMode mode) { mode_ = mode; }
     DeliveryMode deliveryMode() const { return mode_; }
+    /// The mode kAuto resolves to right now (itself otherwise).
+    DeliveryMode effectiveMode() const {
+        if (mode_ != DeliveryMode::kAuto) return mode_;
+        return radiosById_.size() < kAutoLinearThreshold ? DeliveryMode::kLinearScan
+                                                         : DeliveryMode::kSpatialIndex;
+    }
 
     void addRadio(Radio* radio);
     /// Re-files `radio` under its new position (called by Radio::setPosition
@@ -193,7 +207,7 @@ private:
 
     sim::Simulator& simulator_;
     double range_;
-    DeliveryMode mode_ = DeliveryMode::kSpatialIndex;
+    DeliveryMode mode_ = DeliveryMode::kAuto;
     double defaultLoss_ = 0.0;
     std::vector<Radio*> radiosById_;  // all radios, ascending NodeId
     std::unordered_map<CellKey, std::vector<Radio*>, CellKeyHash> grid_;

@@ -1,0 +1,137 @@
+#include "tcplp/scenario/metrics.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace tcplp::scenario {
+
+double MetricValue::number() const {
+    switch (kind_) {
+        case Kind::kInt: return double(i_);
+        case Kind::kUint: return double(u_);
+        case Kind::kDouble: return d_;
+        case Kind::kBool: return b_ ? 1.0 : 0.0;
+        case Kind::kString: return 0.0;
+    }
+    return 0.0;
+}
+
+bool MetricValue::operator==(const MetricValue& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+        case Kind::kInt: return i_ == o.i_;
+        case Kind::kUint: return u_ == o.u_;
+        case Kind::kDouble:
+            // Bitwise comparison: the determinism tests compare rows that
+            // crossed the worker pipe against rows computed in-process.
+            return (std::isnan(d_) && std::isnan(o.d_)) || d_ == o.d_;
+        case Kind::kBool: return b_ == o.b_;
+        case Kind::kString: return s_ == o.s_;
+    }
+    return false;
+}
+
+MetricRow& MetricRow::set(const std::string& key, MetricValue value) {
+    for (auto& [k, v] : fields_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const MetricValue* MetricRow::find(const std::string& key) const {
+    for (const auto& [k, v] : fields_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+double MetricRow::number(const std::string& key, double fallback) const {
+    const MetricValue* v = find(key);
+    return v ? v->number() : fallback;
+}
+
+const std::string& MetricRow::str(const std::string& key) const {
+    static const std::string kEmpty;
+    const MetricValue* v = find(key);
+    return v && v->kind() == MetricValue::Kind::kString ? v->asString() : kEmpty;
+}
+
+std::string formatDouble(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+void appendEscaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+}  // namespace
+
+std::string toJsonLine(const MetricRow& row) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : row.fields()) {
+        if (!first) out += ',';
+        first = false;
+        appendEscaped(out, key);
+        out += ':';
+        switch (value.kind()) {
+            case MetricValue::Kind::kInt:
+                out += std::to_string(value.asInt());
+                break;
+            case MetricValue::Kind::kUint:
+                out += std::to_string(value.asUint());
+                break;
+            case MetricValue::Kind::kDouble:
+                out += formatDouble(value.asDouble());
+                break;
+            case MetricValue::Kind::kBool:
+                out += value.asBool() ? "true" : "false";
+                break;
+            case MetricValue::Kind::kString:
+                appendEscaped(out, value.asString());
+                break;
+        }
+    }
+    out += '}';
+    return out;
+}
+
+bool writeJsonLines(const std::string& path, const std::vector<MetricRow>& rows) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    for (const MetricRow& row : rows) {
+        const std::string line = toJsonLine(row);
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fputc('\n', f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+}  // namespace tcplp::scenario

@@ -1,0 +1,89 @@
+// Standardized metric rows for the scenario engine.
+//
+// Every run point of every scenario produces one MetricRow — an ordered list
+// of (key, value) pairs — and every consumer reads the same rendering: the
+// per-figure presenters, the BENCH_*.json perf trackers, and the CI sweep
+// smoke all see exactly one JSON object per line, keys in insertion order.
+// The 23 bench binaries used to hand-roll this formatting ad hoc; this is
+// the one shared implementation.
+//
+// Determinism contract: doubles are rendered shortest-round-trip
+// (std::to_chars), so a row that crosses the sweep worker pipe as text
+// reparses to the bit-identical value and re-renders to the same bytes.
+// This is what makes `--jobs N` output byte-identical to `--jobs 1`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tcplp::scenario {
+
+class MetricValue {
+public:
+    enum class Kind : std::uint8_t { kInt, kUint, kDouble, kBool, kString };
+
+    MetricValue() = default;
+    MetricValue(std::int64_t v) : kind_(Kind::kInt), i_(v) {}           // NOLINT
+    MetricValue(int v) : kind_(Kind::kInt), i_(v) {}                    // NOLINT
+    MetricValue(std::uint64_t v) : kind_(Kind::kUint), u_(v) {}         // NOLINT
+    MetricValue(double v) : kind_(Kind::kDouble), d_(v) {}              // NOLINT
+    MetricValue(bool v) : kind_(Kind::kBool), b_(v) {}                  // NOLINT
+    MetricValue(std::string v) : kind_(Kind::kString), s_(std::move(v)) {}  // NOLINT
+    MetricValue(const char* v) : kind_(Kind::kString), s_(v) {}         // NOLINT
+
+    Kind kind() const { return kind_; }
+    std::int64_t asInt() const { return i_; }
+    std::uint64_t asUint() const { return u_; }
+    double asDouble() const { return d_; }
+    bool asBool() const { return b_; }
+    const std::string& asString() const { return s_; }
+
+    /// Numeric coercion for presenters (string -> 0).
+    double number() const;
+
+    bool operator==(const MetricValue& o) const;
+
+private:
+    // Plain members (not a union): rows are small and short-lived, and the
+    // worker-pipe decode path copies values type-agnostically.
+    Kind kind_ = Kind::kInt;
+    std::int64_t i_ = 0;
+    std::uint64_t u_ = 0;
+    double d_ = 0.0;
+    bool b_ = false;
+    std::string s_;
+};
+
+/// One run point's metrics, in insertion order.
+class MetricRow {
+public:
+    /// Sets `key`; an existing key is overwritten in place (order kept).
+    MetricRow& set(const std::string& key, MetricValue value);
+
+    const MetricValue* find(const std::string& key) const;
+    /// Numeric value of `key`, or `fallback` when absent.
+    double number(const std::string& key, double fallback = 0.0) const;
+    const std::string& str(const std::string& key) const;
+
+    const std::vector<std::pair<std::string, MetricValue>>& fields() const {
+        return fields_;
+    }
+    bool operator==(const MetricRow& o) const { return fields_ == o.fields_; }
+
+private:
+    std::vector<std::pair<std::string, MetricValue>> fields_;
+};
+
+/// Shortest-round-trip double rendering (std::to_chars); non-finite values
+/// render as "null" to keep the JSON valid.
+std::string formatDouble(double v);
+
+/// One JSON object, no trailing newline, keys in row order.
+std::string toJsonLine(const MetricRow& row);
+
+/// Writes `rows` as JSON lines to `path` (one object per line).
+bool writeJsonLines(const std::string& path, const std::vector<MetricRow>& rows);
+
+}  // namespace tcplp::scenario

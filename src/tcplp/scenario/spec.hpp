@@ -1,0 +1,125 @@
+// Declarative scenario descriptions.
+//
+// A ScenarioSpec names everything the 23 bench drivers used to hand-roll:
+// the topology (line / pair / office / grid / star / pipe, with link loss,
+// spacing and queue knobs), the workload (bulk transfer, duty-cycled sleepy
+// transfer, two-flow fairness, embedded-stack baseline, in-memory pipe,
+// anemometer fleet, multi-flow mix), and the TCP-level knobs the paper
+// sweeps (segment size, window, feature ablations). The engine in
+// workloads.cpp turns a spec + seed into a deterministic run; the sweep
+// runner (sweep.hpp) expands axis grids over specs and shards the points
+// across worker processes.
+//
+// Adding a paper figure used to mean a ~150-line driver; with a spec it is
+// a ~15-line registration (see bench/bench_*.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tcplp/harness/anemometer.hpp"
+#include "tcplp/harness/testbed.hpp"
+#include "tcplp/tcp/tcp.hpp"
+#include "tcplp/transport/embedded_tcp.hpp"
+
+namespace tcplp::scenario {
+
+enum class TopologyKind : std::uint8_t {
+    kPair,        // two motes one hop apart (§6.3)
+    kLine,        // mote — relays — border router — cloud (§6/§7)
+    kOffice,      // 15-node Fig. 3 tree (§9)
+    kGrid,        // n-node dense grid, border router in the corner
+    kStar,        // border router + n leaves one hop out
+    kSleepyLeaf,  // one duty-cycled leaf on the border router (Appendix C)
+    kPipe,        // in-memory lossy pipe, no radio (§8 model validation)
+};
+
+struct TopologySpec {
+    TopologyKind kind = TopologyKind::kLine;
+    std::size_t hops = 1;    // kLine
+    std::size_t nodes = 16;  // kGrid / kStar: mesh nodes incl. border router
+    double spacingMeters = 10.0;
+    double rangeMeters = 12.0;
+    double linkLoss = 0.0;
+    std::optional<sim::Time> wiredOneWayDelay;  // default: TestbedConfig's
+
+    // Node knobs (applied to every mesh node; nullopt = NodeConfig default).
+    std::optional<sim::Time> retryDelayMax;
+    std::optional<std::size_t> queueCapacityPackets;
+    std::optional<bool> softwareCsma;
+    std::optional<int> maxFrameRetries;
+    std::optional<std::size_t> macPayloadBudget;  // §6.3 stack profiles
+    std::optional<sim::Time> txProcessingDelay;
+    bool perHopReassembly = false;  // Appendix A RED/ECN regime
+    bool redQueue = false;
+    bool ecnMarking = false;
+
+    // kPipe parameters (§8).
+    sim::Time pipeOneWayDelay = 50 * sim::kMillisecond;
+    double pipeBandwidthBps = 125000.0;
+    double pipeLossForward = 0.0;
+    double pipeLossReverse = 0.0;
+};
+
+enum class WorkloadKind : std::uint8_t {
+    kBulk,          // single saturating TCP transfer (the §6/§7 workhorse)
+    kTwoFlow,       // two simultaneous flows sharing the path (Table 9)
+    kMultiFlow,     // n concurrent flows, mixed directions (office/grid)
+    kSleepyBulk,    // bulk over a duty-cycled link (Appendix C)
+    kEmbeddedBulk,  // uIP/BLIP stop-and-wait baseline (Table 7)
+    kAnemometer,    // §9 sensor application study
+};
+
+/// One flow of a kMultiFlow workload.
+struct FlowSpec {
+    phy::NodeId node = 0;  // mesh endpoint; the peer is the cloud host
+    bool uplink = true;    // node -> cloud, else cloud -> node
+    std::size_t totalBytes = 50000;
+};
+
+struct WorkloadSpec {
+    WorkloadKind kind = WorkloadKind::kBulk;
+
+    std::size_t totalBytes = 150000;
+    bool uplink = true;
+    /// MSS as a 6LoWPAN frame count (§6.1's sweep axis); 0 = use mssBytes.
+    std::size_t mssFrames = 5;
+    std::uint16_t mssBytes = 0;
+    std::size_t windowSegments = 4;
+    /// kPair receiver window; 0 = same as windowSegments.
+    std::size_t recvWindowSegments = 0;
+    sim::Time timeLimit = 40 * sim::kMinute;
+
+    // TCP feature ablations (Table 1 features).
+    bool sack = true;
+    bool delayedAck = true;
+    bool timestamps = true;
+    bool dropOutOfOrder = false;
+    bool ecn = false;
+
+    /// Non-declarative escape hatch for the Fig. 7 cwnd trace.
+    tcp::TcpSocket::CwndTracer cwndTracer;
+
+    // kEmbeddedBulk (Table 7).
+    transport::EmbeddedProfile embeddedProfile = transport::EmbeddedProfile::kUip;
+    std::uint16_t embeddedMss = 60;
+
+    // kSleepyBulk (Appendix C).
+    mac::SleepyConfig sleepy{};
+    sim::Time idleTail = 0;  // quiet tail to measure idle duty cycle
+
+    // kAnemometer (§9): the full option block, seed overridden per point.
+    harness::AnemometerOptions anemometer{};
+
+    // kMultiFlow.
+    std::vector<FlowSpec> flows{};
+    sim::Time multiFlowDuration = 5 * sim::kMinute;
+};
+
+struct ScenarioSpec {
+    TopologySpec topology{};
+    WorkloadSpec workload{};
+};
+
+}  // namespace tcplp::scenario

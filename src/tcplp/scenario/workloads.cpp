@@ -1,0 +1,531 @@
+#include "tcplp/scenario/workloads.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "tcplp/app/bulk.hpp"
+#include "tcplp/common/assert.hpp"
+#include "tcplp/harness/pipe.hpp"
+#include "tcplp/lowpan/frag.hpp"
+
+namespace tcplp::scenario {
+
+tcp::TcpConfig moteTcpConfig(std::uint16_t mss, std::size_t segments) {
+    tcp::TcpConfig c;
+    c.mss = mss;
+    c.sendBufferBytes = segments * mss;
+    c.recvBufferBytes = segments * mss;
+    return c;
+}
+
+tcp::TcpConfig serverTcpConfig(std::uint16_t mss) {
+    tcp::TcpConfig c;
+    c.mss = mss;
+    c.sendBufferBytes = 16384;
+    c.recvBufferBytes = 16384;
+    return c;
+}
+
+std::uint16_t mssForFrames(std::size_t frames) {
+    for (std::uint16_t mss = 1400; mss >= 16; --mss) {
+        tcp::Segment seg;
+        seg.timestamps = tcp::Timestamps{1, 2};
+        seg.payload = patternBytes(0, mss);
+        ip6::Packet p;
+        p.src = ip6::Address::meshLocal(10);
+        p.dst = ip6::Address::cloud(1000);
+        p.nextHeader = ip6::kProtoTcp;
+        p.payload = seg.encode();
+        if (lowpan::frameCountFor(p, 10, 1, phy::kMaxMacPayloadBytes) <= frames) return mss;
+    }
+    return 16;
+}
+
+std::uint16_t resolveMss(const WorkloadSpec& w) {
+    if (w.mssFrames > 0) return mssForFrames(w.mssFrames);
+    return w.mssBytes > 0 ? w.mssBytes : 462;
+}
+
+namespace {
+
+harness::TestbedConfig testbedConfigFor(const TopologySpec& t, std::uint64_t seed) {
+    harness::TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.linkLoss = t.linkLoss;
+    cfg.nodeSpacingMeters = t.spacingMeters;
+    cfg.radioRangeMeters = t.rangeMeters;
+    if (t.wiredOneWayDelay) cfg.wiredOneWayDelay = *t.wiredOneWayDelay;
+    if (t.retryDelayMax) cfg.nodeDefaults.macConfig.retryDelayMax = *t.retryDelayMax;
+    if (t.queueCapacityPackets)
+        cfg.nodeDefaults.queueConfig.capacityPackets = *t.queueCapacityPackets;
+    if (t.softwareCsma) cfg.nodeDefaults.macConfig.softwareCsma = *t.softwareCsma;
+    if (t.maxFrameRetries) cfg.nodeDefaults.macConfig.maxFrameRetries = *t.maxFrameRetries;
+    if (t.macPayloadBudget) cfg.nodeDefaults.macPayloadBudget = *t.macPayloadBudget;
+    if (t.txProcessingDelay) cfg.nodeDefaults.txProcessingDelay = *t.txProcessingDelay;
+    if (t.perHopReassembly) cfg.nodeDefaults.perHopReassembly = true;
+    if (t.redQueue) cfg.nodeDefaults.queueConfig.discipline = ip6::QueueDiscipline::kRed;
+    if (t.ecnMarking) cfg.nodeDefaults.queueConfig.ecnMarking = true;
+    return cfg;
+}
+
+/// The mote endpoint of a single-flow workload: the far end of the line,
+/// one of the pair, or the farthest grid/star node from the border router.
+mesh::Node& senderMote(harness::Testbed& tb, const TopologySpec& t) {
+    switch (t.kind) {
+        case TopologyKind::kLine: return *tb.findNode(phy::NodeId(9 + t.hops));
+        case TopologyKind::kPair: return tb.node(0);
+        case TopologyKind::kGrid:
+        case TopologyKind::kStar: return *tb.findNode(phy::NodeId(t.nodes));
+        case TopologyKind::kOffice: return *tb.findNode(15);
+        default: TCPLP_ASSERT(false && "no mote endpoint for this topology");
+    }
+    return tb.node(0);
+}
+
+double jainIndex(const std::vector<double>& xs) {
+    double sum = 0.0, sumSq = 0.0;
+    for (double x : xs) {
+        sum += x;
+        sumSq += x * x;
+    }
+    if (sumSq <= 0.0) return 0.0;
+    return sum * sum / (double(xs.size()) * sumSq);
+}
+
+}  // namespace
+
+std::unique_ptr<harness::Testbed> buildTestbed(const TopologySpec& t,
+                                               std::uint64_t seed) {
+    const harness::TestbedConfig cfg = testbedConfigFor(t, seed);
+    switch (t.kind) {
+        case TopologyKind::kPair: return harness::Testbed::pair(cfg);
+        case TopologyKind::kLine: return harness::Testbed::line(t.hops, cfg);
+        case TopologyKind::kOffice: return harness::Testbed::office(cfg);
+        case TopologyKind::kGrid: return harness::Testbed::grid(t.nodes, cfg);
+        case TopologyKind::kStar: return harness::Testbed::star(t.nodes, cfg);
+        case TopologyKind::kSleepyLeaf:
+        case TopologyKind::kPipe:
+            TCPLP_ASSERT(false && "topology built by its workload runner");
+    }
+    return nullptr;
+}
+
+BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
+    const TopologySpec& t = spec.topology;
+    const WorkloadSpec& w = spec.workload;
+    auto tb = buildTestbed(t, seed);
+    const std::uint16_t mss = resolveMss(w);
+
+    const bool pair = t.kind == TopologyKind::kPair;
+    mesh::Node& mote = senderMote(*tb, t);
+    mesh::Node& peer = pair ? tb->node(1) : tb->cloud();
+    tcp::TcpStack moteStack(mote);
+    tcp::TcpStack peerStack(peer);
+
+    app::GoodputMeter meter(tb->simulator());
+    tcp::TcpStack& senderStack = w.uplink || pair ? moteStack : peerStack;
+    tcp::TcpStack& receiverStack = w.uplink || pair ? peerStack : moteStack;
+    tcp::TcpConfig senderCfg, receiverCfg;
+    if (pair) {
+        // §6.3 node-to-node: mote profiles on both ends, receiver window
+        // independently sized.
+        senderCfg = moteTcpConfig(mss, w.windowSegments);
+        receiverCfg = moteTcpConfig(
+            mss, w.recvWindowSegments ? w.recvWindowSegments : w.windowSegments);
+    } else {
+        senderCfg = w.uplink ? moteTcpConfig(mss, w.windowSegments) : serverTcpConfig(mss);
+        receiverCfg = w.uplink ? serverTcpConfig(mss) : moteTcpConfig(mss, w.windowSegments);
+    }
+    for (tcp::TcpConfig* c : {&senderCfg, &receiverCfg}) {
+        c->sack = w.sack;
+        c->delayedAck = w.delayedAck;
+        c->timestamps = w.timestamps;
+        c->dropOutOfOrder = w.dropOutOfOrder;
+        c->ecn = w.ecn;
+    }
+
+    receiverStack.listen(80, receiverCfg, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& sender = senderStack.createSocket(senderCfg);
+    if (w.cwndTracer) sender.setCwndTracer(w.cwndTracer);
+    app::BulkSender bulk(sender, w.totalBytes);
+    const ip6::Address dst = w.uplink || pair ? peer.address() : mote.address();
+    sender.connect(dst, 80);
+    tb->simulator().runUntil(w.timeLimit);
+
+    BulkRunResult r;
+    r.goodputKbps = meter.goodputKbps();
+    r.bytes = meter.bytes();
+    r.contentOk = meter.contentOk();
+    r.rttMedianMs = sender.stats().rttSamples.median();
+    r.framesTransmitted = tb->channel().framesTransmitted();
+    r.timeouts = sender.stats().timeouts;
+    r.fastRetransmissions = sender.stats().fastRetransmissions;
+    const auto sent = sender.stats().segsSent;
+    const auto rexmit = sender.stats().retransmissions;
+    r.segmentLoss = sent > 0 ? double(rexmit) / double(sent) : 0.0;
+    r.rngDigest = tb->simulator().rng().stateDigest();
+    return r;
+}
+
+SleepyRunResult runSleepyBulk(const ScenarioSpec& spec, std::uint64_t seed) {
+    const WorkloadSpec& w = spec.workload;
+    // Appendix C rig: one duty-cycled leaf on the border router. Built
+    // inline (not via buildTestbed) because the leaf's sleepy policy is a
+    // workload knob; construction order matches the pre-refactor path.
+    harness::TestbedConfig cfg;
+    cfg.seed = seed;
+    auto tb = std::make_unique<harness::Testbed>(cfg);
+
+    mesh::NodeConfig rc = cfg.nodeDefaults;
+    tb->addBorderRouterAndCloud(1, {0.0, 0.0}, rc);
+
+    mesh::NodeConfig lc = cfg.nodeDefaults;
+    lc.role = mesh::Role::kLeaf;
+    lc.sleepyConfig = w.sleepy;
+    lc.macConfig.sleepDuringRetryDelay = true;
+    mesh::Node& leaf = tb->addNode(10, {10.0, 0.0}, lc);
+    leaf.setParent(1);
+    tb->borderRouter().adoptSleepyChild(10);
+    tb->borderRouter().addRoute(10, 10);
+    leaf.start();
+
+    const std::uint16_t mss = resolveMss(w);
+    tcp::TcpStack leafStack(leaf);
+    tcp::TcpStack cloudStack(tb->cloud());
+
+    app::GoodputMeter meter(tb->simulator());
+    tcp::TcpStack& senderStack = w.uplink ? leafStack : cloudStack;
+    tcp::TcpStack& receiverStack = w.uplink ? cloudStack : leafStack;
+    tcp::TcpConfig senderCfg =
+        w.uplink ? moteTcpConfig(mss, w.windowSegments) : serverTcpConfig(mss);
+    tcp::TcpConfig receiverCfg =
+        w.uplink ? serverTcpConfig(mss) : moteTcpConfig(mss, w.windowSegments);
+
+    receiverStack.listen(80, receiverCfg, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& sender = senderStack.createSocket(senderCfg);
+    app::BulkSender bulk(sender, w.totalBytes);
+    sender.connect(w.uplink ? tb->cloud().address() : leaf.address(), 80);
+    tb->simulator().runUntil(w.timeLimit);
+
+    SleepyRunResult r;
+    r.goodputKbps = meter.goodputKbps();
+    r.bytes = meter.bytes();
+    r.rttMs = sender.stats().rttSamples;
+
+    if (w.idleTail > 0) {
+        phy::Radio* radio = leaf.radio();
+        radio->energy().resetWindow(radio->state(), tb->simulator().now());
+        tb->simulator().runUntil(tb->simulator().now() + w.idleTail);
+        r.idleRadioDc =
+            radio->energy().radioDutyCycle(radio->state(), tb->simulator().now());
+    }
+    r.rngDigest = tb->simulator().rng().stateDigest();
+    return r;
+}
+
+TwoFlowResult runTwoFlow(const ScenarioSpec& spec, std::uint64_t seed) {
+    const TopologySpec& t = spec.topology;
+    const WorkloadSpec& w = spec.workload;
+    const std::size_t hops = t.hops;
+    auto tb = buildTestbed(t, seed);
+
+    // Second source: a sibling of the last node, attached to the same relay
+    // (or to the border router for one hop) — the Appendix A setup.
+    const phy::NodeId firstSrc = phy::NodeId(9 + hops);
+    const phy::NodeId attach = hops == 1 ? 1 : phy::NodeId(9 + hops - 1);
+    mesh::NodeConfig nc = testbedConfigFor(t, seed).nodeDefaults;
+    nc.role = mesh::Role::kRouter;
+    mesh::Node* relay = tb->findNode(attach);
+    mesh::Node& second =
+        tb->addNode(99, {relay->radio()->position().x + 8.0,
+                         relay->radio()->position().y + 6.0},
+                    nc);
+    second.setDefaultRoute(attach);
+    relay->addRoute(99, 99);
+    tb->borderRouter().addRoute(99, hops == 1 ? phy::NodeId(99) : phy::NodeId(10));
+    for (std::size_t i = 1; i + 1 < hops; ++i)
+        tb->findNode(phy::NodeId(9 + i))->addRoute(99, phy::NodeId(9 + i + 1));
+    if (hops > 1) tb->findNode(attach)->addRoute(99, 99);
+
+    const std::uint16_t mss = resolveMss(w);
+    tcp::TcpConfig moteCfg = moteTcpConfig(mss, w.windowSegments);
+    moteCfg.ecn = w.ecn;
+    tcp::TcpConfig servCfg = serverTcpConfig(mss);
+    servCfg.ecn = w.ecn;
+
+    tcp::TcpStack stackA(*tb->findNode(firstSrc));
+    tcp::TcpStack stackB(second);
+    tcp::TcpStack cloud(tb->cloud());
+
+    app::GoodputMeter meterA(tb->simulator()), meterB(tb->simulator());
+    cloud.listen(80, servCfg, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meterA.onData(d); });
+    });
+    cloud.listen(81, servCfg, [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meterB.onData(d); });
+    });
+
+    tcp::TcpSocket& a = stackA.createSocket(moteCfg);
+    tcp::TcpSocket& b = stackB.createSocket(moteCfg);
+    app::BulkSender sendA(a, w.totalBytes);
+    app::BulkSender sendB(b, w.totalBytes);
+    a.connect(tb->cloud().address(), 80);
+    b.connect(tb->cloud().address(), 81);
+    tb->simulator().runUntil(w.timeLimit);
+
+    TwoFlowResult r;
+    const double secs = sim::toSeconds(w.timeLimit);
+    r.goodputA = double(meterA.bytes()) * 8.0 / 1000.0 / secs;
+    r.goodputB = double(meterB.bytes()) * 8.0 / 1000.0 / secs;
+    r.rttA = a.stats().rttSamples.median();
+    r.rttB = b.stats().rttSamples.median();
+    r.lossA = a.stats().segsSent ? 100.0 * double(a.stats().retransmissions) /
+                                       double(a.stats().segsSent)
+                                 : 0.0;
+    r.lossB = b.stats().segsSent ? 100.0 * double(b.stats().retransmissions) /
+                                       double(b.stats().segsSent)
+                                 : 0.0;
+    r.rngDigest = tb->simulator().rng().stateDigest();
+    return r;
+}
+
+MultiFlowResult runMultiFlow(const ScenarioSpec& spec, std::uint64_t seed) {
+    const WorkloadSpec& w = spec.workload;
+    TCPLP_ASSERT(!w.flows.empty() && "kMultiFlow needs explicit FlowSpecs");
+    auto tb = buildTestbed(spec.topology, seed);
+    const std::uint16_t mss = resolveMss(w);
+
+    struct Rig {
+        std::unique_ptr<tcp::TcpStack> moteStack;
+        std::unique_ptr<app::GoodputMeter> meter;
+        std::unique_ptr<app::BulkSender> bulk;
+        tcp::TcpSocket* sender = nullptr;
+    };
+    tcp::TcpStack cloudStack(tb->cloud());
+    std::vector<Rig> rigs;
+    rigs.reserve(w.flows.size());
+
+    for (std::size_t i = 0; i < w.flows.size(); ++i) {
+        const FlowSpec& f = w.flows[i];
+        mesh::Node* node = tb->findNode(f.node);
+        TCPLP_ASSERT(node != nullptr && "FlowSpec names an unknown node");
+        Rig rig;
+        rig.moteStack = std::make_unique<tcp::TcpStack>(*node);
+        rig.meter = std::make_unique<app::GoodputMeter>(tb->simulator());
+        const std::uint16_t port = std::uint16_t(80 + i);
+        tcp::TcpStack& senderStack = f.uplink ? *rig.moteStack : cloudStack;
+        tcp::TcpStack& receiverStack = f.uplink ? cloudStack : *rig.moteStack;
+        const tcp::TcpConfig senderCfg =
+            f.uplink ? moteTcpConfig(mss, w.windowSegments) : serverTcpConfig(mss);
+        const tcp::TcpConfig receiverCfg =
+            f.uplink ? serverTcpConfig(mss) : moteTcpConfig(mss, w.windowSegments);
+        app::GoodputMeter* meter = rig.meter.get();
+        receiverStack.listen(port, receiverCfg, [meter](tcp::TcpSocket& s) {
+            s.setOnData([meter](BytesView d) { meter->onData(d); });
+            s.setOnPeerFin([&s] { s.close(); });
+        });
+        rig.sender = &senderStack.createSocket(senderCfg);
+        rig.bulk = std::make_unique<app::BulkSender>(*rig.sender, f.totalBytes);
+        const ip6::Address dst = f.uplink ? tb->cloud().address() : node->address();
+        rig.sender->connect(dst, port);
+        rigs.push_back(std::move(rig));
+    }
+
+    tb->simulator().runUntil(w.multiFlowDuration);
+
+    MultiFlowResult r;
+    const double secs = sim::toSeconds(w.multiFlowDuration);
+    std::vector<double> goodputs;
+    for (std::size_t i = 0; i < w.flows.size(); ++i) {
+        MultiFlowResult::Flow flow;
+        flow.node = w.flows[i].node;
+        flow.uplink = w.flows[i].uplink;
+        flow.goodputKbps = double(rigs[i].meter->bytes()) * 8.0 / 1000.0 / secs;
+        flow.rttMedianMs = rigs[i].sender->stats().rttSamples.median();
+        r.aggregateKbps += flow.goodputKbps;
+        goodputs.push_back(flow.goodputKbps);
+        r.flows.push_back(flow);
+    }
+    r.jainFairness = jainIndex(goodputs);
+    r.framesTransmitted = tb->channel().framesTransmitted();
+    r.listenerVisits = tb->channel().channelStats().listenerVisits;
+    r.rngDigest = tb->simulator().rng().stateDigest();
+    return r;
+}
+
+BulkRunResult runEmbeddedBulk(const ScenarioSpec& spec, std::uint64_t seed) {
+    const TopologySpec& t = spec.topology;
+    const WorkloadSpec& w = spec.workload;
+    auto tb = buildTestbed(t, seed);
+
+    mesh::Node& mote = *tb->findNode(phy::NodeId(9 + t.hops));
+    transport::EmbeddedTcpConfig ec;
+    ec.profile = w.embeddedProfile;
+    ec.mss = w.embeddedMss;
+    transport::EmbeddedTcpSocket client(mote, ec);
+    tcp::TcpStack cloudStack(tb->cloud());
+
+    app::GoodputMeter meter(tb->simulator());
+    cloudStack.listen(80, serverTcpConfig(), [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+    });
+    app::EmbeddedBulkSender sender(client, w.totalBytes);
+    client.connect(tb->cloud().address(), 80);
+    // The stop-and-wait stack has no send-space callback; poll it.
+    std::function<void()> poll = [&] {
+        sender.pump();
+        if (sender.offered() < w.totalBytes || client.backlog() > 0)
+            tb->simulator().schedule(sim::kSecond, poll);
+    };
+    tb->simulator().schedule(sim::kSecond, poll);
+    tb->simulator().runUntil(w.timeLimit);
+
+    BulkRunResult r;
+    r.goodputKbps = meter.goodputKbps();
+    r.bytes = meter.bytes();
+    r.contentOk = meter.contentOk();
+    r.framesTransmitted = tb->channel().framesTransmitted();
+    r.rngDigest = tb->simulator().rng().stateDigest();
+    return r;
+}
+
+PipeRunResult runPipeBulk(const ScenarioSpec& spec, std::uint64_t seed) {
+    const TopologySpec& t = spec.topology;
+    const WorkloadSpec& w = spec.workload;
+    sim::Simulator simulator(seed);
+    harness::PipeConfig pc;
+    pc.oneWayDelay = t.pipeOneWayDelay;
+    pc.bandwidthBps = t.pipeBandwidthBps;
+    pc.lossAtoB = t.pipeLossForward;
+    pc.lossBtoA = t.pipeLossReverse;
+    harness::Pipe pipe(simulator, pc);
+    tcp::TcpStack clientStack(pipe.a());
+    tcp::TcpStack serverStack(pipe.b());
+
+    app::GoodputMeter meter(simulator);
+    serverStack.listen(80, serverTcpConfig(), [&](tcp::TcpSocket& s) {
+        s.setOnData([&](BytesView d) { meter.onData(d); });
+        s.setOnPeerFin([&s] { s.close(); });
+    });
+    tcp::TcpSocket& client = clientStack.createSocket(moteTcpConfig());
+    app::BulkSender sender(client, w.totalBytes);
+    client.connect(pipe.b().address(), 80);
+    simulator.runUntil(w.timeLimit);
+
+    PipeRunResult r;
+    r.goodputKbps = meter.goodputKbps();
+    r.rttSeconds = client.stats().rttSamples.median() / 1000.0;
+    const auto sent = client.stats().segsSent;
+    r.lossMeasured = sent ? double(client.stats().retransmissions) / double(sent) : 0.0;
+    r.rngDigest = simulator.rng().stateDigest();
+    return r;
+}
+
+harness::AnemometerResult runAnemometerSpec(const ScenarioSpec& spec,
+                                            std::uint64_t seed) {
+    harness::AnemometerOptions o = spec.workload.anemometer;
+    o.seed = seed;
+    return harness::runAnemometer(o);
+}
+
+MetricRow runScenario(const ScenarioSpec& spec, std::uint64_t seed) {
+    MetricRow row;
+    if (spec.topology.kind == TopologyKind::kPipe) {
+        const PipeRunResult r = runPipeBulk(spec, seed);
+        row.set("goodput_kbps", r.goodputKbps)
+            .set("rtt_s", r.rttSeconds)
+            .set("loss_measured", r.lossMeasured)
+            .set("rng_digest", r.rngDigest);
+        return row;
+    }
+    switch (spec.workload.kind) {
+        case WorkloadKind::kBulk:
+        case WorkloadKind::kEmbeddedBulk: {
+            const BulkRunResult r = spec.workload.kind == WorkloadKind::kBulk
+                                        ? runBulk(spec, seed)
+                                        : runEmbeddedBulk(spec, seed);
+            row.set("goodput_kbps", r.goodputKbps)
+                .set("rtt_median_ms", r.rttMedianMs)
+                .set("segment_loss", r.segmentLoss)
+                .set("frames_tx", r.framesTransmitted)
+                .set("timeouts", r.timeouts)
+                .set("fast_rexmits", r.fastRetransmissions)
+                .set("bytes", r.bytes)
+                .set("content_ok", r.contentOk)
+                .set("rng_digest", r.rngDigest);
+            break;
+        }
+        case WorkloadKind::kTwoFlow: {
+            const TwoFlowResult r = runTwoFlow(spec, seed);
+            const double fairness = std::min(r.goodputA, r.goodputB) /
+                                    std::max(1e-9, std::max(r.goodputA, r.goodputB));
+            row.set("goodput_a_kbps", r.goodputA)
+                .set("goodput_b_kbps", r.goodputB)
+                .set("fairness", fairness)
+                .set("rtt_a_ms", r.rttA)
+                .set("rtt_b_ms", r.rttB)
+                .set("rexmit_a_pct", r.lossA)
+                .set("rexmit_b_pct", r.lossB)
+                .set("rng_digest", r.rngDigest);
+            break;
+        }
+        case WorkloadKind::kMultiFlow: {
+            const MultiFlowResult r = runMultiFlow(spec, seed);
+            for (std::size_t i = 0; i < r.flows.size(); ++i) {
+                const std::string p = "flow" + std::to_string(i);
+                row.set(p + "_node", std::uint64_t(r.flows[i].node))
+                    .set(p + "_dir", r.flows[i].uplink ? "up" : "down")
+                    .set(p + "_kbps", r.flows[i].goodputKbps)
+                    .set(p + "_rtt_ms", r.flows[i].rttMedianMs);
+            }
+            row.set("aggregate_kbps", r.aggregateKbps)
+                .set("jain_fairness", r.jainFairness)
+                .set("frames_tx", r.framesTransmitted)
+                .set("listener_visits", r.listenerVisits)
+                .set("rng_digest", r.rngDigest);
+            break;
+        }
+        case WorkloadKind::kSleepyBulk: {
+            const SleepyRunResult r = runSleepyBulk(spec, seed);
+            row.set("goodput_kbps", r.goodputKbps)
+                .set("bytes", r.bytes)
+                .set("rtt_n", r.rttMs.count())
+                .set("rtt_median_ms", r.rttMs.median())
+                .set("rtt_p10_ms", r.rttMs.percentile(10))
+                .set("rtt_p90_ms", r.rttMs.percentile(90))
+                .set("rtt_max_ms", r.rttMs.max())
+                .set("idle_radio_dc", r.idleRadioDc)
+                .set("rng_digest", r.rngDigest);
+            break;
+        }
+        case WorkloadKind::kAnemometer: {
+            const harness::AnemometerResult r = runAnemometerSpec(spec, seed);
+            row.set("generated", r.generated)
+                .set("delivered", r.delivered)
+                .set("reliability", r.reliability)
+                .set("radio_dc", r.radioDutyCycle)
+                .set("cpu_dc", r.cpuDutyCycle)
+                .set("rexmits", r.transportRetransmissions)
+                .set("tcp_rtos", r.tcpTimeouts)
+                .set("rng_digest", r.rngDigest);
+            if (!r.hourlyRadioDutyCycle.empty()) {
+                std::string hourly;
+                for (double v : r.hourlyRadioDutyCycle) {
+                    if (!hourly.empty()) hourly += ',';
+                    hourly += formatDouble(v);
+                }
+                row.set("hourly_radio_dc", hourly);
+            }
+            break;
+        }
+    }
+    return row;
+}
+
+}  // namespace tcplp::scenario

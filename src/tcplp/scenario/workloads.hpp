@@ -1,0 +1,102 @@
+// The scenario engine: turns a ScenarioSpec + seed into a deterministic run.
+//
+// These functions absorb the recurring setup that bench/common.hpp,
+// bench/sleepy_common.hpp and the per-figure drivers each hand-rolled: mote
+// and server TCP profiles, the frames->MSS computation, testbed construction
+// from a TopologySpec, and one runner per workload kind. Each runner
+// replicates the exact construction and event-scheduling order of the
+// pre-refactor bench path, so a given (spec, seed) replays the identical
+// RNG stream — tests/test_scenario_sweep.cpp pins this with
+// Rng::stateDigest against frozen inline copies of the old code.
+#pragma once
+
+#include <memory>
+
+#include "tcplp/common/stats.hpp"
+#include "tcplp/scenario/metrics.hpp"
+#include "tcplp/scenario/spec.hpp"
+
+namespace tcplp::scenario {
+
+/// Mote-side TCP profile: small symmetric buffers of `segments` segments.
+tcp::TcpConfig moteTcpConfig(std::uint16_t mss = 462, std::size_t segments = 4);
+/// Cloud/server profile: 16 KiB buffers.
+tcp::TcpConfig serverTcpConfig(std::uint16_t mss = 462);
+
+/// MSS (payload bytes) that makes a mote->cloud TCP segment occupy exactly
+/// `frames` 802.15.4 frames (§6.1's sweep axis).
+std::uint16_t mssForFrames(std::size_t frames);
+
+/// Resolves the spec's MSS knobs (mssFrames wins over mssBytes).
+std::uint16_t resolveMss(const WorkloadSpec& w);
+
+/// Builds the testbed a TopologySpec describes (kPipe has no testbed).
+std::unique_ptr<harness::Testbed> buildTestbed(const TopologySpec& t,
+                                               std::uint64_t seed);
+
+// --- Structured per-workload results (custom measures/presenters use the
+// --- raw forms; runScenario flattens them into a MetricRow) --------------
+
+struct BulkRunResult {
+    double goodputKbps = 0.0;
+    double rttMedianMs = 0.0;
+    double segmentLoss = 0.0;  // TCP-level loss (not masked by link retries)
+    std::uint64_t framesTransmitted = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t fastRetransmissions = 0;
+    std::size_t bytes = 0;
+    bool contentOk = false;
+    std::uint64_t rngDigest = 0;
+};
+
+struct SleepyRunResult {
+    double goodputKbps = 0.0;
+    std::size_t bytes = 0;
+    Summary rttMs;             // sender-side RTT samples
+    double idleRadioDc = 0.0;  // duty cycle over the quiet tail
+    std::uint64_t rngDigest = 0;
+};
+
+struct TwoFlowResult {
+    double goodputA = 0.0, goodputB = 0.0;
+    double rttA = 0.0, rttB = 0.0;
+    double lossA = 0.0, lossB = 0.0;  // rexmit %
+    std::uint64_t rngDigest = 0;
+};
+
+struct MultiFlowResult {
+    struct Flow {
+        phy::NodeId node = 0;
+        bool uplink = true;
+        double goodputKbps = 0.0;
+        double rttMedianMs = 0.0;
+    };
+    std::vector<Flow> flows;
+    double aggregateKbps = 0.0;
+    double jainFairness = 0.0;
+    std::uint64_t framesTransmitted = 0;
+    std::uint64_t listenerVisits = 0;
+    std::uint64_t rngDigest = 0;
+};
+
+struct PipeRunResult {
+    double goodputKbps = 0.0;
+    double rttSeconds = 0.0;
+    double lossMeasured = 0.0;
+    std::uint64_t rngDigest = 0;
+};
+
+BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed);
+SleepyRunResult runSleepyBulk(const ScenarioSpec& spec, std::uint64_t seed);
+TwoFlowResult runTwoFlow(const ScenarioSpec& spec, std::uint64_t seed);
+MultiFlowResult runMultiFlow(const ScenarioSpec& spec, std::uint64_t seed);
+BulkRunResult runEmbeddedBulk(const ScenarioSpec& spec, std::uint64_t seed);
+PipeRunResult runPipeBulk(const ScenarioSpec& spec, std::uint64_t seed);
+harness::AnemometerResult runAnemometerSpec(const ScenarioSpec& spec,
+                                            std::uint64_t seed);
+
+/// Runs the spec's workload and flattens the result into standardized
+/// metric keys (goodput_kbps, reliability, ..., rng_digest).
+MetricRow runScenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+}  // namespace tcplp::scenario

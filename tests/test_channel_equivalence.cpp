@@ -186,6 +186,9 @@ TEST(ChannelEquivalence, MovedRadioIsReindexed) {
 TEST(ChannelRegression, SameTransmitterSameEndTickRetiresBoth) {
     sim::Simulator simulator;
     Channel channel(simulator, 12.0);
+    // Pin the batched path: this test exercises its txId bookkeeping, and
+    // the kAuto default resolves to the linear scan at this radio count.
+    channel.setDeliveryMode(Channel::DeliveryMode::kSpatialIndex);
     Radio tx(simulator, channel, 1, {0, 0});
     Radio rx(simulator, channel, 2, {10, 0});
 
