@@ -1,4 +1,5 @@
-// Event-core microbenchmark: pooled scheduler vs the seed design.
+// Event-core microbenchmark: pooled scheduler (heap and timer-wheel
+// backends) vs the seed design.
 //
 // The presenter emits ONE line of JSON to stdout so future PRs can track
 // the perf trajectory in BENCH_*.json files:
@@ -6,14 +7,18 @@
 //   {"bench":"event_loop","events":...,"pooled_allocs_per_event":...,...}
 //
 // The workload models what the protocol stack actually does to the
-// scheduler: a wheel of restartable timers (TCP RTO, delayed ACK, MAC
-// sleep/poll) that fire, re-arm themselves, and occasionally re-arm a
+// scheduler: a set of restartable millisecond-scale timers (TCP RTO,
+// delayed ACK, MAC sleep/poll — all of which cluster at a handful of
+// deadlines) that fire, re-arm themselves, and occasionally re-arm a
 // neighbor before it expires. Heap allocations are counted by overriding
 // global operator new — no instrumentation in the measured code.
 //
 // "Legacy" is a frozen copy of the seed scheduler (shared_ptr<State> per
 // event + type-erased std::function + lazy-cancel priority_queue), kept here
-// so the comparison survives the seed's replacement.
+// so the comparison survives the seed's replacement. "Pooled" is the slab
+// pool + indexed binary heap; "wheel" is the same pool behind the
+// hierarchical TimerWheel backend (sim/scheduler.hpp) — both fire the
+// identical event order, so the delta is pure scheduler cost.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -137,29 +142,30 @@ struct RunResult {
     double eventsPerSec = 0.0;
 };
 
-template <typename Sim, typename Tmr>
-RunResult runWorkload() {
-    Sim simulator;
+template <typename Sim, typename Tmr, typename... Args>
+RunResult runWorkload(Args&&... args) {
+    Sim simulator(std::forward<Args>(args)...);
     std::uint64_t fired = 0;
     std::vector<std::unique_ptr<Tmr>> timers;
     timers.reserve(kTimers);
+    constexpr Time kMs = tcplp::sim::kMillisecond;  // protocol timers are ms-scale
     for (int i = 0; i < kTimers; ++i) {
         timers.push_back(std::make_unique<Tmr>(simulator, [&, i] {
             ++fired;
             if (fired >= kEvents) return;
             // Re-arm self (the RTO idiom)...
-            timers[std::size_t(i)]->start(Time(16 * (1 + i % 13)));
+            timers[std::size_t(i)]->start(kMs * (1 + i % 13));
             // ...and every third fire, re-arm a neighbor that has not
             // expired yet (the delayed-ACK-reset / sleep-extend idiom).
             if (fired % 3 == 0) {
-                timers[std::size_t((i + 1) % kTimers)]->start(Time(16 * (2 + i % 11)));
+                timers[std::size_t((i + 1) % kTimers)]->start(kMs * (2 + i % 11));
             }
         }));
     }
 
     const std::uint64_t allocsBefore = g_allocs;
     const auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < kTimers; ++i) timers[std::size_t(i)]->start(Time(16 + i));
+    for (int i = 0; i < kTimers; ++i) timers[std::size_t(i)]->start(kMs + i);
     simulator.run();
     const auto t1 = std::chrono::steady_clock::now();
     const std::uint64_t allocs = g_allocs - allocsBefore;
@@ -180,7 +186,12 @@ ScenarioDef def() {
     d.name = "event_loop";
     d.title = "Event-core microbench: pooled scheduler vs the seed design";
     d.measure = [](const ScenarioSpec&, const Point&) {
-        const RunResult pooled = runWorkload<tcplp::sim::Simulator, tcplp::sim::Timer>();
+        using tcplp::sim::SchedulerKind;
+        using tcplp::sim::SimConfig;
+        const RunResult pooled = runWorkload<tcplp::sim::Simulator, tcplp::sim::Timer>(
+            SimConfig{1, SchedulerKind::kBinaryHeap});
+        const RunResult wheel = runWorkload<tcplp::sim::Simulator, tcplp::sim::Timer>(
+            SimConfig{1, SchedulerKind::kTimerWheel});
         const RunResult legacy = runWorkload<LegacySimulator, LegacyTimer>();
         const double denom = pooled.allocsPerEvent > 1e-9 ? pooled.allocsPerEvent : 1e-9;
         scenario::MetricRow row;
@@ -189,6 +200,10 @@ ScenarioDef def() {
             .set("pooled_events_per_sec", pooled.eventsPerSec)
             .set("pooled_ns_per_event", pooled.nsPerEvent)
             .set("pooled_allocs_per_event", pooled.allocsPerEvent)
+            .set("wheel_events_per_sec", wheel.eventsPerSec)
+            .set("wheel_ns_per_event", wheel.nsPerEvent)
+            .set("wheel_allocs_per_event", wheel.allocsPerEvent)
+            .set("wheel_vs_heap_speedup", pooled.nsPerEvent / wheel.nsPerEvent)
             .set("legacy_events_per_sec", legacy.eventsPerSec)
             .set("legacy_ns_per_event", legacy.nsPerEvent)
             .set("legacy_allocs_per_event", legacy.allocsPerEvent)
@@ -202,13 +217,17 @@ ScenarioDef def() {
             "{\"bench\":\"event_loop\",\"events\":%.0f,\"timers\":%.0f,"
             "\"pooled_events_per_sec\":%.0f,\"pooled_ns_per_event\":%.1f,"
             "\"pooled_allocs_per_event\":%.6f,"
+            "\"wheel_events_per_sec\":%.0f,\"wheel_ns_per_event\":%.1f,"
+            "\"wheel_allocs_per_event\":%.6f,\"wheel_vs_heap_speedup\":%.2f,"
             "\"legacy_events_per_sec\":%.0f,\"legacy_ns_per_event\":%.1f,"
             "\"legacy_allocs_per_event\":%.6f,"
             "\"alloc_reduction_factor\":%.1f,"
             "\"smallfn_heap_fallbacks\":%.0f}\n",
             row.number("events"), row.number("timers"),
             row.number("pooled_events_per_sec"), row.number("pooled_ns_per_event"),
-            row.number("pooled_allocs_per_event"), row.number("legacy_events_per_sec"),
+            row.number("pooled_allocs_per_event"), row.number("wheel_events_per_sec"),
+            row.number("wheel_ns_per_event"), row.number("wheel_allocs_per_event"),
+            row.number("wheel_vs_heap_speedup"), row.number("legacy_events_per_sec"),
             row.number("legacy_ns_per_event"), row.number("legacy_allocs_per_event"),
             row.number("alloc_reduction_factor"), row.number("smallfn_heap_fallbacks"));
     };

@@ -16,20 +16,11 @@ ScenarioDef def() {
     ScenarioDef d;
     d.name = "grid200_dense";
     d.title = "Dense 200-node grid: multi-flow TCP over the spatial channel index";
-    d.base.topology.kind = TopologyKind::kGrid;
-    d.base.topology.nodes = 200;
-    d.base.topology.retryDelayMax = sim::fromMillis(40);  // §7.1 fix
-    d.base.topology.queueCapacityPackets = 24;
-    d.base.workload.kind = WorkloadKind::kMultiFlow;
-    d.base.workload.multiFlowDuration = 90 * sim::kSecond;
-    // Flow endpoints spread across the grid (ids 2..200, 15 columns):
-    // near, mid and far nodes, alternating direction. Saturating transfers:
-    // the flows contend for the whole window, so goodput and fairness
-    // measure the medium, not the byte budget.
-    d.base.workload.flows = {
-        {31, true, 2000000},  {61, false, 2000000}, {91, true, 2000000},
-        {121, false, 2000000}, {151, true, 2000000}, {181, false, 2000000},
-    };
+    // Shared preset (also behind the timer_wheel_ab A/B and the scheduler
+    // equivalence tests): six saturating mixed-direction flows spread
+    // across the grid, so goodput and fairness measure the medium, not the
+    // byte budget.
+    d.base = scenario::grid200DenseSpec();
     // Independent per-point RNG streams (sim::Rng::deriveStream): grid
     // points are their own replications, not paper seed lists.
     d.deriveSeeds = true;

@@ -12,19 +12,10 @@ ScenarioDef def() {
     ScenarioDef d;
     d.name = "office_multiflow";
     d.title = "Office multi-flow: mixed uplink/downlink over the Fig. 3 tree";
-    d.base.topology.kind = TopologyKind::kOffice;
-    d.base.topology.retryDelayMax = sim::fromMillis(40);  // §7.1 fix
-    d.base.topology.queueCapacityPackets = 16;
-    d.base.workload.kind = WorkloadKind::kMultiFlow;
-    d.base.workload.multiFlowDuration = 3 * sim::kMinute;
-    // Sensors 12/14 stream up; 13/15 receive bulk downlink (3-5 hops out).
-    // Saturating transfers: all four flows contend for the full window.
-    d.base.workload.flows = {
-        {12, true, 2000000},
-        {13, false, 2000000},
-        {14, true, 2000000},
-        {15, false, 2000000},
-    };
+    // Shared preset (also behind the timer_wheel_ab A/B and the scheduler
+    // equivalence tests): sensors 12/14 stream up, 13/15 receive bulk
+    // downlink (3-5 hops out), all four flows saturating.
+    d.base = scenario::officeMultiflowSpec();
     d.seeds = {1, 2};
     d.present = [](const SweepResult& r) {
         std::printf("%-8s %-6s %-6s %12s %12s\n", "Flow", "Node", "Dir", "kb/s (mean)",

@@ -66,6 +66,7 @@ const char* protocolName(SensorProtocol p) {
 AnemometerResult runAnemometer(const AnemometerOptions& options) {
     TestbedConfig cfg;
     cfg.seed = options.seed;
+    cfg.scheduler = options.scheduler;
     cfg.sleepyLeaves = {12, 13, 14, 15};
     cfg.sleepyConfig.policy = mac::PollPolicy::kTransportHint;
     // §7.1's fix is assumed throughout the application study: a random
@@ -77,6 +78,7 @@ AnemometerResult runAnemometer(const AnemometerOptions& options) {
         tb->findNode(id)->macLayer()->mutableConfig().sleepDuringRetryDelay = true;
     }
     sim::Simulator& simulator = tb->simulator();
+    if (options.deliveryTap) tb->channel().setDeliveryTap(options.deliveryTap);
 
     if (options.injectedLoss > 0.0) tb->wired().setLossRate(options.injectedLoss);
     if (options.diurnal) {

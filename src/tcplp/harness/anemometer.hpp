@@ -39,6 +39,10 @@ struct AnemometerOptions {
     double peakLoss = 0.12;
     std::size_t mssFrames = 5;               // 3 for the daytime study (§9.5)
     std::uint64_t seed = 1;
+    /// Simulator ready-queue backend (pure perf knob; identical results).
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap;
+    /// Optional delivery-log tap installed on the testbed channel.
+    phy::Channel::DeliveryTap deliveryTap;
 };
 
 struct AnemometerResult {

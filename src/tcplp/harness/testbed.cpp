@@ -9,7 +9,7 @@ namespace tcplp::harness {
 
 Testbed::Testbed(TestbedConfig config)
     : config_(config),
-      simulator_(config.seed),
+      simulator_(sim::SimConfig{config.seed, config.scheduler}),
       channel_(simulator_, config.radioRangeMeters) {
     if (config_.linkLoss > 0.0) channel_.setDefaultLoss(config_.linkLoss);
 }

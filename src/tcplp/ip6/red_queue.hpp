@@ -7,12 +7,13 @@
 // bench can compare them.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
 
 #include "tcplp/ip6/packet.hpp"
-#include "tcplp/sim/rng.hpp"
+#include "tcplp/sim/simulator.hpp"
 
 namespace tcplp::ip6 {
 
@@ -26,6 +27,10 @@ struct RedConfig {
     double maxThreshold = 4.5;
     double maxMarkProbability = 0.1;
     double weight = 0.25;  // EWMA weight for average queue size
+    /// Typical per-packet service time (the RED paper's `s`): while the
+    /// queue sits empty, the average decays as if small packets had been
+    /// dequeued at this rate. A 127-byte 802.15.4 frame airs in ~4 ms.
+    sim::Time idlePacketTime = 4 * sim::kMillisecond;
     bool ecnMarking = true;  // mark CE instead of dropping when ECT
 };
 
@@ -38,20 +43,23 @@ struct QueueStats {
 
 class RedQueue {
 public:
-    RedQueue(sim::Rng& rng, RedConfig config = {}) : rng_(rng), config_(config) {}
+    RedQueue(sim::Simulator& simulator, RedConfig config = {})
+        : simulator_(simulator), config_(config) {}
 
     const RedConfig& config() const { return config_; }
     RedConfig& mutableConfig() { return config_; }
     const QueueStats& stats() const { return stats_; }
     std::size_t size() const { return queue_.size(); }
     bool empty() const { return queue_.empty(); }
+    /// The EWMA queue average the marking decision uses (test hook).
+    double averageQueueSize() const { return avg_; }
 
     /// Attempts to enqueue; returns false if the packet was dropped.
     bool push(Packet packet) {
         updateAverage();
         if (config_.discipline == QueueDiscipline::kRed) {
             const double mark = markProbability();
-            if (mark > 0.0 && rng_.chance(mark)) {
+            if (mark > 0.0 && simulator_.rng().chance(mark)) {
                 if (config_.ecnMarking && packet.ecn() != Ecn::kNotCapable) {
                     packet.setEcn(Ecn::kCongestionExperienced);
                     ++stats_.ecnMarked;
@@ -73,11 +81,26 @@ public:
     Packet pop() {
         Packet p = std::move(queue_.front());
         queue_.pop_front();
+        // The average only updates on enqueue; remember when an idle period
+        // starts so the next arrival can decay it (Floyd & Jacobson §4).
+        if (queue_.empty()) emptySince_ = simulator_.now();
         return p;
     }
 
 private:
     void updateAverage() {
+        if (queue_.empty()) {
+            // Classic RED idle fix: without it the average freezes across
+            // idle periods and the first burst after silence is over-marked.
+            // Decay as if `m` typical packets had drained while idle:
+            // avg <- avg * (1 - w)^m.
+            const sim::Time idle = simulator_.now() - emptySince_;
+            if (idle > 0 && config_.idlePacketTime > 0 && avg_ > 0.0) {
+                const double m = double(idle) / double(config_.idlePacketTime);
+                avg_ *= std::pow(1.0 - config_.weight, m);
+            }
+            emptySince_ = simulator_.now();
+        }
         avg_ = (1.0 - config_.weight) * avg_ + config_.weight * double(queue_.size());
     }
 
@@ -88,11 +111,12 @@ private:
                (config_.maxThreshold - config_.minThreshold);
     }
 
-    sim::Rng& rng_;
+    sim::Simulator& simulator_;
     RedConfig config_;
     QueueStats stats_;
     std::deque<Packet> queue_;
     double avg_ = 0.0;
+    sim::Time emptySince_ = 0;
 };
 
 }  // namespace tcplp::ip6

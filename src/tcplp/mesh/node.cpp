@@ -33,7 +33,7 @@ Node::Node(sim::Simulator& simulator, phy::Channel* channel, NodeId id, phy::Pos
                 handleAssembled(std::move(p), src);
             },
             5 * sim::kSecond, arena_.get(), config_.reassemblySlots);
-        queue_ = std::make_unique<ip6::RedQueue>(simulator.rng(), config_.queueConfig);
+        queue_ = std::make_unique<ip6::RedQueue>(simulator, config_.queueConfig);
         if (config_.role == Role::kLeaf) {
             // Parent is set later via setParent(); construct lazily there.
         } else {

@@ -169,6 +169,9 @@ void Channel::deliverTransmission(const Transmission& tx) {
         const bool faded = simulator_.rng().chance(
             lossFor(tx.transmitter->id(), r->id(), simulator_.now()));
         if (faded) ++framesLostToFading_;
+        if (deliveryTap_)
+            deliveryTap_(simulator_.now(), tx.transmitter->id(), r->id(),
+                         tx.frame.mpduBytes(), faded);
         r->airFinished(tx.txId, tx.frame, faded);
     });
 }

@@ -133,6 +133,15 @@ public:
         ambientLoss_ = std::move(fn);
     }
 
+    /// Optional delivery log tap: invoked once per in-range listener at
+    /// delivery time — (now, transmitter, listener, MPDU bytes, faded) — in
+    /// exactly the order the RNG fading draws are made. The scheduler
+    /// equivalence suite hashes this stream to prove heap- and wheel-backed
+    /// simulations deliver identical frame sequences.
+    using DeliveryTap =
+        std::function<void(sim::Time, NodeId, NodeId, std::size_t, bool)>;
+    void setDeliveryTap(DeliveryTap tap) { deliveryTap_ = std::move(tap); }
+
     /// Called by a radio when its carrier actually starts radiating.
     void startTransmission(Radio* transmitter, const Frame& frame);
 
@@ -215,6 +224,7 @@ private:
     std::unordered_map<const Radio*, NeighborCache> neighborCache_;
     std::unordered_map<std::pair<NodeId, NodeId>, double, LinkKeyHash> linkLoss_;
     std::function<double(sim::Time, NodeId)> ambientLoss_;
+    DeliveryTap deliveryTap_;
     std::vector<Transmission> active_;
     std::vector<Batch> batches_;                        // pending, small
     std::vector<std::vector<std::uint64_t>> batchPool_; // recycled id vectors

@@ -37,6 +37,11 @@ enum class TopologyKind : std::uint8_t {
 
 struct TopologySpec {
     TopologyKind kind = TopologyKind::kLine;
+    /// Simulator ready-queue backend (binary heap or hierarchical timer
+    /// wheel). Both fire events in the identical (when, seq) order, so this
+    /// is a pure perf axis — sweeps grid over it via the `scheduler` axis
+    /// (0 = heap, 1 = wheel; see schedulerFromAxis).
+    sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap;
     std::size_t hops = 1;    // kLine
     std::size_t nodes = 16;  // kGrid / kStar: mesh nodes incl. border router
     double spacingMeters = 10.0;
@@ -100,6 +105,10 @@ struct WorkloadSpec {
 
     /// Non-declarative escape hatch for the Fig. 7 cwnd trace.
     tcp::TcpSocket::CwndTracer cwndTracer;
+    /// Non-declarative escape hatch: installed on the testbed's channel for
+    /// radio workloads. The scheduler A/B suite hashes the delivery log with
+    /// it to prove heap- and wheel-backed runs are bit-identical.
+    phy::Channel::DeliveryTap deliveryTap;
 
     // kEmbeddedBulk (Table 7).
     transport::EmbeddedProfile embeddedProfile = transport::EmbeddedProfile::kUip;
@@ -121,5 +130,13 @@ struct ScenarioSpec {
     TopologySpec topology{};
     WorkloadSpec workload{};
 };
+
+/// Canonical mapping of the `scheduler` sweep axis onto the backend enum:
+/// 0 = indexed binary heap, 1 = hierarchical timer wheel. Bind hooks use
+/// this so every scenario spells the axis the same way.
+inline sim::SchedulerKind schedulerFromAxis(double value) {
+    return value >= 0.5 ? sim::SchedulerKind::kTimerWheel
+                        : sim::SchedulerKind::kBinaryHeap;
+}
 
 }  // namespace tcplp::scenario

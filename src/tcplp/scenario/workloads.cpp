@@ -51,6 +51,7 @@ namespace {
 harness::TestbedConfig testbedConfigFor(const TopologySpec& t, std::uint64_t seed) {
     harness::TestbedConfig cfg;
     cfg.seed = seed;
+    cfg.scheduler = t.scheduler;
     cfg.linkLoss = t.linkLoss;
     cfg.nodeSpacingMeters = t.spacingMeters;
     cfg.radioRangeMeters = t.rangeMeters;
@@ -94,6 +95,35 @@ double jainIndex(const std::vector<double>& xs) {
 
 }  // namespace
 
+ScenarioSpec officeMultiflowSpec(sim::Time duration) {
+    ScenarioSpec s;
+    s.topology.kind = TopologyKind::kOffice;
+    s.topology.retryDelayMax = sim::fromMillis(40);  // §7.1 fix
+    s.topology.queueCapacityPackets = 16;
+    s.workload.kind = WorkloadKind::kMultiFlow;
+    s.workload.multiFlowDuration = duration;
+    // Sensors 12/14 stream up; 13/15 receive bulk downlink (3-5 hops out).
+    // Saturating transfers: all four flows contend for the full window.
+    s.workload.flows = {
+        {12, true, 2000000}, {13, false, 2000000}, {14, true, 2000000}, {15, false, 2000000}};
+    return s;
+}
+
+ScenarioSpec grid200DenseSpec(sim::Time duration) {
+    ScenarioSpec s;
+    s.topology.kind = TopologyKind::kGrid;
+    s.topology.nodes = 200;
+    s.topology.retryDelayMax = sim::fromMillis(40);  // §7.1 fix
+    s.topology.queueCapacityPackets = 24;
+    s.workload.kind = WorkloadKind::kMultiFlow;
+    s.workload.multiFlowDuration = duration;
+    // Flow endpoints spread across the grid (ids 2..200, 15 columns):
+    // near, mid and far nodes, alternating direction, all saturating.
+    s.workload.flows = {{31, true, 2000000},  {61, false, 2000000}, {91, true, 2000000},
+                        {121, false, 2000000}, {151, true, 2000000}, {181, false, 2000000}};
+    return s;
+}
+
 std::unique_ptr<harness::Testbed> buildTestbed(const TopologySpec& t,
                                                std::uint64_t seed) {
     const harness::TestbedConfig cfg = testbedConfigFor(t, seed);
@@ -114,6 +144,7 @@ BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     const TopologySpec& t = spec.topology;
     const WorkloadSpec& w = spec.workload;
     auto tb = buildTestbed(t, seed);
+    if (w.deliveryTap) tb->channel().setDeliveryTap(w.deliveryTap);
     const std::uint16_t mss = resolveMss(w);
 
     const bool pair = t.kind == TopologyKind::kPair;
@@ -177,6 +208,7 @@ SleepyRunResult runSleepyBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     // workload knob; construction order matches the pre-refactor path.
     harness::TestbedConfig cfg;
     cfg.seed = seed;
+    cfg.scheduler = spec.topology.scheduler;
     auto tb = std::make_unique<harness::Testbed>(cfg);
 
     mesh::NodeConfig rc = cfg.nodeDefaults;
@@ -191,6 +223,7 @@ SleepyRunResult runSleepyBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     tb->borderRouter().adoptSleepyChild(10);
     tb->borderRouter().addRoute(10, 10);
     leaf.start();
+    if (w.deliveryTap) tb->channel().setDeliveryTap(w.deliveryTap);
 
     const std::uint16_t mss = resolveMss(w);
     tcp::TcpStack leafStack(leaf);
@@ -234,6 +267,7 @@ TwoFlowResult runTwoFlow(const ScenarioSpec& spec, std::uint64_t seed) {
     const WorkloadSpec& w = spec.workload;
     const std::size_t hops = t.hops;
     auto tb = buildTestbed(t, seed);
+    if (w.deliveryTap) tb->channel().setDeliveryTap(w.deliveryTap);
 
     // Second source: a sibling of the last node, attached to the same relay
     // (or to the border router for one hop) — the Appendix A setup.
@@ -299,6 +333,7 @@ MultiFlowResult runMultiFlow(const ScenarioSpec& spec, std::uint64_t seed) {
     const WorkloadSpec& w = spec.workload;
     TCPLP_ASSERT(!w.flows.empty() && "kMultiFlow needs explicit FlowSpecs");
     auto tb = buildTestbed(spec.topology, seed);
+    if (w.deliveryTap) tb->channel().setDeliveryTap(w.deliveryTap);
     const std::uint16_t mss = resolveMss(w);
 
     struct Rig {
@@ -363,6 +398,7 @@ BulkRunResult runEmbeddedBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     const TopologySpec& t = spec.topology;
     const WorkloadSpec& w = spec.workload;
     auto tb = buildTestbed(t, seed);
+    if (w.deliveryTap) tb->channel().setDeliveryTap(w.deliveryTap);
 
     mesh::Node& mote = *tb->findNode(phy::NodeId(9 + t.hops));
     transport::EmbeddedTcpConfig ec;
@@ -398,7 +434,7 @@ BulkRunResult runEmbeddedBulk(const ScenarioSpec& spec, std::uint64_t seed) {
 PipeRunResult runPipeBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     const TopologySpec& t = spec.topology;
     const WorkloadSpec& w = spec.workload;
-    sim::Simulator simulator(seed);
+    sim::Simulator simulator(sim::SimConfig{seed, t.scheduler});
     harness::PipeConfig pc;
     pc.oneWayDelay = t.pipeOneWayDelay;
     pc.bandwidthBps = t.pipeBandwidthBps;
@@ -431,6 +467,8 @@ harness::AnemometerResult runAnemometerSpec(const ScenarioSpec& spec,
                                             std::uint64_t seed) {
     harness::AnemometerOptions o = spec.workload.anemometer;
     o.seed = seed;
+    o.scheduler = spec.topology.scheduler;
+    if (spec.workload.deliveryTap) o.deliveryTap = spec.workload.deliveryTap;
     return harness::runAnemometer(o);
 }
 

@@ -34,6 +34,21 @@ std::uint16_t resolveMss(const WorkloadSpec& w);
 std::unique_ptr<harness::Testbed> buildTestbed(const TopologySpec& t,
                                                std::uint64_t seed);
 
+// --- Shared scenario presets ---------------------------------------------
+// The canonical multiflow workloads, used by the registered drivers
+// (bench_office_multiflow, bench_grid200), the scheduler A/B bench
+// (bench_timer_wheel) and the backend-equivalence tests — one definition,
+// so a tuning change propagates to every consumer. Only the run duration
+// varies per consumer.
+
+/// Mixed uplink/downlink over the Fig. 3 office tree: sensors 12/14 stream
+/// up while 13/15 receive bulk downlink (3-5 hops out), all saturating.
+ScenarioSpec officeMultiflowSpec(sim::Time duration = 3 * sim::kMinute);
+
+/// 200-node dense grid, six saturating mixed-direction flows spread across
+/// the grid (the PR 2 spatial-index stress).
+ScenarioSpec grid200DenseSpec(sim::Time duration = 90 * sim::kSecond);
+
 // --- Structured per-workload results (custom measures/presenters use the
 // --- raw forms; runScenario flattens them into a MetricRow) --------------
 

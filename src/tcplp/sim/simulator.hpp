@@ -10,9 +10,15 @@
 // performs zero heap allocations. Callbacks with captures up to
 // SmallFn::kInlineBytes are stored inline in the event record. Handles are
 // generation-counted slot references — no shared_ptr/weak_ptr churn per
-// event. The ready queue is an indexed binary heap: cancellation removes the
-// entry eagerly (no lazy tombstones) and a pending event can be rescheduled
-// in place in O(log n), which is what Timer::start does on re-arm.
+// event.
+//
+// Ordering is delegated to a Scheduler backend (sim/scheduler.hpp), selected
+// per Simulator via SimConfig: the indexed binary heap (default — eager
+// cancellation, O(log n) in-place reschedule) or the hierarchical TimerWheel
+// (O(1) insert/cancel/re-arm; built for the timer-storm workloads where
+// RTO/delayed-ACK/persist/poll deadlines cluster). Both backends fire events
+// in the identical (when, seq) total order, so runs are bit-identical
+// across backends.
 //
 // Lifetime: an EventHandle (and any Timer) must not be used after its
 // Simulator is destroyed. Every component in this codebase owns a
@@ -28,12 +34,19 @@
 
 #include "tcplp/common/assert.hpp"
 #include "tcplp/sim/rng.hpp"
+#include "tcplp/sim/scheduler.hpp"
 #include "tcplp/sim/small_fn.hpp"
 #include "tcplp/sim/time.hpp"
 
 namespace tcplp::sim {
 
 class Simulator;
+
+/// Per-simulation configuration: the RNG seed and the ready-queue backend.
+struct SimConfig {
+    std::uint64_t seed = 1;
+    SchedulerKind scheduler = SchedulerKind::kBinaryHeap;
+};
 
 /// Cancellable handle to a scheduled event. Copies share the same event:
 /// cancelling through any copy cancels it, and once the event fires (or is
@@ -70,13 +83,16 @@ struct SchedulerStats {
 
 class Simulator {
 public:
-    explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+    explicit Simulator(std::uint64_t seed = 1) : Simulator(SimConfig{seed, {}}) {}
+    explicit Simulator(const SimConfig& config)
+        : rng_(config.seed), sched_(makeScheduler(config.scheduler, pool_)) {}
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
 
     Time now() const { return now_; }
     Rng& rng() { return rng_; }
+    SchedulerKind schedulerKind() const { return sched_->kind(); }
 
     /// Schedules `fn` to run `delay` microseconds from now.
     template <typename F>
@@ -88,38 +104,39 @@ public:
     template <typename F>
     EventHandle scheduleAt(Time when, F&& fn) {
         TCPLP_ASSERT(when >= now_);
-        const std::uint32_t slot = allocRecord();
-        Record& rec = record(slot);
+        const std::uint32_t slot = pool_.alloc();
+        detail::EventRecord& rec = pool_.record(slot);
         rec.fn = SmallFn(std::forward<F>(fn));
         rec.when = when;
         rec.seq = nextSeq_++;
-        heapPush(slot);
+        sched_->push(slot);
         ++stats_.scheduled;
         return EventHandle(this, slot, rec.generation);
     }
 
     /// Moves a still-pending event to a new deadline without releasing its
-    /// record or callback — an O(log n) heap update. Returns false (and does
-    /// nothing) if the handle's event already fired or was cancelled.
+    /// record or callback — an in-place re-sort (O(log n) on the heap, O(1)
+    /// on the wheel). Returns false (and does nothing) if the handle's event
+    /// already fired or was cancelled.
     bool reschedule(const EventHandle& handle, Time when) {
         TCPLP_ASSERT(when >= now_);
         if (handle.simulator_ != this || !slotPending(handle.slot_, handle.generation_)) {
             return false;
         }
-        Record& rec = record(handle.slot_);
+        detail::EventRecord& rec = pool_.record(handle.slot_);
         rec.when = when;
         rec.seq = nextSeq_++;  // re-armed events fire after existing same-time events
-        heapFix(rec.heapIndex);
+        sched_->update(handle.slot_);
         ++stats_.rescheduled;
         return true;
     }
 
     /// Runs events until the queue drains or simulated time reaches `until`.
     void runUntil(Time until) {
-        while (!heap_.empty()) {
-            const std::uint32_t slot = heap_.front();
-            if (record(slot).when > until) break;
-            fireTop();
+        for (;;) {
+            const std::uint32_t slot = sched_->peekMin();
+            if (slot == detail::kNoSlot || pool_.record(slot).when > until) break;
+            fireMin(slot);
         }
         if (now_ < until) now_ = until;
     }
@@ -128,14 +145,19 @@ public:
     /// a guard against accidental infinite timer loops in tests).
     void run(std::uint64_t maxEvents = UINT64_MAX) {
         std::uint64_t fired = 0;
-        while (!heap_.empty() && fired < maxEvents) {
-            fireTop();
+        while (fired < maxEvents) {
+            const std::uint32_t slot = sched_->peekMin();
+            if (slot == detail::kNoSlot) break;
+            fireMin(slot);
             ++fired;
         }
     }
 
-    std::size_t pendingEvents() const { return heap_.size(); }
-    const SchedulerStats& stats() const { return stats_; }
+    std::size_t pendingEvents() const { return sched_->size(); }
+    const SchedulerStats& stats() const {
+        stats_.poolCapacity = pool_.capacity();
+        return stats_;
+    }
 
     /// Cancels every pending event, destroying the captured callbacks NOW.
     /// Orchestration layers call this before tearing down the components
@@ -143,10 +165,11 @@ public:
     /// in-flight packets (which may hold arena-backed reassembly buffers)
     /// while the owning nodes are still alive.
     void cancelAllPending() {
-        while (!heap_.empty()) {
-            const std::uint32_t slot = heap_.front();
-            heapRemove(0);
-            releaseRecord(slot);
+        for (;;) {
+            const std::uint32_t slot = sched_->peekMin();
+            if (slot == detail::kNoSlot) break;
+            sched_->remove(slot);
+            pool_.release(slot);
             ++stats_.cancelled;
         }
     }
@@ -154,143 +177,40 @@ public:
 private:
     friend class EventHandle;
 
-    static constexpr std::uint32_t kSlabBits = 8;
-    static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
-    static constexpr std::uint32_t kNotQueued = std::numeric_limits<std::uint32_t>::max();
-
-    struct Record {
-        SmallFn fn;
-        Time when = 0;
-        std::uint64_t seq = 0;
-        std::uint32_t generation = 0;
-        std::uint32_t heapIndex = kNotQueued;
-    };
-
-    Record& record(std::uint32_t slot) {
-        return slabs_[slot >> kSlabBits][slot & (kSlabSize - 1)];
-    }
-    const Record& record(std::uint32_t slot) const {
-        return slabs_[slot >> kSlabBits][slot & (kSlabSize - 1)];
-    }
-
     bool slotPending(std::uint32_t slot, std::uint32_t generation) const {
-        if (slot >> kSlabBits >= slabs_.size()) return false;
-        const Record& rec = record(slot);
-        return rec.generation == generation && rec.heapIndex != kNotQueued;
+        if (!pool_.contains(slot)) return false;
+        const detail::EventRecord& rec = pool_.record(slot);
+        return rec.generation == generation && rec.queuePos != detail::kNotQueued;
     }
 
     void cancelSlot(std::uint32_t slot, std::uint32_t generation) {
         if (!slotPending(slot, generation)) return;
-        heapRemove(record(slot).heapIndex);
-        releaseRecord(slot);
+        sched_->remove(slot);
+        pool_.release(slot);
         ++stats_.cancelled;
     }
 
-    std::uint32_t allocRecord() {
-        if (freeList_.empty()) {
-            const auto base = std::uint32_t(slabs_.size()) * kSlabSize;
-            slabs_.push_back(std::make_unique<Record[]>(kSlabSize));
-            stats_.poolCapacity += kSlabSize;
-            freeList_.reserve(kSlabSize);
-            for (std::uint32_t i = kSlabSize; i > 0; --i) freeList_.push_back(base + i - 1);
-        }
-        const std::uint32_t slot = freeList_.back();
-        freeList_.pop_back();
-        return slot;
-    }
-
-    void releaseRecord(std::uint32_t slot) {
-        Record& rec = record(slot);
-        rec.fn.reset();
-        rec.heapIndex = kNotQueued;
-        ++rec.generation;  // invalidate outstanding handles
-        freeList_.push_back(slot);
-    }
-
-    void fireTop() {
-        const std::uint32_t slot = heap_.front();
-        Record& rec = record(slot);
+    void fireMin(std::uint32_t slot) {
+        detail::EventRecord& rec = pool_.record(slot);
         TCPLP_ASSERT(rec.when >= now_);
         now_ = rec.when;
         // Move the callback out and retire the record *before* invoking, so
         // a callback that re-arms its own timer allocates a fresh event
         // instead of mutating a slot that is about to be recycled.
         SmallFn fn = std::move(rec.fn);
-        heapRemove(0);
-        releaseRecord(slot);
+        sched_->remove(slot);
+        pool_.release(slot);
+        sched_->onTimeAdvance(now_);
         ++stats_.fired;
         fn();
-    }
-
-    // --- Indexed binary heap over event records ------------------------
-    // heap_ holds slot ids ordered by (when, seq); each record tracks its
-    // position so cancel/reschedule are O(log n) with no tombstones.
-
-    bool earlier(std::uint32_t a, std::uint32_t b) const {
-        const Record& ra = record(a);
-        const Record& rb = record(b);
-        if (ra.when != rb.when) return ra.when < rb.when;
-        return ra.seq < rb.seq;
-    }
-
-    void heapPlace(std::size_t index, std::uint32_t slot) {
-        heap_[index] = slot;
-        record(slot).heapIndex = std::uint32_t(index);
-    }
-
-    void heapPush(std::uint32_t slot) {
-        heap_.push_back(slot);
-        record(slot).heapIndex = std::uint32_t(heap_.size() - 1);
-        siftUp(heap_.size() - 1);
-    }
-
-    void heapRemove(std::size_t index) {
-        record(heap_[index]).heapIndex = kNotQueued;
-        const std::uint32_t last = heap_.back();
-        heap_.pop_back();
-        if (index < heap_.size()) {
-            heapPlace(index, last);
-            heapFix(std::uint32_t(index));
-        }
-    }
-
-    void heapFix(std::uint32_t index) {
-        siftUp(index);
-        siftDown(index);
-    }
-
-    void siftUp(std::size_t index) {
-        const std::uint32_t slot = heap_[index];
-        while (index > 0) {
-            const std::size_t parent = (index - 1) / 2;
-            if (!earlier(slot, heap_[parent])) break;
-            heapPlace(index, heap_[parent]);
-            index = parent;
-        }
-        heapPlace(index, slot);
-    }
-
-    void siftDown(std::size_t index) {
-        const std::uint32_t slot = heap_[index];
-        const std::size_t n = heap_.size();
-        while (true) {
-            std::size_t child = 2 * index + 1;
-            if (child >= n) break;
-            if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
-            if (!earlier(heap_[child], slot)) break;
-            heapPlace(index, heap_[child]);
-            index = child;
-        }
-        heapPlace(index, slot);
     }
 
     Time now_ = 0;
     std::uint64_t nextSeq_ = 0;
     Rng rng_;
-    SchedulerStats stats_;
-    std::vector<std::unique_ptr<Record[]>> slabs_;
-    std::vector<std::uint32_t> freeList_;
-    std::vector<std::uint32_t> heap_;
+    mutable SchedulerStats stats_;
+    detail::EventPool pool_;
+    std::unique_ptr<Scheduler> sched_;
 };
 
 inline void EventHandle::cancel() {

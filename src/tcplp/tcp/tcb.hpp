@@ -78,9 +78,13 @@ struct Tcb {
     bool finSent = false;
     bool ourFinAcked = false;
 
-    // Persist (zero-window probe) state.
+    // Persist (zero-window probe) state. The probe interval backs off from
+    // persistRtoBase — the un-backed-off RTO snapshotted when persist mode
+    // was entered — NOT from `rto`, which may itself already be doubled by
+    // retransmit backoff (shifting a backed-off RTO double-scales probes).
     std::uint8_t persistShift = 0;
     bool persisting = false;
+    std::int64_t persistRtoBase = 0;
 
     std::uint16_t mss = 536;
 };

@@ -209,10 +209,13 @@ void TcpSocket::output() {
     if (!sentSomething && unsentBytes() > 0 && tcb_.sndWnd == 0 &&
         tcb_.sndNxt == tcb_.sndUna && !persistTimer_.running()) {
         tcb_.persisting = true;
+        // Snapshot the un-backed-off RTO as the probe-backoff base. `rto`
+        // itself may already be doubled by retransmit backoff (entering
+        // persist from rexmitTimeout -> output), and shifting that doubled
+        // value double-scaled the probe schedule.
+        if (tcb_.persistRtoBase == 0) tcb_.persistRtoBase = baseRto();
         rexmitTimer_.stop();  // persist replaces the retransmit timer
-        const sim::Time delay = std::clamp<sim::Time>(
-            tcb_.rto << tcb_.persistShift, config_.persistMin, config_.persistMax);
-        persistTimer_.start(delay);
+        persistTimer_.start(persistDelay());
     }
 
     if (tcb_.sndNxt != tcb_.sndUna) armRexmit();
@@ -305,6 +308,22 @@ void TcpSocket::scheduleDelack() {
 
 // --- Timers -------------------------------------------------------------------
 
+sim::Time TcpSocket::baseRto() const {
+    if (tcb_.srtt == 0) return config_.initialRto;
+    return std::clamp<sim::Time>(
+        tcb_.srtt + std::max<sim::Time>(4 * tcb_.rttvar, 10 * sim::kMillisecond),
+        config_.minRto, config_.maxRto);
+}
+
+sim::Time TcpSocket::persistDelay() const {
+    const sim::Time base = std::max<sim::Time>(tcb_.persistRtoBase, 1);
+    // Clamp before shifting: once base << shift would pass persistMax the
+    // exact product no longer matters (and must not overflow).
+    if (base > (config_.persistMax >> tcb_.persistShift)) return config_.persistMax;
+    return std::clamp<sim::Time>(base << tcb_.persistShift, config_.persistMin,
+                                 config_.persistMax);
+}
+
 void TcpSocket::armRexmit() {
     // Persist mode owns the timer slot: window probes are paced by the
     // persist timer and must not count against the retransmission limit
@@ -350,6 +369,8 @@ void TcpSocket::rexmitTimeout() {
 void TcpSocket::persistTimeout() {
     if (unsentBytes() == 0 || tcb_.sndWnd > 0) {
         tcb_.persisting = false;
+        tcb_.persistShift = 0;
+        tcb_.persistRtoBase = 0;
         return;
     }
     // Send a one-byte window probe past the advertised window. The probe is
@@ -357,9 +378,7 @@ void TcpSocket::persistTimeout() {
     ++stats_.zeroWindowProbes;
     sendSegment(tcb_.sndUna, 1, false, false);
     if (tcb_.persistShift < 10) ++tcb_.persistShift;
-    const sim::Time delay = std::clamp<sim::Time>(
-        tcb_.rto << tcb_.persistShift, config_.persistMin, config_.persistMax);
-    persistTimer_.start(delay);
+    persistTimer_.start(persistDelay());
 }
 
 void TcpSocket::enterTimeWait() {
@@ -473,6 +492,17 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
         okStart || okEnd || zeroLenOk ||
         (segLen > 0 && seqLe(seg.seq, tcb_.rcvNxt) && seqGt(seg.seq + segLen, tcb_.rcvNxt));
     if (!overlapsWindow) {
+        // RFC 7323: even an unacceptable segment (e.g. a fully duplicate
+        // retransmission) refreshes the timestamp echo state when it covers
+        // rcvNxt and its TSval is not older than the current one (R4's
+        // monotonicity guard — reordered duplicates must not move the echo
+        // backwards). Skipping this left tsRecent frozen at the pre-loss
+        // value, and the eventual ACK's stale echo injected a multi-second
+        // RTT sample that blew up srtt/rttvar (and with them RTO and the
+        // persist-probe base) right when the path healed.
+        if (tcb_.tsEnabled && seg.timestamps && seqLe(seg.seq, tcb_.rcvNxt) &&
+            seqGe(seg.timestamps->value, tcb_.tsRecent))
+            tcb_.tsRecent = seg.timestamps->value;
         if (!seg.flags.rst) sendAckNow();  // keep the peer synchronized
         return;
     }
@@ -497,7 +527,10 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
     if (!seg.flags.ack) return;
 
     // Timestamp bookkeeping (RFC 7323): echo the most recent in-window TSval.
-    if (tcb_.tsEnabled && seg.timestamps && seqLe(seg.seq, tcb_.rcvNxt))
+    // R4's monotonicity guard keeps a reordered old duplicate from moving
+    // the echo backwards (a stale echo becomes an inflated RTT sample).
+    if (tcb_.tsEnabled && seg.timestamps && seqLe(seg.seq, tcb_.rcvNxt) &&
+        seqGe(seg.timestamps->value, tcb_.tsRecent))
         tcb_.tsRecent = seg.timestamps->value;
 
     if (config_.headerPrediction) tryHeaderPrediction(seg);
@@ -611,6 +644,11 @@ void TcpSocket::processAck(const Segment& seg) {
         const std::uint32_t rttMs = nowMs - seg.timestamps->echo;
         if (std::int32_t(rttMs) >= 0 && rttMs < 120000) updateRtt(sim::Time(rttMs) * sim::kMillisecond);
     }
+    // RFC 6298 §5.7: a fresh ACK after a retransmit backoff re-initializes
+    // the RTO from srtt/rttvar instead of leaving it at the doubled value —
+    // without timestamps no RTT sample would ever repair it (Karn's rule
+    // forbids sampling retransmitted segments).
+    if (tcb_.rxtShift > 0) tcb_.rto = baseRto();
     tcb_.rxtShift = 0;
 
     const bool finWasAcked = tcb_.finSent && seqGe(seg.ack, finSeq_ + 1);
@@ -696,6 +734,7 @@ void TcpSocket::updateWindow(const Segment& seg) {
             persistTimer_.stop();
             tcb_.persisting = false;
             tcb_.persistShift = 0;
+            tcb_.persistRtoBase = 0;
             output();
         }
     }
@@ -793,8 +832,7 @@ void TcpSocket::updateRtt(sim::Time sample) {
         tcb_.srtt += err / 8;
         tcb_.rttvar += ((err < 0 ? -err : err) - tcb_.rttvar) / 4;
     }
-    tcb_.rto = std::clamp<sim::Time>(tcb_.srtt + std::max<sim::Time>(4 * tcb_.rttvar, 10 * sim::kMillisecond),
-                                     config_.minRto, config_.maxRto);
+    tcb_.rto = baseRto();
 }
 
 // --- Congestion control ---------------------------------------------------

@@ -173,6 +173,10 @@ private:
     void dropSackedBelow(Seq seq);
 
     // Timers.
+    /// RTO from the current srtt/rttvar estimate with no retransmit backoff
+    /// applied (RFC 6298 §2.2-2.4; initialRto while unmeasured).
+    sim::Time baseRto() const;
+    sim::Time persistDelay() const;
     void armRexmit();
     void rexmitTimeout();
     void persistTimeout();

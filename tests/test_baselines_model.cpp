@@ -100,10 +100,10 @@ TEST(EmbeddedTcp, DropsOutOfOrderData) {
 // --- RED queue ---------------------------------------------------------------
 
 TEST(RedQueue, TailDropAtCapacity) {
-    sim::Rng rng(1);
+    sim::Simulator simulator(1);
     ip6::RedConfig cfg;
     cfg.capacityPackets = 3;
-    ip6::RedQueue q(rng, cfg);
+    ip6::RedQueue q(simulator, cfg);
     ip6::Packet p;
     EXPECT_TRUE(q.push(p));
     EXPECT_TRUE(q.push(p));
@@ -113,7 +113,7 @@ TEST(RedQueue, TailDropAtCapacity) {
 }
 
 TEST(RedQueue, RedDropsProbabilisticallyAboveThreshold) {
-    sim::Rng rng(2);
+    sim::Simulator simulator(2);
     ip6::RedConfig cfg;
     cfg.discipline = ip6::QueueDiscipline::kRed;
     cfg.capacityPackets = 10;
@@ -121,7 +121,7 @@ TEST(RedQueue, RedDropsProbabilisticallyAboveThreshold) {
     cfg.maxThreshold = 4.0;
     cfg.maxMarkProbability = 0.5;
     cfg.ecnMarking = false;
-    ip6::RedQueue q(rng, cfg);
+    ip6::RedQueue q(simulator, cfg);
     ip6::Packet p;
     int dropped = 0;
     for (int i = 0; i < 2000; ++i) {
@@ -133,7 +133,7 @@ TEST(RedQueue, RedDropsProbabilisticallyAboveThreshold) {
 }
 
 TEST(RedQueue, EcnMarksInsteadOfDroppingEctPackets) {
-    sim::Rng rng(3);
+    sim::Simulator simulator(3);
     ip6::RedConfig cfg;
     cfg.discipline = ip6::QueueDiscipline::kRed;
     cfg.capacityPackets = 10;
@@ -141,7 +141,7 @@ TEST(RedQueue, EcnMarksInsteadOfDroppingEctPackets) {
     cfg.maxThreshold = 1.0;
     cfg.maxMarkProbability = 1.0;
     cfg.ecnMarking = true;
-    ip6::RedQueue q(rng, cfg);
+    ip6::RedQueue q(simulator, cfg);
     ip6::Packet p;
     p.setEcn(ip6::Ecn::kCapable0);
     q.push(p);
@@ -153,6 +153,46 @@ TEST(RedQueue, EcnMarksInsteadOfDroppingEctPackets) {
     while (!q.empty())
         sawCe |= (q.pop().ecn() == ip6::Ecn::kCongestionExperienced);
     EXPECT_TRUE(sawCe);
+}
+
+TEST(RedQueue, AverageDecaysAcrossIdlePeriods) {
+    // Classic RED idle bug: the EWMA only updates on enqueue, so without an
+    // idle correction the average freezes across quiet periods and the first
+    // burst after silence is over-marked. The fix decays avg by the elapsed
+    // idle time in units of idlePacketTime (Floyd & Jacobson §4).
+    sim::Simulator simulator(4);
+    ip6::RedConfig cfg;
+    cfg.discipline = ip6::QueueDiscipline::kRed;
+    cfg.capacityPackets = 10;
+    cfg.minThreshold = 1.0;
+    cfg.maxThreshold = 1000.0;  // marking off while we shape the average
+    cfg.maxMarkProbability = 0.0;
+    cfg.weight = 0.25;
+    cfg.idlePacketTime = 4 * sim::kMillisecond;
+    ip6::RedQueue q(simulator, cfg);
+    ip6::Packet p;
+
+    // Drive the EWMA well above minThreshold, then drain to empty.
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.push(p));
+    while (!q.empty()) q.pop();
+    const double avgBusy = q.averageQueueSize();
+    ASSERT_GT(avgBusy, cfg.minThreshold);
+
+    // An immediate arrival still sees (nearly) the busy-period average.
+    ASSERT_TRUE(q.push(p));
+    EXPECT_GT(q.averageQueueSize(), 0.5 * avgBusy);
+    q.pop();
+
+    // After one idle second (250 packet times) the average must have decayed
+    // to ~0, so a fresh burst is not marked against stale history.
+    simulator.runUntil(simulator.now() + sim::kSecond);
+    q.mutableConfig().maxMarkProbability = 1.0;  // marking live again
+    q.mutableConfig().maxThreshold = 4.0;
+    q.mutableConfig().ecnMarking = false;
+    const auto droppedBefore = q.stats().redDropped;
+    EXPECT_TRUE(q.push(p));
+    EXPECT_EQ(q.stats().redDropped, droppedBefore);
+    EXPECT_LT(q.averageQueueSize(), cfg.minThreshold);
 }
 
 // --- Analytical models ----------------------------------------------------------

@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "tcplp/sim/simulator.hpp"
@@ -140,8 +142,27 @@ TEST(Simulator, RescheduleMovesDeadlineBothWays) {
     EXPECT_EQ(simulator.stats().rescheduled, 2u);
 }
 
-TEST(Timer, RestartStormReusesOnePooledEvent) {
-    Simulator simulator;
+// --- Timer-storm suite, run against BOTH scheduler backends ----------------
+//
+// The binary heap and the hierarchical timer wheel must implement the exact
+// same (when, scheduling-seq) total order: every test below runs once per
+// backend, and the cross-backend tests replay one scripted storm on each and
+// require bit-identical firing logs.
+
+class SchedulerBackends : public ::testing::TestWithParam<SchedulerKind> {
+protected:
+    SimConfig config(std::uint64_t seed = 1) const { return SimConfig{seed, GetParam()}; }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothBackends, SchedulerBackends,
+    ::testing::Values(SchedulerKind::kBinaryHeap, SchedulerKind::kTimerWheel),
+    [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+        return std::string(schedulerKindName(info.param));
+    });
+
+TEST_P(SchedulerBackends, RestartStormReusesOnePooledEvent) {
+    Simulator simulator(config());
     int fires = 0;
     Timer t(simulator, [&] { ++fires; });
     // A TCP RTO-style storm: re-arm thousands of times before expiry.
@@ -156,10 +177,10 @@ TEST(Timer, RestartStormReusesOnePooledEvent) {
     EXPECT_EQ(fires, 1);
 }
 
-TEST(Timer, ManyTimersRestartingStayDeterministic) {
+TEST_P(SchedulerBackends, ManyTimersRestartingStayDeterministic) {
     // Interleaved restart storms across many timers: firing order must stay
     // the (when, scheduling-seq) total order regardless of pool recycling.
-    Simulator simulator;
+    Simulator simulator(config());
     std::vector<int> order;
     std::vector<std::unique_ptr<Timer>> timers;
     for (int i = 0; i < 16; ++i) {
@@ -175,8 +196,8 @@ TEST(Timer, ManyTimersRestartingStayDeterministic) {
     EXPECT_EQ(order, expect);
 }
 
-TEST(Timer, RearmInsideOwnCallbackKeepsFiring) {
-    Simulator simulator;
+TEST_P(SchedulerBackends, RearmInsideOwnCallbackKeepsFiring) {
+    Simulator simulator(config());
     int fires = 0;
     Timer t(simulator, [&] {
         if (++fires < 5) t.start(10);
@@ -184,6 +205,139 @@ TEST(Timer, RearmInsideOwnCallbackKeepsFiring) {
     t.start(10);
     simulator.run(100);
     EXPECT_EQ(fires, 5);
+}
+
+TEST_P(SchedulerBackends, CancelMidFlightSkipsExactlyTheCancelled) {
+    // Cancel from inside a running callback (the delayed-ACK-quash idiom):
+    // event 2's callback cancels events 5 and 9 while 3..11 are pending.
+    Simulator simulator(config());
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 12; ++i) {
+        handles.push_back(simulator.schedule(Time(100 * (i + 1)),
+                                             [&order, i] { order.push_back(i); }));
+    }
+    handles[2].cancel();
+    handles[2] = simulator.schedule(Time(250), [&] {
+        order.push_back(2);
+        handles[5].cancel();
+        handles[9].cancel();
+    });
+    handles[3].cancel();  // cancel before the run starts, too
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 4, 6, 7, 8, 10, 11}));
+    EXPECT_EQ(simulator.stats().cancelled, 4u);
+}
+
+TEST_P(SchedulerBackends, RescheduleToEarlierSlotCrossesBuckets) {
+    // Pull pending events backwards across wheel-bucket and wheel-level
+    // boundaries: far-future events rescheduled to near deadlines (and one
+    // near event pushed far out) must still fire in (when, seq) order.
+    Simulator simulator(config());
+    std::vector<int> order;
+    EventHandle farA = simulator.schedule(2 * kMinute, [&] { order.push_back(1); });
+    EventHandle farB = simulator.schedule(3 * kHour, [&] { order.push_back(2); });
+    EventHandle near = simulator.schedule(5 * kMillisecond, [&] { order.push_back(3); });
+    simulator.schedule(10 * kMillisecond, [&] { order.push_back(4); });
+    ASSERT_TRUE(simulator.reschedule(farA, 2 * kMillisecond));   // hours -> ticks
+    ASSERT_TRUE(simulator.reschedule(farB, 3 * kMillisecond));   // hours -> ticks
+    ASSERT_TRUE(simulator.reschedule(near, 30 * kMinute));       // ticks -> level 2+
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3}));
+    EXPECT_EQ(simulator.stats().rescheduled, 3u);
+}
+
+TEST_P(SchedulerBackends, FarFutureOverflowDeadlines) {
+    // Deadlines past the wheel horizon (4 levels x 64 slots x ~1 ms tick
+    // ~= 4.8 h) live on the overflow list and must cascade back in as
+    // simulated time approaches them — including events scheduled mid-run
+    // once the wheel base has advanced by days.
+    Simulator simulator(config());
+    std::vector<int> order;
+    simulator.schedule(3 * 24 * kHour, [&] { order.push_back(5); });
+    simulator.schedule(10 * kHour, [&] { order.push_back(3); });
+    simulator.schedule(kMillisecond, [&] {
+        order.push_back(1);
+        simulator.schedule(26 * kHour, [&] { order.push_back(4); });  // re-overflow
+        simulator.schedule(kSecond, [&] { order.push_back(2); });
+    });
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+    EXPECT_EQ(simulator.now(), 3 * 24 * kHour);
+}
+
+TEST_P(SchedulerBackends, SameTickOrderingIsExactMicrosecondOrder) {
+    // Events inside one ~1 ms wheel tick (1024 us) still fire in exact
+    // microsecond order, with scheduling seq breaking when-ties — the wheel
+    // may bucket them together but must not coarsen the order.
+    Simulator simulator(config());
+    std::vector<int> order;
+    simulator.schedule(900, [&] { order.push_back(3); });
+    simulator.schedule(100, [&] { order.push_back(1); });
+    simulator.schedule(500, [&] { order.push_back(2); });
+    simulator.schedule(1000, [&] { order.push_back(4); });  // same tick, later us
+    simulator.schedule(1000, [&] { order.push_back(5); });  // when-tie: seq order
+    simulator.schedule(1030, [&] { order.push_back(6); });  // next tick
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+namespace {
+
+/// Replays a deterministic pseudo-random storm of schedule / cancel /
+/// reschedule / nested-schedule operations and returns the firing log.
+std::vector<std::pair<Time, int>> runScriptedStorm(SchedulerKind kind) {
+    Simulator simulator(SimConfig{99, kind});
+    Rng script(0xfeedULL);  // drives the storm, independent of the sim RNG
+    std::vector<std::pair<Time, int>> log;
+    std::vector<EventHandle> handles;
+    int nextId = 0;
+
+    const auto randomDelay = [&script]() -> Time {
+        switch (script.uniformInt(4)) {
+            case 0: return Time(script.uniformInt(900));                  // same tick
+            case 1: return Time(script.uniformInt(60'000));               // level 0/1
+            case 2: return Time(script.uniformInt(30 * kMinute));         // level 2+
+            default: return Time(script.uniformInt(12 * kHour));          // overflow
+        }
+    };
+
+    for (int i = 0; i < 600; ++i) {
+        const int id = nextId++;
+        handles.push_back(simulator.schedule(randomDelay(), [&log, &simulator, id] {
+            log.emplace_back(simulator.now(), id);
+        }));
+    }
+    // Mutate: cancel some, reschedule others (earlier and later).
+    for (int i = 0; i < 300; ++i) {
+        EventHandle& h = handles[std::size_t(script.uniformInt(handles.size()))];
+        if (script.chance(0.4)) {
+            h.cancel();
+        } else {
+            simulator.reschedule(h, simulator.now() + randomDelay());
+        }
+    }
+    // A ticker that keeps scheduling new work while the storm drains.
+    std::function<void()> tick = [&] {
+        const int id = nextId++;
+        log.emplace_back(simulator.now(), -1);
+        simulator.schedule(randomDelay(), [&log, &simulator, id] {
+            log.emplace_back(simulator.now(), id);
+        });
+        if (log.size() < 900) simulator.schedule(kSecond + Time(script.uniformInt(kMinute)), tick);
+    };
+    simulator.schedule(10 * kMillisecond, tick);
+    simulator.run(5000);
+    return log;
+}
+
+}  // namespace
+
+TEST(SchedulerEquivalence, WheelAndHeapFireIdenticalStormLogs) {
+    const auto heap = runScriptedStorm(SchedulerKind::kBinaryHeap);
+    const auto wheel = runScriptedStorm(SchedulerKind::kTimerWheel);
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap, wheel);
 }
 
 TEST(SmallFn, InlineCapturesAvoidHeap) {

@@ -114,6 +114,85 @@ TEST(TcpPersist, ZeroWindowProbedAndRecovered) {
     EXPECT_TRUE(matchesPattern(0, drained));
 }
 
+TEST(TcpPersist, ProbeScheduleUsesUnbackedRtoBase) {
+    // Regression: the persist interval used to be computed as
+    // `rto << persistShift` where `rto` could already be exponentially
+    // backed off by retransmit timeouts before the connection fell into
+    // persist mode, double-scaling the probe schedule. The fix snapshots
+    // the un-backed-off RTO (from srtt/rttvar, ~1 s here after the minRto
+    // clamp) as the shift base when persist mode is entered, so the probe
+    // gaps are clamp(1 s << shift, 5 s, 60 s): 5, 5, 5, 8, 16, 32 seconds —
+    // independent of how backed-off `rto` was at entry.
+    TcpPair t({}, {}, {}, 7, /*drain=*/false);
+    t.connectAndSettle();
+    // Measure an RTT so the RTO base is the srtt estimate, not initialRto.
+    t.pumpPattern(500);
+    t.simulator.runUntil(t.simulator.now() + 5 * sim::kSecond);
+    ASSERT_GT(t.client->tcb().srtt, 0);
+
+    // Black-hole the ACK path: the window-filling burst times out and backs
+    // the RTO off several times before the healed path's zero-window ACK
+    // finally lands the connection in persist mode.
+    t.pipe.config().lossBtoA = 1.0;
+    t.pumpPattern(8000);  // server recv buffer is 2048: window will shut
+    t.simulator.runUntil(t.simulator.now() + 10 * sim::kSecond);
+    EXPECT_GE(t.client->stats().timeouts, 2u);
+    t.pipe.config().lossBtoA = 0.0;
+    // Step in fine increments until the healed ACK lands the connection in
+    // persist mode, so probe sampling starts before the first probe fires.
+    for (int i = 0; i < 600 && !t.client->tcb().persisting; ++i)
+        t.simulator.runUntil(t.simulator.now() + 100 * sim::kMillisecond);
+    ASSERT_TRUE(t.client->tcb().persisting);
+    ASSERT_EQ(t.client->tcb().sndWnd, 0u);
+
+    // Step simulated time and record when each zero-window probe goes out.
+    std::vector<sim::Time> probeTimes;
+    std::uint64_t seen = t.client->stats().zeroWindowProbes;
+    const sim::Time start = t.simulator.now();
+    while (t.simulator.now() < start + 150 * sim::kSecond && probeTimes.size() < 7) {
+        t.simulator.runUntil(t.simulator.now() + sim::kSecond);
+        if (t.client->stats().zeroWindowProbes > seen) {
+            seen = t.client->stats().zeroWindowProbes;
+            probeTimes.push_back(t.simulator.now());
+        }
+    }
+    ASSERT_GE(probeTimes.size(), 6u);
+    std::vector<sim::Time> gapsSeconds;
+    for (std::size_t i = 1; i < 6; ++i)
+        gapsSeconds.push_back((probeTimes[i] - probeTimes[i - 1]) / sim::kSecond);
+    EXPECT_EQ(gapsSeconds, (std::vector<sim::Time>{5, 5, 8, 16, 32}));
+    EXPECT_EQ(t.client->state(), tcp::State::kEstablished);
+}
+
+TEST(TcpRto, BackoffCollapsesOnFreshAckWithoutTimestamps) {
+    // RFC 6298 §5.7: once an ACK for new data arrives after a retransmit
+    // backoff, the RTO must be recomputed from srtt/rttvar — not left at
+    // the doubled value. Without timestamps Karn's rule forbids sampling
+    // retransmitted segments, so nothing else would ever repair it.
+    tcp::TcpConfig noTs;
+    noTs.timestamps = false;
+    TcpPair t({}, noTs, noTs, 11);
+    t.connectAndSettle();
+    ASSERT_FALSE(t.client->tcb().tsEnabled);
+    // No timestamps -> no RTT samples -> RTO stays at initialRto (3 s).
+    ASSERT_EQ(t.client->currentRto(), 3 * sim::kSecond);
+
+    // Black-hole the data path; one segment retransmits with backoff.
+    t.pipe.config().lossAtoB = 1.0;
+    t.pumpPattern(400);
+    t.simulator.runUntil(t.simulator.now() + 25 * sim::kSecond);
+    EXPECT_GE(t.client->stats().timeouts, 3u);
+    const sim::Time backedOff = t.client->currentRto();
+    EXPECT_GE(backedOff, 12 * sim::kSecond);  // 3 s doubled >= twice
+
+    // Heal the path; the next retransmission is acked. The RTO must
+    // collapse back to the (unmeasured) base, not stay at `backedOff`.
+    t.pipe.config().lossAtoB = 0.0;
+    t.simulator.runUntil(t.simulator.now() + 60 * sim::kSecond);
+    EXPECT_EQ(t.received.size(), 400u);
+    EXPECT_EQ(t.client->currentRto(), 3 * sim::kSecond);
+}
+
 TEST(TcpEcn, CongestionMarkReducesWindowWithoutLoss) {
     tcp::TcpConfig ecnCfg;
     ecnCfg.ecn = true;
