@@ -159,7 +159,10 @@ ScenarioDef def() {
             .set("speedup", indexed.deliveredPerSec / linear.deliveredPerSec)
             .set("auto_speedup", automatic.deliveredPerSec / linear.deliveredPerSec)
             .set("visit_reduction",
-                 double(linear.listenerVisits) / double(indexed.listenerVisits));
+                 double(linear.listenerVisits) / double(indexed.listenerVisits))
+            // All three modes proved equal above; expose the digest so the
+            // golden corpus / campaign identity checks pin the replay.
+            .set("rng_digest", indexed.rngDigest);
         return row;
     };
     d.present = [](const SweepResult& r) {

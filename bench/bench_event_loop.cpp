@@ -188,6 +188,11 @@ ScenarioDef def() {
     d.measure = [](const ScenarioSpec&, const Point&) {
         using tcplp::sim::SchedulerKind;
         using tcplp::sim::SimConfig;
+        // Delta, not the absolute counter: the global accumulates across
+        // every simulation this process ran before (in a campaign a worker
+        // executes other scenarios' points back-to-back), and rows must be
+        // independent of execution order.
+        const std::uint64_t fallbacksBefore = tcplp::sim::SmallFn::heapFallbacks();
         const RunResult pooled = runWorkload<tcplp::sim::Simulator, tcplp::sim::Timer>(
             SimConfig{1, SchedulerKind::kBinaryHeap});
         const RunResult wheel = runWorkload<tcplp::sim::Simulator, tcplp::sim::Timer>(
@@ -208,7 +213,8 @@ ScenarioDef def() {
             .set("legacy_ns_per_event", legacy.nsPerEvent)
             .set("legacy_allocs_per_event", legacy.allocsPerEvent)
             .set("alloc_reduction_factor", legacy.allocsPerEvent / denom)
-            .set("smallfn_heap_fallbacks", tcplp::sim::SmallFn::heapFallbacks());
+            .set("smallfn_heap_fallbacks",
+                 tcplp::sim::SmallFn::heapFallbacks() - fallbacksBefore);
         return row;
     };
     d.present = [](const SweepResult& r) {

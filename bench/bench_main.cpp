@@ -5,14 +5,19 @@
 // all of them. Usage:
 //
 //   bench [--list] [--filter SUBSTR] [--jobs N] [--json] [--seeds a,b,c]
+//         [--campaign]
 //
-//   --list     print registered scenarios and exit
-//   --filter   run only scenarios whose name contains SUBSTR
-//   --jobs N   shard each sweep across N worker processes (default 1, or
-//              $TCPLP_BENCH_JOBS); merged output is byte-identical to N=1
-//   --json     emit one JSON object per run point on stdout (suppresses the
-//              human-readable paper tables); CI's sweep smoke parses this
-//   --seeds    override every scenario's seed list
+//   --list      print registered scenarios and exit
+//   --filter    run only scenarios whose name contains SUBSTR
+//   --jobs N    shard each sweep across N worker processes (default 1, or
+//               $TCPLP_BENCH_JOBS); merged output is byte-identical to N=1
+//   --json      emit one JSON object per run point on stdout (suppresses the
+//               human-readable paper tables); CI's sweep smoke parses this
+//   --seeds     override every scenario's seed list
+//   --campaign  cross-scenario sharding: flatten every selected scenario's
+//               grid into one task list for a single worker pool (instead
+//               of one pool per scenario); with --json, rows render
+//               canonically (timing fields stripped — see tcplp_campaign)
 //
 // Exit status is nonzero if any sweep fails (including any worker process
 // exiting abnormally), which is what the CI smoke keys on.
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "bench/driver.hpp"
+#include "tcplp/scenario/campaign.hpp"
 
 namespace {
 
@@ -49,7 +55,7 @@ void printDefaultTable(const bench::SweepResult& result) {
 int main(int argc, char** argv) {
     using namespace tcplp::scenario;
 
-    bool list = false, json = false;
+    bool list = false, json = false, campaign = false;
     std::string filter;
     SweepOptions options;
     if (const char* env = std::getenv("TCPLP_BENCH_JOBS")) options.jobs = std::atoi(env);
@@ -66,6 +72,8 @@ int main(int argc, char** argv) {
             list = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--campaign") {
+            campaign = true;
         } else if (const char* v = valueOf("--filter")) {
             filter = v;
         } else if (const char* v = valueOf("--jobs")) {
@@ -79,7 +87,7 @@ int main(int argc, char** argv) {
         } else {
             std::fprintf(stderr,
                          "usage: %s [--list] [--filter SUBSTR] [--jobs N] [--json] "
-                         "[--seeds a,b,c]\n",
+                         "[--seeds a,b,c] [--campaign]\n",
                          argv[0]);
             return 2;
         }
@@ -102,6 +110,40 @@ int main(int argc, char** argv) {
     if (selected.empty()) {
         std::fprintf(stderr, "no scenario matches filter '%s'\n", filter.c_str());
         return 1;
+    }
+
+    if (campaign) {
+        // One shared worker pool over the whole selection: points from
+        // different scenarios interleave across workers, and the merge is
+        // registry order across scenarios / grid order within.
+        CampaignOptions campaignOptions;
+        campaignOptions.jobs = options.jobs;
+        campaignOptions.seedOverride = options.seedOverride;
+        std::vector<ScenarioDef> defs;
+        for (const ScenarioDef* def : selected) defs.push_back(*def);
+        const CampaignResult result = runCampaign(defs, campaignOptions);
+        if (!result.ok) {
+            std::fprintf(stderr, "campaign failed: %s\n", result.error.c_str());
+            return 1;
+        }
+        for (const CampaignScenario& s : result.scenarios) {
+            if (json) {
+                const std::string lines = s.canonicalLines();
+                std::fwrite(lines.data(), 1, lines.size(), stdout);
+                continue;
+            }
+            bench::printHeader(s.def.title);
+            SweepResult view;
+            view.def = &s.def;
+            view.records = s.records;
+            view.ok = true;
+            if (s.def.present) {
+                s.def.present(view);
+            } else {
+                printDefaultTable(view);
+            }
+        }
+        return 0;
     }
 
     for (const ScenarioDef* def : selected) {

@@ -1,17 +1,35 @@
 // Sweep-runner scaling harness (own main, not a registry scenario).
 //
-// Runs the sweep_smoke scenario over an 8-seed list serially and at
-// --jobs 8, verifies the merged JSON is byte-identical, and emits ONE line
-// of JSON (BENCH_sweep.json) recording wall-clock for both plus the
-// speedup. The speedup is bounded by the machine: `cores` is recorded so a
-// 1-core container's ~1.0x is not mistaken for a runner regression — on an
-// 8-core host the 8 independent simulations shard perfectly.
+// Two rows of JSON (BENCH_sweep.json):
+//
+//  1. Within-scenario sharding: the sweep_smoke grid over an 8-seed list
+//     serially and at --jobs 8, merged JSON verified byte-identical.
+//  2. Cross-scenario sharding: a Campaign over sweep_smoke + sec72_hops —
+//     one worker pool executing points from BOTH scenarios back-to-back —
+//     serial vs --jobs 8, canonical output verified byte-identical.
+//
+// The speedups are bounded by the machine: `cores` is recorded so a 1-core
+// container's ~1.0x is not mistaken for a runner regression — on an 8-core
+// host the independent simulations shard perfectly, and the campaign row
+// additionally shows the cross-scenario queue keeping the pool busy where
+// per-scenario pools would drain one grid at a time.
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 
 #include "bench/driver.hpp"
+#include "tcplp/scenario/campaign.hpp"
+
+namespace {
+
+double msSince(const std::chrono::steady_clock::time_point& t0) {
+    const auto t1 = std::chrono::steady_clock::now();
+    return double(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+           1e6;
+}
+
+}  // namespace
 
 int main() {
     using namespace tcplp::scenario;
@@ -20,7 +38,9 @@ int main() {
         std::fprintf(stderr, "sweep_smoke scenario not linked in\n");
         return 1;
     }
+    const long cores = sysconf(_SC_NPROCESSORS_ONLN);
 
+    // --- Row 1: within-scenario sharding (the PR 3 runner) ----------------
     // 8 seeds on the 2-hop uplink cell: one run point per seed.
     ScenarioDef scaled = *def;
     scaled.axes = {{"hops", {2}}, {"uplink", {1}}};
@@ -29,10 +49,7 @@ int main() {
     const auto timeRun = [&scaled](int jobs, SweepResult& out) {
         const auto t0 = std::chrono::steady_clock::now();
         out = runSweep(scaled, SweepOptions{jobs, {}});
-        const auto t1 = std::chrono::steady_clock::now();
-        return double(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                          .count()) /
-               1e6;
+        return msSince(t0);
     };
 
     SweepResult serial, parallel;
@@ -43,17 +60,49 @@ int main() {
                      parallel.error.c_str());
         return 1;
     }
-    const bool identical = serial.jsonLines() == parallel.jsonLines();
-    if (!identical) {
+    if (serial.jsonLines() != parallel.jsonLines()) {
         std::fprintf(stderr, "determinism violated: --jobs 8 output differs from serial\n");
         return 1;
     }
-
-    long cores = sysconf(_SC_NPROCESSORS_ONLN);
     std::printf("{\"bench\":\"sweep\",\"scenario\":\"sweep_smoke\",\"points\":%zu,"
                 "\"jobs\":8,\"cores\":%ld,\"serial_ms\":%.1f,\"parallel_ms\":%.1f,"
                 "\"speedup\":%.2f,\"byte_identical\":true}\n",
                 serial.records.size(), cores, serialMs, parallelMs,
                 serialMs / parallelMs);
+
+    // --- Row 2: cross-scenario campaign sharding --------------------------
+    std::vector<ScenarioDef> defs;
+    defs.push_back(scaled);
+    if (const ScenarioDef* hops = Registry::instance().find("sec72_hops"))
+        defs.push_back(*hops);
+
+    const auto timeCampaign = [&defs](int jobs, CampaignResult& out) {
+        CampaignOptions options;
+        options.jobs = jobs;
+        const auto t0 = std::chrono::steady_clock::now();
+        out = runCampaign(defs, options);
+        return msSince(t0);
+    };
+
+    CampaignResult campSerial, campParallel;
+    const double campSerialMs = timeCampaign(1, campSerial);
+    const double campParallelMs = timeCampaign(8, campParallel);
+    if (!campSerial.ok || !campParallel.ok) {
+        std::fprintf(stderr, "campaign failed: %s%s\n", campSerial.error.c_str(),
+                     campParallel.error.c_str());
+        return 1;
+    }
+    if (campSerial.canonicalLines() != campParallel.canonicalLines()) {
+        std::fprintf(stderr,
+                     "determinism violated: campaign --jobs 8 differs from serial\n");
+        return 1;
+    }
+    std::size_t points = 0;
+    for (const CampaignScenario& s : campSerial.scenarios) points += s.records.size();
+    std::printf("{\"bench\":\"campaign\",\"scenarios\":%zu,\"points\":%zu,"
+                "\"jobs\":8,\"cores\":%ld,\"serial_ms\":%.1f,\"parallel_ms\":%.1f,"
+                "\"speedup\":%.2f,\"byte_identical\":true}\n",
+                campSerial.scenarios.size(), points, cores, campSerialMs, campParallelMs,
+                campSerialMs / campParallelMs);
     return 0;
 }

@@ -1,0 +1,193 @@
+// tcplp_campaign: the cross-scenario campaign orchestrator CLI.
+//
+// Expands every linked scenario's axis grid x seeds into one flat run-point
+// list, shards it across a single pool of forked workers, and emits one
+// canonical JSON object per point (timing fields stripped — byte-identical
+// for any --jobs N). Usage:
+//
+//   tcplp_campaign [--list] [--filter SUBSTR] [--subset golden] [--jobs N]
+//                  [--out DIR] [--resume] [--golden DIR] [--check]
+//                  [--seeds a,b,c] [--quiet]
+//
+//   --filter    run only scenarios whose name contains SUBSTR
+//   --subset    'golden': the curated fast corpus subset (scenario::goldenSubset)
+//   --jobs N    worker processes across the whole campaign (default 1, or
+//               $TCPLP_BENCH_JOBS); output is byte-identical to N=1
+//   --out DIR   write per-scenario artifacts + a resume manifest to DIR
+//   --resume    skip points already recorded in DIR's manifest
+//   --golden D  write the golden corpus to D — or, with --check, diff
+//               against it instead (exit 1 on any non-timing drift)
+//   --check     verify mode: re-run and diff against --golden DIR
+//   --seeds     override every scenario's seed list
+//   --quiet     suppress per-scenario progress on stderr
+//
+// CI runs `tcplp_campaign --subset golden --golden golden --check` as the
+// cross-refactor determinism oracle; see docs/SCENARIOS.md.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tcplp/scenario/campaign.hpp"
+
+namespace {
+
+bool parseSeedList(const char* text, std::vector<std::uint64_t>& out) {
+    const char* p = text;
+    while (*p) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(p, &end, 10);
+        if (end == p) return false;
+        out.push_back(v);
+        p = *end == ',' ? end + 1 : end;
+        if (*end != '\0' && *end != ',') return false;
+    }
+    return !out.empty();
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--list] [--filter SUBSTR] [--subset golden] [--jobs N]\n"
+                 "          [--out DIR] [--resume] [--golden DIR] [--check]\n"
+                 "          [--seeds a,b,c] [--quiet]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace tcplp::scenario;
+
+    bool list = false, check = false, quiet = false;
+    std::string filter, subset, goldenDir;
+    CampaignOptions options;
+    options.progress = true;
+    if (const char* env = std::getenv("TCPLP_BENCH_JOBS")) options.jobs = std::atoi(env);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto valueOf = [&](const char* name) -> const char* {
+            const std::string prefix = std::string(name) + "=";
+            if (arg.rfind(prefix, 0) == 0) return argv[i] + prefix.size();
+            if (arg == name && i + 1 < argc) return argv[++i];
+            return nullptr;
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (const char* v = valueOf("--filter")) {
+            filter = v;
+        } else if (const char* v = valueOf("--subset")) {
+            subset = v;
+        } else if (const char* v = valueOf("--jobs")) {
+            options.jobs = std::atoi(v);
+        } else if (const char* v = valueOf("--out")) {
+            options.outDir = v;
+        } else if (const char* v = valueOf("--golden")) {
+            goldenDir = v;
+        } else if (const char* v = valueOf("--seeds")) {
+            options.seedOverride.clear();
+            if (!parseSeedList(v, options.seedOverride)) {
+                std::fprintf(stderr, "bad --seeds list: %s\n", v);
+                return 2;
+            }
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    options.progress = !quiet;
+    if (check && goldenDir.empty()) {
+        std::fprintf(stderr, "--check requires --golden DIR (the corpus to diff)\n");
+        return 2;
+    }
+    if (options.resume && options.outDir.empty()) {
+        std::fprintf(stderr, "--resume requires --out DIR (where the manifest lives)\n");
+        return 2;
+    }
+    if (!subset.empty() && subset != "golden") {
+        std::fprintf(stderr, "unknown --subset '%s' (only 'golden')\n", subset.c_str());
+        return 2;
+    }
+
+    std::vector<ScenarioDef> defs =
+        subset == "golden" ? goldenSubset() : registryDefs(filter);
+    if (subset == "golden") {
+        // A curated scenario whose driver stopped being linked must fail
+        // loudly — otherwise the corpus check silently shrinks and the
+        // "oracle" goes green while checking less than it claims.
+        for (const std::string& name : goldenSubsetNames()) {
+            bool found = false;
+            for (const ScenarioDef& def : defs) found |= (def.name == name);
+            if (!found) {
+                std::fprintf(stderr,
+                             "golden subset scenario '%s' is not registered in this "
+                             "binary — corpus check would be incomplete\n",
+                             name.c_str());
+                return 1;
+            }
+        }
+    }
+    if (subset == "golden" && !filter.empty()) {
+        std::erase_if(defs, [&filter](const ScenarioDef& d) {
+            return d.name.find(filter) == std::string::npos;
+        });
+    }
+    if (list) {
+        for (const ScenarioDef& def : defs) {
+            std::size_t points = def.seeds.size();
+            for (const Axis& a : def.axes) points *= a.values.size();
+            std::printf("%-24s %4zu points  %s\n", def.name.c_str(), points,
+                        def.title.c_str());
+        }
+        return 0;
+    }
+    if (defs.empty()) {
+        std::fprintf(stderr, "no scenario matches filter '%s'\n", filter.c_str());
+        return 1;
+    }
+
+    const CampaignResult result = runCampaign(defs, options);
+    if (!result.ok) {
+        std::fprintf(stderr, "campaign failed: %s\n", result.error.c_str());
+        for (const ShardFailure& failure : result.failures)
+            std::fprintf(stderr, "  %s\n", failure.message().c_str());
+        return 1;
+    }
+    if (!quiet) {
+        std::fprintf(stderr, "[campaign] %zu points run, %zu resumed, %zu scenarios\n",
+                     result.pointsRun, result.pointsResumed, result.scenarios.size());
+    }
+
+    if (!goldenDir.empty() && check) {
+        const std::vector<GoldenDiff> diffs = checkGoldenCorpus(result, goldenDir);
+        if (diffs.empty()) {
+            std::fprintf(stderr, "[campaign] golden check OK: %zu scenarios match %s\n",
+                         result.scenarios.size(), goldenDir.c_str());
+            return 0;
+        }
+        for (const GoldenDiff& diff : diffs)
+            std::fprintf(stderr, "[campaign] GOLDEN DIFF in %s: %s\n",
+                         diff.scenario.c_str(), diff.detail.c_str());
+        return 1;
+    }
+    if (!goldenDir.empty()) {
+        std::string error;
+        if (!writeGoldenCorpus(result, goldenDir, error)) {
+            std::fprintf(stderr, "campaign failed: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[campaign] golden corpus written: %zu scenarios -> %s\n",
+                     result.scenarios.size(), goldenDir.c_str());
+    }
+
+    const std::string lines = result.canonicalLines();
+    std::fwrite(lines.data(), 1, lines.size(), stdout);
+    return 0;
+}

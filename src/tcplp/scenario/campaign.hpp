@@ -1,0 +1,111 @@
+// Cross-scenario campaign orchestrator + golden-run regression corpus.
+//
+// runSweep (PR 3) parallelizes *within* one scenario; a Campaign flattens
+// EVERY selected scenario's axis grid x seeds into one global run-point
+// list and shards that across a single pool of forked workers — a worker
+// executes points from different scenarios back-to-back, so a registry full
+// of small grids keeps all cores busy instead of draining one scenario at a
+// time. The merge is deterministic (registry order across scenarios, grid
+// order within), so campaign output is byte-identical for any --jobs N.
+//
+// Canonical output: campaign artifacts render rows through
+// toCanonicalJsonLine — the timing fields (wall_ms, backend, *_per_sec,
+// ...; see metrics.hpp) are stripped, leaving exactly the fields that are
+// deterministic functions of (spec, seed). This is what makes the output a
+// cross-refactor determinism oracle:
+//
+//  * --golden DIR writes one canonical JSON-lines artifact per scenario
+//    (every MetricRow, including each point's rng_digest).
+//  * --check re-runs the campaign and diffs against the corpus; any
+//    non-timing drift — a changed goodput, a shifted RNG stream, a
+//    reordered merge — fails loudly with the first diverging line.
+//  * The checked-in golden/ corpus pins a curated fast subset
+//    (goldenSubset()), which CI re-checks on every push.
+//
+// Resumability: with an output directory configured, every completed point
+// is appended to MANIFEST (the exact row-frame encoding) as it lands.
+// Resuming skips completed points and merges their recorded rows — the
+// final output is byte-identical to an uninterrupted run.
+#pragma once
+
+#include "tcplp/scenario/sweep.hpp"
+
+namespace tcplp::scenario {
+
+struct CampaignOptions {
+    int jobs = 1;
+    /// Directory for artifacts + the resume manifest ("" = keep in memory).
+    std::string outDir{};
+    bool resume = false;
+    /// Non-empty: replaces every scenario's seed list.
+    std::vector<std::uint64_t> seedOverride{};
+    /// Per-scenario progress lines on stderr.
+    bool progress = false;
+};
+
+struct CampaignScenario {
+    ScenarioDef def;                 // the def the campaign ran (incl. trims)
+    std::vector<RunRecord> records;  // grid order
+    /// One canonical JSON object per record, timing fields stripped,
+    /// trailing newline each — the artifact/golden rendering.
+    std::string canonicalLines() const;
+};
+
+struct CampaignResult {
+    bool ok = false;
+    std::string error;
+    std::vector<ShardFailure> failures;   // dead workers, attributed to points
+    std::vector<CampaignScenario> scenarios;  // selection order
+    std::size_t pointsRun = 0;
+    std::size_t pointsResumed = 0;  // skipped via the manifest
+
+    /// All scenarios' canonicalLines() concatenated in selection order —
+    /// the campaign's stdout rendering.
+    std::string canonicalLines() const;
+};
+
+/// Runs every def's full grid through one shared worker pool. Defs are
+/// copied in (the golden subset trims registered defs); selection order is
+/// preserved in the result.
+CampaignResult runCampaign(const std::vector<ScenarioDef>& defs,
+                           const CampaignOptions& options = {});
+
+/// Registered defs whose name contains `filter` (all, when empty), in
+/// registry order.
+std::vector<ScenarioDef> registryDefs(const std::string& filter = {});
+
+/// The curated golden-corpus subset: sweep_smoke, sec72_hops,
+/// office_multiflow, grid200_dense, and fig10_table8_day trimmed from 24 to
+/// 1 simulated hour — fast enough for CI, wide enough to cover the bulk
+/// line path, the office tree, the dense grid, the sweep machinery, and the
+/// anemometer application study. Regenerate golden/ with this exact subset
+/// (see docs/SCENARIOS.md). Curated names missing from the registry are
+/// skipped here (a test binary links no drivers); the campaign CLI compares
+/// against goldenSubsetNames() and fails loudly, so a dropped driver cannot
+/// silently shrink the corpus check.
+std::vector<ScenarioDef> goldenSubset();
+
+/// Every curated scenario name, whether or not it is linked/registered.
+std::vector<std::string> goldenSubsetNames();
+
+// --- Golden corpus ----------------------------------------------------------
+
+/// DIR/<scenario>.jsonl
+std::string goldenArtifactPath(const std::string& dir, const std::string& scenario);
+
+/// Writes one canonical artifact per scenario into `dir` (created if
+/// needed). Returns false with `error` set on I/O failure.
+bool writeGoldenCorpus(const CampaignResult& result, const std::string& dir,
+                       std::string& error);
+
+struct GoldenDiff {
+    std::string scenario;
+    std::string detail;  // first diverging line (expected vs got), or a
+                         // missing/short-artifact explanation
+};
+
+/// Diffs the result against the corpus in `dir`; empty = clean.
+std::vector<GoldenDiff> checkGoldenCorpus(const CampaignResult& result,
+                                          const std::string& dir);
+
+}  // namespace tcplp::scenario

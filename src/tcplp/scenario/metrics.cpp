@@ -1,8 +1,12 @@
 #include "tcplp/scenario/metrics.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+
+#include "tcplp/common/assert.hpp"
 
 namespace tcplp::scenario {
 
@@ -132,6 +136,175 @@ bool writeJsonLines(const std::string& path, const std::vector<MetricRow>& rows)
     }
     std::fclose(f);
     return true;
+}
+
+// --- Timing-field canonicalization ----------------------------------------
+
+bool isTimingField(const std::string& key) {
+    static const char* kExact[] = {"wall_ms",      "backend",
+                                   "cores",        "speedup",
+                                   "auto_speedup", "wheel_vs_heap_speedup"};
+    for (const char* name : kExact) {
+        if (key == name) return true;
+    }
+    static const char* kSuffixes[] = {"_per_sec", "_ns_per_event", "_wall_ms"};
+    for (const char* suffix : kSuffixes) {
+        const std::size_t n = std::char_traits<char>::length(suffix);
+        if (key.size() > n && key.compare(key.size() - n, n, suffix) == 0) return true;
+    }
+    return false;
+}
+
+MetricRow stripTimingFields(const MetricRow& row) {
+    MetricRow out;
+    for (const auto& [key, value] : row.fields()) {
+        if (!isTimingField(key)) out.set(key, value);
+    }
+    return out;
+}
+
+std::string toCanonicalJsonLine(const MetricRow& row) {
+    return toJsonLine(stripTimingFields(row));
+}
+
+// --- Row frame codec --------------------------------------------------------
+
+namespace {
+
+void appendFrameField(std::string& out, const std::string& key, const MetricValue& v) {
+    TCPLP_ASSERT(key.find(' ') == std::string::npos &&
+                 key.find('\n') == std::string::npos);
+    switch (v.kind()) {
+        case MetricValue::Kind::kInt:
+            out += "i " + key + ' ' + std::to_string(v.asInt());
+            break;
+        case MetricValue::Kind::kUint:
+            out += "u " + key + ' ' + std::to_string(v.asUint());
+            break;
+        case MetricValue::Kind::kDouble: {
+            // The frame encoding is distinct from the JSON rendering:
+            // non-finite values must survive the round trip exactly (JSON
+            // folds them all to null), or sharded presenter arithmetic would
+            // diverge from the serial run.
+            const double d = v.asDouble();
+            out += "d " + key + ' ';
+            if (std::isnan(d)) {
+                out += "nan";
+            } else if (std::isinf(d)) {
+                out += d > 0 ? "inf" : "-inf";
+            } else {
+                out += formatDouble(d);
+            }
+            break;
+        }
+        case MetricValue::Kind::kBool:
+            out += std::string("b ") + key + ' ' + (v.asBool() ? "1" : "0");
+            break;
+        case MetricValue::Kind::kString:
+            TCPLP_ASSERT(v.asString().find('\n') == std::string::npos);
+            out += "s " + key + ' ' + v.asString();
+            break;
+    }
+    out += '\n';
+}
+
+bool parseFrameValue(char kind, const std::string& text, MetricValue& out) {
+    switch (kind) {
+        case 'i': {
+            std::int64_t v = 0;
+            const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+            if (res.ec != std::errc()) return false;
+            out = MetricValue(v);
+            return true;
+        }
+        case 'u': {
+            std::uint64_t v = 0;
+            const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+            if (res.ec != std::errc()) return false;
+            out = MetricValue(v);
+            return true;
+        }
+        case 'd': {
+            if (text == "nan") {
+                out = MetricValue(std::nan(""));
+                return true;
+            }
+            if (text == "inf" || text == "-inf") {
+                const double inf = std::numeric_limits<double>::infinity();
+                out = MetricValue(text[0] == '-' ? -inf : inf);
+                return true;
+            }
+            double v = 0.0;
+            const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+            if (res.ec != std::errc()) return false;
+            out = MetricValue(v);
+            return true;
+        }
+        case 'b':
+            out = MetricValue(text == "1");
+            return true;
+        case 's':
+            out = MetricValue(text);
+            return true;
+        default: return false;
+    }
+}
+
+}  // namespace
+
+std::string encodeRowFrame(std::size_t index, const MetricRow& row) {
+    std::string out = "ROW " + std::to_string(index) + ' ' +
+                      std::to_string(row.fields().size()) + '\n';
+    for (const auto& [key, value] : row.fields()) appendFrameField(out, key, value);
+    return out;
+}
+
+bool drainRowFrames(std::string& buffer,
+                    std::vector<std::pair<std::size_t, MetricRow>>& rows,
+                    const std::function<void(std::size_t)>& onBegin,
+                    const std::function<void(std::size_t)>& onRowParsed) {
+    for (;;) {
+        // A frame is (1 + nfields) lines; wait until all of them arrived.
+        const std::size_t headerEnd = buffer.find('\n');
+        if (headerEnd == std::string::npos) return true;
+        const std::string header = buffer.substr(0, headerEnd);
+        if (header.rfind("BEGIN ", 0) == 0) {
+            std::size_t index = 0;
+            if (std::sscanf(header.c_str(), "BEGIN %zu", &index) != 1) return false;
+            if (onBegin) onBegin(index);
+            buffer.erase(0, headerEnd + 1);
+            continue;
+        }
+        if (header.rfind("ROW ", 0) != 0) return false;
+        std::size_t index = 0, nfields = 0;
+        if (std::sscanf(header.c_str(), "ROW %zu %zu", &index, &nfields) != 2)
+            return false;
+
+        std::size_t pos = headerEnd + 1;
+        std::vector<std::pair<std::size_t, std::size_t>> lines;  // (start, end)
+        for (std::size_t f = 0; f < nfields; ++f) {
+            const std::size_t end = buffer.find('\n', pos);
+            if (end == std::string::npos) return true;  // incomplete: wait
+            lines.emplace_back(pos, end);
+            pos = end + 1;
+        }
+
+        MetricRow row;
+        for (const auto& [start, end] : lines) {
+            const std::string line = buffer.substr(start, end - start);
+            if (line.size() < 3 || line[1] != ' ') return false;
+            const char kind = line[0];
+            const std::size_t keyEnd = line.find(' ', 2);
+            if (keyEnd == std::string::npos) return false;
+            const std::string key = line.substr(2, keyEnd - 2);
+            MetricValue value;
+            if (!parseFrameValue(kind, line.substr(keyEnd + 1), value)) return false;
+            row.set(key, value);
+        }
+        rows.emplace_back(index, std::move(row));
+        buffer.erase(0, pos);
+        if (onRowParsed) onRowParsed(index);
+    }
 }
 
 }  // namespace tcplp::scenario

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -85,5 +86,61 @@ std::string toJsonLine(const MetricRow& row);
 
 /// Writes `rows` as JSON lines to `path` (one object per line).
 bool writeJsonLines(const std::string& path, const std::vector<MetricRow>& rows);
+
+// --- Timing-field canonicalization ----------------------------------------
+//
+// A handful of metric keys record *wall-clock* observations (worker-process
+// timings, throughput rates) or pure perf-knob labels. They are the only
+// fields of a row that legitimately differ between two runs of the same
+// (spec, seed), so every determinism consumer — campaign output, the golden
+// regression corpus, the jobs-N-vs-serial identity checks — strips them
+// before comparing or persisting. The list is a fixed convention (documented
+// in docs/SCENARIOS.md):
+//
+//   exact:  wall_ms, backend, cores, speedup, auto_speedup,
+//           wheel_vs_heap_speedup
+//   suffix: *_per_sec, *_ns_per_event, *_wall_ms
+//
+// Simulated-time metrics (rtt_median_ms, ...) are NOT timing fields: they
+// are deterministic outputs of the simulation and must be pinned.
+
+/// True if `key` names a wall-clock/timing field per the list above.
+bool isTimingField(const std::string& key);
+
+/// Copy of `row` with every timing field removed (insertion order kept).
+MetricRow stripTimingFields(const MetricRow& row);
+
+/// toJsonLine(stripTimingFields(row)) — the canonical rendering used by the
+/// campaign artifacts and the golden corpus.
+std::string toCanonicalJsonLine(const MetricRow& row);
+
+// --- Row frame codec --------------------------------------------------------
+//
+// The exact line-based text encoding a MetricRow uses to cross a sweep
+// worker's pipe, and (unchanged) the campaign manifest's completed-point
+// record:
+//
+//   ROW <index> <nfields>\n
+//   <kind> <key> <value>\n        (kind in {i,u,d,b,s}; value to end of line)
+//
+// Doubles are encoded shortest-round-trip and non-finite values survive
+// exactly (JSON folds them to null), so a decoded row compares equal to the
+// in-process original, bit for bit.
+
+/// Encodes one row as a complete frame (trailing newline included).
+std::string encodeRowFrame(std::size_t index, const MetricRow& row);
+
+/// Parses complete frames out of `buffer` (consuming them) into `rows`;
+/// leaves any trailing incomplete frame in place. Lines of the form
+/// "BEGIN <index>" are reported through `onBegin` (when non-null) and
+/// consumed — the worker protocol writes one before each run point so the
+/// parent can name the in-flight point of a crashed worker. `onRowParsed`
+/// fires as each complete ROW frame lands, IN STREAM ORDER relative to
+/// onBegin (one drain call may contain several BEGIN/ROW pairs plus a
+/// trailing unanswered BEGIN). Returns false on a malformed frame.
+bool drainRowFrames(std::string& buffer,
+                    std::vector<std::pair<std::size_t, MetricRow>>& rows,
+                    const std::function<void(std::size_t)>& onBegin = nullptr,
+                    const std::function<void(std::size_t)>& onRowParsed = nullptr);
 
 }  // namespace tcplp::scenario

@@ -1,0 +1,301 @@
+#include "tcplp/scenario/shard.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+namespace tcplp::scenario {
+
+namespace {
+
+constexpr std::size_t kStderrTailBytes = 4096;
+
+void writeAll(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0) _exit(3);  // parent gone; nothing sensible left to do
+        off += std::size_t(n);
+    }
+}
+
+void keepTail(std::string& tail, const char* data, std::size_t n) {
+    tail.append(data, n);
+    if (tail.size() > kStderrTailBytes)
+        tail.erase(0, tail.size() - kStderrTailBytes);
+}
+
+}  // namespace
+
+std::string ShardFailure::message() const {
+    std::string out = "worker " + std::to_string(worker);
+    if (WIFSIGNALED(waitStatus)) {
+        const int sig = WTERMSIG(waitStatus);
+        out += " killed by signal " + std::to_string(sig);
+        if (const char* name = strsignal(sig)) out += std::string(" (") + name + ")";
+    } else if (WIFEXITED(waitStatus)) {
+        out += " exited with status " + std::to_string(WEXITSTATUS(waitStatus));
+    } else {
+        out += " died (status " + std::to_string(waitStatus) + ")";
+    }
+    if (taskKnown) {
+        out += " while running " + taskDescription;
+    } else {
+        out += " between run points";
+    }
+    if (!stderrTail.empty()) {
+        std::string tail = stderrTail;
+        while (!tail.empty() && tail.back() == '\n') tail.pop_back();
+        out += "; stderr tail: " + tail;
+    }
+    return out;
+}
+
+ShardOutcome runShardedTasks(std::size_t taskCount,
+                             const std::function<MetricRow(std::size_t)>& run,
+                             const std::function<std::string(std::size_t)>& describe,
+                             const ShardOptions& options) {
+    ShardOutcome outcome;
+    outcome.rows.resize(taskCount);
+    outcome.produced.assign(taskCount, false);
+
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < taskCount; ++i) {
+        if (i < options.skip.size() && options.skip[i]) continue;
+        pending.push_back(i);
+    }
+
+    int jobs = options.jobs <= 1 ? 1 : options.jobs;
+    jobs = int(std::min<std::size_t>(std::size_t(jobs),
+                                     std::max<std::size_t>(pending.size(), 1)));
+
+    if (jobs <= 1) {
+        for (const std::size_t i : pending) {
+            try {
+                outcome.rows[i] = run(i);
+            } catch (const std::exception& e) {
+                outcome.error = "task failed in-process while running " +
+                                (describe ? describe(i) : std::to_string(i)) + ": " +
+                                e.what();
+                return outcome;
+            } catch (...) {
+                outcome.error = "task failed in-process while running " +
+                                (describe ? describe(i) : std::to_string(i)) +
+                                ": non-standard exception";
+                return outcome;
+            }
+            outcome.produced[i] = true;
+            if (options.onRow) options.onRow(i, outcome.rows[i]);
+        }
+        outcome.ok = true;
+        return outcome;
+    }
+
+    struct Worker {
+        pid_t pid = -1;
+        int rowFd = -1;   // row/control frames
+        int errFd = -1;   // captured stderr
+        std::string buffer;
+        std::string stderrTail;
+        bool rowEof = false;
+        bool errEof = false;
+        bool taskInFlight = false;
+        std::size_t inFlight = 0;
+    };
+    std::vector<Worker> workers(static_cast<std::size_t>(jobs));
+    // Error-path teardown: kill and reap every spawned worker and close its
+    // pipes, so a pipe()/fork()/poll() failure never leaks children stuck in
+    // write() against a full, never-drained pipe.
+    const auto abandonWorkers = [&workers] {
+        for (Worker& w : workers) {
+            if (w.rowFd >= 0 && !w.rowEof) ::close(w.rowFd);
+            if (w.errFd >= 0 && !w.errEof) ::close(w.errFd);
+            w.rowEof = w.errEof = true;
+            if (w.pid > 0) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, nullptr, 0);
+                w.pid = -1;
+            }
+        }
+    };
+
+    for (int w = 0; w < jobs; ++w) {
+        int rowFds[2];
+        int errFds[2];
+        if (::pipe(rowFds) != 0) {
+            outcome.error = "pipe() failed";
+            abandonWorkers();
+            return outcome;
+        }
+        if (::pipe(errFds) != 0) {
+            ::close(rowFds[0]);
+            ::close(rowFds[1]);
+            outcome.error = "pipe() failed";
+            abandonWorkers();
+            return outcome;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(rowFds[0]);
+            ::close(rowFds[1]);
+            ::close(errFds[0]);
+            ::close(errFds[1]);
+            outcome.error = "fork() failed";
+            abandonWorkers();
+            return outcome;
+        }
+        if (pid == 0) {
+            // Worker w: run every pending task with position % jobs == w,
+            // announcing each before starting and streaming its row back,
+            // then _exit without running atexit/static teardown (the parent
+            // owns stdio). stderr is redirected into the capture pipe so a
+            // dying task's last words reach the parent's diagnostic.
+            ::close(rowFds[0]);
+            ::close(errFds[0]);
+            for (Worker& other : workers) {
+                if (other.rowFd >= 0) ::close(other.rowFd);
+                if (other.errFd >= 0) ::close(other.errFd);
+            }
+            ::dup2(errFds[1], STDERR_FILENO);
+            ::close(errFds[1]);
+            int status = 0;
+            try {
+                for (std::size_t p = std::size_t(w); p < pending.size();
+                     p += std::size_t(jobs)) {
+                    const std::size_t task = pending[p];
+                    writeAll(rowFds[1], "BEGIN " + std::to_string(task) + '\n');
+                    const MetricRow row = run(task);
+                    writeAll(rowFds[1], encodeRowFrame(task, row));
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "uncaught exception: %s\n", e.what());
+                status = 2;
+            } catch (...) {
+                std::fprintf(stderr, "uncaught non-standard exception\n");
+                status = 2;
+            }
+            ::close(rowFds[1]);
+            ::fflush(stderr);
+            _exit(status);
+        }
+        ::close(rowFds[1]);
+        ::close(errFds[1]);
+        workers[std::size_t(w)].pid = pid;
+        workers[std::size_t(w)].rowFd = rowFds[0];
+        workers[std::size_t(w)].errFd = errFds[0];
+    }
+
+    // Drain all worker pipes concurrently (a worker must never block on a
+    // full pipe because the parent is busy with another one).
+    std::vector<std::pair<std::size_t, MetricRow>> rows;
+    bool malformed = false;
+    for (;;) {
+        std::vector<pollfd> pfds;
+        for (const Worker& w : workers) {
+            if (!w.rowEof) pfds.push_back({w.rowFd, POLLIN, 0});
+            if (!w.errEof) pfds.push_back({w.errFd, POLLIN, 0});
+        }
+        if (pfds.empty()) break;
+        if (::poll(pfds.data(), nfds_t(pfds.size()), -1) < 0) {
+            if (errno == EINTR) continue;
+            outcome.error = "poll() failed";
+            abandonWorkers();
+            return outcome;
+        }
+        for (const pollfd& p : pfds) {
+            if (!(p.revents & (POLLIN | POLLHUP | POLLERR))) continue;
+            Worker* w = nullptr;
+            bool isRowFd = false;
+            for (Worker& cand : workers) {
+                if (cand.rowFd == p.fd && !cand.rowEof) {
+                    w = &cand;
+                    isRowFd = true;
+                } else if (cand.errFd == p.fd && !cand.errEof) {
+                    w = &cand;
+                }
+            }
+            if (w == nullptr) continue;
+            char buf[4096];
+            const ssize_t n = ::read(p.fd, buf, sizeof buf);
+            if (n < 0 && errno == EINTR) continue;
+            if (n > 0) {
+                if (isRowFd) {
+                    w->buffer.append(buf, std::size_t(n));
+                    const std::size_t before = rows.size();
+                    const auto onBegin = [w](std::size_t task) {
+                        w->taskInFlight = true;
+                        w->inFlight = task;
+                    };
+                    // In-stream: one read may hold several BEGIN/ROW pairs
+                    // plus a trailing unanswered BEGIN — only a ROW arriving
+                    // AFTER a BEGIN clears the in-flight marker.
+                    const auto onRowParsed = [w](std::size_t) {
+                        w->taskInFlight = false;
+                    };
+                    if (!drainRowFrames(w->buffer, rows, onBegin, onRowParsed))
+                        malformed = true;
+                    for (std::size_t r = before; r < rows.size(); ++r) {
+                        if (options.onRow) options.onRow(rows[r].first, rows[r].second);
+                    }
+                } else {
+                    keepTail(w->stderrTail, buf, std::size_t(n));
+                }
+            } else {
+                ::close(p.fd);
+                (isRowFd ? w->rowEof : w->errEof) = true;
+            }
+        }
+    }
+
+    for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+        Worker& w = workers[wi];
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) continue;
+        ShardFailure failure;
+        failure.worker = int(wi);
+        failure.waitStatus = status;
+        failure.taskKnown = w.taskInFlight;
+        if (failure.taskKnown) {
+            failure.taskIndex = w.inFlight;
+            failure.taskDescription =
+                describe ? describe(w.inFlight) : "task " + std::to_string(w.inFlight);
+        }
+        failure.stderrTail = w.stderrTail;
+        outcome.failures.push_back(std::move(failure));
+    }
+    if (!outcome.failures.empty()) {
+        outcome.error = outcome.failures.front().message();
+        return outcome;
+    }
+    if (malformed) {
+        outcome.error = "malformed row frame on a worker pipe";
+        return outcome;
+    }
+    if (rows.size() != pending.size()) {
+        outcome.error = "sharded run lost rows: got " + std::to_string(rows.size()) +
+                        " of " + std::to_string(pending.size());
+        return outcome;
+    }
+
+    // Deterministic merge: task order, independent of worker interleaving.
+    for (auto& [index, row] : rows) {
+        if (index >= taskCount || outcome.produced[index]) {
+            outcome.error = "duplicate or out-of-range row index";
+            return outcome;
+        }
+        outcome.produced[index] = true;
+        outcome.rows[index] = std::move(row);
+    }
+    outcome.ok = true;
+    return outcome;
+}
+
+}  // namespace tcplp::scenario

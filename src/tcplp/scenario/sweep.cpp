@@ -1,20 +1,9 @@
 #include "tcplp/scenario/sweep.hpp"
 
-#include <poll.h>
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-#include <cstring>
-#include <exception>
-#include <limits>
 
 #include "tcplp/common/assert.hpp"
+#include "tcplp/scenario/shard.hpp"
 #include "tcplp/scenario/workloads.hpp"
 #include "tcplp/sim/rng.hpp"
 
@@ -92,8 +81,6 @@ std::vector<Point> expandPoints(const ScenarioDef& def,
     return points;
 }
 
-namespace {
-
 MetricRow runPointRow(const ScenarioDef& def, const Point& point) {
     ScenarioSpec spec = def.base;
     if (def.bind) def.bind(spec, point);
@@ -108,150 +95,16 @@ MetricRow runPointRow(const ScenarioDef& def, const Point& point) {
     return row;
 }
 
-// --- Worker pipe protocol (line-based text) ------------------------------
-//
-//   ROW <index> <nfields>\n
-//   <kind> <key> <value>\n        (kind in {i,u,d,b,s}; value to end of line)
-//
-// Doubles cross the pipe shortest-round-trip (formatDouble / from_chars),
-// so a reassembled row renders byte-identically to the in-process one.
-
-void appendField(std::string& out, const std::string& key, const MetricValue& v) {
-    TCPLP_ASSERT(key.find(' ') == std::string::npos &&
-                 key.find('\n') == std::string::npos);
-    switch (v.kind()) {
-        case MetricValue::Kind::kInt:
-            out += "i " + key + ' ' + std::to_string(v.asInt());
-            break;
-        case MetricValue::Kind::kUint:
-            out += "u " + key + ' ' + std::to_string(v.asUint());
-            break;
-        case MetricValue::Kind::kDouble: {
-            // Pipe encoding is distinct from the JSON rendering: non-finite
-            // values must survive the round trip exactly (JSON folds them
-            // all to null), or sharded presenter arithmetic would diverge
-            // from the serial run.
-            const double d = v.asDouble();
-            out += "d " + key + ' ';
-            if (std::isnan(d)) {
-                out += "nan";
-            } else if (std::isinf(d)) {
-                out += d > 0 ? "inf" : "-inf";
-            } else {
-                out += formatDouble(d);
-            }
-            break;
-        }
-        case MetricValue::Kind::kBool:
-            out += std::string("b ") + key + ' ' + (v.asBool() ? "1" : "0");
-            break;
-        case MetricValue::Kind::kString:
-            TCPLP_ASSERT(v.asString().find('\n') == std::string::npos);
-            out += "s " + key + ' ' + v.asString();
-            break;
-    }
-    out += '\n';
-}
-
-std::string encodeRow(std::size_t index, const MetricRow& row) {
-    std::string out = "ROW " + std::to_string(index) + ' ' +
-                      std::to_string(row.fields().size()) + '\n';
-    for (const auto& [key, value] : row.fields()) appendField(out, key, value);
+std::string describePoint(const ScenarioDef& def, const Point& point,
+                          std::size_t totalPoints) {
+    std::string out = "scenario '" + def.name + "' point " +
+                      std::to_string(point.index) + "/" + std::to_string(totalPoints) +
+                      " (";
+    for (const auto& [axis, value] : point.values)
+        out += axis + "=" + formatDouble(value) + ", ";
+    out += "seed=" + std::to_string(point.seed) + ")";
     return out;
 }
-
-bool parseValue(char kind, const std::string& text, MetricValue& out) {
-    switch (kind) {
-        case 'i': {
-            std::int64_t v = 0;
-            const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
-            if (res.ec != std::errc()) return false;
-            out = MetricValue(v);
-            return true;
-        }
-        case 'u': {
-            std::uint64_t v = 0;
-            const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
-            if (res.ec != std::errc()) return false;
-            out = MetricValue(v);
-            return true;
-        }
-        case 'd': {
-            if (text == "nan") {
-                out = MetricValue(std::nan(""));
-                return true;
-            }
-            if (text == "inf" || text == "-inf") {
-                const double inf = std::numeric_limits<double>::infinity();
-                out = MetricValue(text[0] == '-' ? -inf : inf);
-                return true;
-            }
-            double v = 0.0;
-            const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
-            if (res.ec != std::errc()) return false;
-            out = MetricValue(v);
-            return true;
-        }
-        case 'b':
-            out = MetricValue(text == "1");
-            return true;
-        case 's':
-            out = MetricValue(text);
-            return true;
-        default: return false;
-    }
-}
-
-/// Parses complete "ROW ..." frames out of `buffer` (consuming them) into
-/// `rows`; returns false on a malformed frame.
-bool drainFrames(std::string& buffer,
-                 std::vector<std::pair<std::size_t, MetricRow>>& rows) {
-    for (;;) {
-        // A frame is (1 + nfields) lines; wait until all of them arrived.
-        const std::size_t headerEnd = buffer.find('\n');
-        if (headerEnd == std::string::npos) return true;
-        const std::string header = buffer.substr(0, headerEnd);
-        if (header.rfind("ROW ", 0) != 0) return false;
-        std::size_t index = 0, nfields = 0;
-        if (std::sscanf(header.c_str(), "ROW %zu %zu", &index, &nfields) != 2)
-            return false;
-
-        std::size_t pos = headerEnd + 1;
-        std::vector<std::pair<std::size_t, std::size_t>> lines;  // (start, end)
-        for (std::size_t f = 0; f < nfields; ++f) {
-            const std::size_t end = buffer.find('\n', pos);
-            if (end == std::string::npos) return true;  // incomplete: wait
-            lines.emplace_back(pos, end);
-            pos = end + 1;
-        }
-
-        MetricRow row;
-        for (const auto& [start, end] : lines) {
-            const std::string line = buffer.substr(start, end - start);
-            if (line.size() < 3 || line[1] != ' ') return false;
-            const char kind = line[0];
-            const std::size_t keyEnd = line.find(' ', 2);
-            if (keyEnd == std::string::npos) return false;
-            const std::string key = line.substr(2, keyEnd - 2);
-            MetricValue value;
-            if (!parseValue(kind, line.substr(keyEnd + 1), value)) return false;
-            row.set(key, value);
-        }
-        rows.emplace_back(index, std::move(row));
-        buffer.erase(0, pos);
-    }
-}
-
-void writeAll(int fd, const std::string& data) {
-    std::size_t off = 0;
-    while (off < data.size()) {
-        const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-        if (n <= 0) _exit(3);  // parent gone; nothing sensible left to do
-        off += std::size_t(n);
-    }
-}
-
-}  // namespace
 
 SweepResult runSweep(const ScenarioDef& def, const SweepOptions& options) {
     SweepResult result;
@@ -260,144 +113,21 @@ SweepResult runSweep(const ScenarioDef& def, const SweepOptions& options) {
         options.seedOverride.empty() ? def.seeds : options.seedOverride;
     const std::vector<Point> points = expandPoints(def, seeds);
 
-    int jobs = options.jobs <= 1 ? 1 : options.jobs;
-    jobs = int(std::min<std::size_t>(std::size_t(jobs), points.size()));
-
-    if (jobs <= 1) {
-        for (const Point& p : points) result.records.push_back({p, runPointRow(def, p)});
-        result.ok = true;
+    ShardOptions shardOptions;
+    shardOptions.jobs = options.jobs;
+    ShardOutcome outcome = runShardedTasks(
+        points.size(), [&](std::size_t i) { return runPointRow(def, points[i]); },
+        [&](std::size_t i) { return describePoint(def, points[i], points.size()); },
+        shardOptions);
+    result.failures = std::move(outcome.failures);
+    if (!outcome.ok) {
+        result.error = outcome.error;
         return result;
     }
 
-    struct Worker {
-        pid_t pid = -1;
-        int fd = -1;
-        std::string buffer;
-        bool eof = false;
-    };
-    std::vector<Worker> workers(static_cast<std::size_t>(jobs));
-    // Error-path teardown: kill and reap every spawned worker and close its
-    // pipe, so a pipe()/fork()/poll() failure never leaks children stuck in
-    // write() against a full, never-drained pipe.
-    const auto abandonWorkers = [&workers] {
-        for (Worker& w : workers) {
-            if (w.fd >= 0 && !w.eof) {
-                ::close(w.fd);
-                w.eof = true;
-            }
-            if (w.pid > 0) {
-                ::kill(w.pid, SIGKILL);
-                ::waitpid(w.pid, nullptr, 0);
-                w.pid = -1;
-            }
-        }
-    };
-    for (int w = 0; w < jobs; ++w) {
-        int fds[2];
-        if (::pipe(fds) != 0) {
-            result.error = "pipe() failed";
-            abandonWorkers();
-            return result;
-        }
-        const pid_t pid = ::fork();
-        if (pid < 0) {
-            ::close(fds[0]);
-            ::close(fds[1]);
-            result.error = "fork() failed";
-            abandonWorkers();
-            return result;
-        }
-        if (pid == 0) {
-            // Worker w: run every point with index % jobs == w, stream rows
-            // back, and _exit without running atexit/static teardown (the
-            // parent owns stdio).
-            ::close(fds[0]);
-            for (Worker& other : workers)
-                if (other.fd >= 0) ::close(other.fd);
-            int status = 0;
-            try {
-                for (std::size_t i = std::size_t(w); i < points.size();
-                     i += std::size_t(jobs)) {
-                    const MetricRow row = runPointRow(def, points[i]);
-                    writeAll(fds[1], encodeRow(i, row));
-                }
-            } catch (const std::exception&) {
-                status = 2;
-            } catch (...) {
-                status = 2;
-            }
-            ::close(fds[1]);
-            _exit(status);
-        }
-        ::close(fds[1]);
-        workers[std::size_t(w)].pid = pid;
-        workers[std::size_t(w)].fd = fds[0];
-    }
-
-    // Drain all worker pipes concurrently (a worker must never block on a
-    // full pipe because the parent is busy with another one).
-    std::vector<std::pair<std::size_t, MetricRow>> rows;
-    bool malformed = false;
-    for (;;) {
-        std::vector<pollfd> pfds;
-        for (const Worker& w : workers) {
-            if (!w.eof) pfds.push_back({w.fd, POLLIN, 0});
-        }
-        if (pfds.empty()) break;
-        if (::poll(pfds.data(), nfds_t(pfds.size()), -1) < 0) {
-            if (errno == EINTR) continue;
-            result.error = "poll() failed";
-            abandonWorkers();
-            return result;
-        }
-        for (const pollfd& p : pfds) {
-            if (!(p.revents & (POLLIN | POLLHUP | POLLERR))) continue;
-            Worker* w = nullptr;
-            for (Worker& cand : workers)
-                if (cand.fd == p.fd) w = &cand;
-            char buf[4096];
-            const ssize_t n = ::read(p.fd, buf, sizeof buf);
-            if (n > 0) {
-                w->buffer.append(buf, std::size_t(n));
-                if (!drainFrames(w->buffer, rows)) malformed = true;
-            } else {
-                w->eof = true;
-                ::close(w->fd);
-            }
-        }
-    }
-
-    bool workerFailed = false;
-    for (Worker& w : workers) {
-        int status = 0;
-        ::waitpid(w.pid, &status, 0);
-        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) workerFailed = true;
-    }
-    if (workerFailed) {
-        result.error = "a sweep worker exited abnormally";
-        return result;
-    }
-    if (malformed) {
-        result.error = "malformed row frame on a worker pipe";
-        return result;
-    }
-    if (rows.size() != points.size()) {
-        result.error = "sweep lost rows: got " + std::to_string(rows.size()) +
-                       " of " + std::to_string(points.size());
-        return result;
-    }
-
-    // Deterministic merge: grid order, independent of worker interleaving.
     result.records.resize(points.size());
-    std::vector<bool> seen(points.size(), false);
-    for (auto& [index, row] : rows) {
-        if (index >= points.size() || seen[index]) {
-            result.error = "duplicate or out-of-range row index";
-            return result;
-        }
-        seen[index] = true;
-        result.records[index] = RunRecord{points[index], std::move(row)};
-    }
+    for (std::size_t i = 0; i < points.size(); ++i)
+        result.records[i] = RunRecord{points[i], std::move(outcome.rows[i])};
     result.ok = true;
     return result;
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "tcplp/scenario/registry.hpp"
+#include "tcplp/scenario/shard.hpp"
 
 namespace tcplp::scenario {
 
@@ -28,6 +29,10 @@ struct SweepResult {
     std::vector<RunRecord> records;  // grid order
     bool ok = false;
     std::string error;
+    /// Every worker death, attributed to the run point it was executing
+    /// (scenario name + grid point + stderr tail); error holds the first
+    /// failure's rendered message.
+    std::vector<ShardFailure> failures;
 
     /// Records whose point matches every (axis, value) pair.
     std::vector<const RunRecord*> select(
@@ -46,6 +51,15 @@ struct SweepResult {
 /// innermost — the loop nesting of the pre-refactor drivers).
 std::vector<Point> expandPoints(const ScenarioDef& def,
                                 const std::vector<std::uint64_t>& seeds);
+
+/// Executes one expanded run point: bind -> measure (or runScenario) ->
+/// standard row prefix (scenario/index/seed/axes) + the measured fields.
+/// Shared by runSweep and the cross-scenario Campaign.
+MetricRow runPointRow(const ScenarioDef& def, const Point& point);
+
+/// "scenario 'name' point 3/8 (hops=2, seed=1)" — used in diagnostics.
+std::string describePoint(const ScenarioDef& def, const Point& point,
+                          std::size_t totalPoints);
 
 SweepResult runSweep(const ScenarioDef& def, const SweepOptions& options = {});
 

@@ -15,6 +15,7 @@
 //     harness::runAnemometer on both sides; equality there proves the spec
 //     binds the exact same options.
 #include <gtest/gtest.h>
+#include <signal.h>
 
 #include "tcplp/app/bulk.hpp"
 #include "tcplp/harness/anemometer.hpp"
@@ -251,6 +252,47 @@ TEST(ScenarioSweep, WorkerFailureSurfacesAsError) {
     const SweepResult parallel = runSweep(def, SweepOptions{4, {}});
     EXPECT_FALSE(parallel.ok);
     EXPECT_FALSE(parallel.error.empty());
+    // The diagnostic names the failing scenario + grid point and carries
+    // the exception text (workers print uncaught what() to the captured
+    // stderr before dying).
+    EXPECT_NE(parallel.error.find("test_failure"), std::string::npos) << parallel.error;
+    EXPECT_NE(parallel.error.find("i=2"), std::string::npos) << parallel.error;
+    EXPECT_NE(parallel.error.find("boom"), std::string::npos) << parallel.error;
+    ASSERT_EQ(parallel.failures.size(), 1u);
+    EXPECT_TRUE(parallel.failures[0].taskKnown);
+    EXPECT_EQ(parallel.failures[0].taskIndex, 2u);
+}
+
+TEST(ScenarioSweep, KilledWorkerIsAttributedToItsRunPoint) {
+    // A worker dying MID-POINT (SIGKILL — no exception, no exit handler:
+    // the OOM-killer shape) must be attributed to the exact scenario and
+    // grid point it was executing, with the stderr it managed to write.
+    ScenarioDef def;
+    def.name = "test_killed";
+    def.axes = {{"i", {0, 1, 2, 3, 4, 5}}};
+    def.seeds = {9};
+    def.measure = [](const ScenarioSpec&, const Point& p) -> MetricRow {
+        if (p.value("i") == 3) {
+            std::fprintf(stderr, "about to die on point three\n");
+            std::fflush(stderr);
+            ::raise(SIGKILL);
+        }
+        MetricRow row;
+        row.set("ok", true);
+        return row;
+    };
+    const SweepResult parallel = runSweep(def, SweepOptions{3, {}});
+    ASSERT_FALSE(parallel.ok);
+    EXPECT_NE(parallel.error.find("signal 9"), std::string::npos) << parallel.error;
+    EXPECT_NE(parallel.error.find("test_killed"), std::string::npos) << parallel.error;
+    EXPECT_NE(parallel.error.find("i=3"), std::string::npos) << parallel.error;
+    EXPECT_NE(parallel.error.find("seed=9"), std::string::npos) << parallel.error;
+    EXPECT_NE(parallel.error.find("about to die on point three"), std::string::npos)
+        << parallel.error;
+    ASSERT_EQ(parallel.failures.size(), 1u);
+    EXPECT_TRUE(parallel.failures[0].taskKnown);
+    EXPECT_EQ(parallel.failures[0].taskIndex, 3u);
+    EXPECT_NE(parallel.failures[0].stderrTail.find("about to die"), std::string::npos);
 }
 
 // --- Path equivalence vs the pre-refactor drivers --------------------------

@@ -1,0 +1,270 @@
+// Randomized property test: HeapScheduler and TimerWheel implement the
+// exact same (when, scheduling-seq) total order.
+//
+// The scripted storm in tests/test_sim.cpp replays ONE handcrafted
+// schedule/cancel/reschedule sequence; this suite generates seeded random
+// operation sequences (10k ops each) against BOTH backends in lockstep —
+// insert, cancel, re-arm, and advance (fire the earliest pending events,
+// mirroring Simulator::fireMin's remove -> release -> onTimeAdvance order)
+// — and requires bit-identical firing logs at every advance.
+//
+// On a mismatch the failing sequence is shrunk by prefix bisection: the
+// shortest failing prefix of the generated op list is located and reported
+// with its seed, so a regression reproduces from a two-number recipe
+// instead of a 10k-op haystack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tcplp/sim/rng.hpp"
+#include "tcplp/sim/scheduler.hpp"
+
+using namespace tcplp;
+using namespace tcplp::sim;
+
+namespace {
+
+struct Op {
+    enum Kind : std::uint8_t { kInsert, kCancel, kRearm, kAdvance } kind = kInsert;
+    Time delay = 0;        // kInsert / kRearm: deadline = now + delay
+    std::size_t pick = 0;  // kCancel / kRearm: index into the live set
+    int fireCount = 0;     // kAdvance: how many events to fire
+};
+
+/// Deadline mix spanning every wheel regime: same-tick, level 0/1, level 2+,
+/// and past-the-horizon overflow (the test_sim storm's distribution).
+Time randomDelay(Rng& rng) {
+    switch (rng.uniformInt(4)) {
+        case 0: return Time(rng.uniformInt(900));
+        case 1: return Time(rng.uniformInt(60'000));
+        case 2: return Time(rng.uniformInt(30 * kMinute));
+        default: return Time(rng.uniformInt(12 * kHour));
+    }
+}
+
+std::vector<Op> generateOps(std::uint64_t seed, std::size_t count) {
+    Rng rng(seed);
+    std::vector<Op> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Op op;
+        const std::uint64_t kind = rng.uniformInt(10);
+        if (kind < 4) {
+            op.kind = Op::kInsert;
+            op.delay = randomDelay(rng);
+        } else if (kind < 6) {
+            op.kind = Op::kCancel;
+            op.pick = std::size_t(rng.uniformInt(1 << 16));
+        } else if (kind < 8) {
+            op.kind = Op::kRearm;
+            op.pick = std::size_t(rng.uniformInt(1 << 16));
+            op.delay = randomDelay(rng);
+        } else {
+            op.kind = Op::kAdvance;
+            op.fireCount = int(1 + rng.uniformInt(8));
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+/// One backend + pool + the live-slot set, driven by the shared op list.
+struct Harness {
+    sim::detail::EventPool pool;
+    std::unique_ptr<Scheduler> sched;
+    std::vector<std::uint32_t> live;  // insertion order (stable across backends)
+    std::uint64_t nextSeq = 0;
+    Time now = 0;
+
+    explicit Harness(SchedulerKind kind) : sched(makeScheduler(kind, pool)) {}
+
+    void insert(Time delay) {
+        const std::uint32_t slot = pool.alloc();
+        sim::detail::EventRecord& rec = pool.record(slot);
+        rec.when = now + delay;
+        rec.seq = nextSeq++;
+        sched->push(slot);
+        live.push_back(slot);
+    }
+
+    void eraseLive(std::size_t index) { live.erase(live.begin() + long(index)); }
+
+    void cancel(std::size_t pick) {
+        if (live.empty()) return;
+        const std::size_t index = pick % live.size();
+        const std::uint32_t slot = live[index];
+        sched->remove(slot);
+        pool.release(slot);
+        eraseLive(index);
+    }
+
+    void rearm(std::size_t pick, Time delay) {
+        if (live.empty()) return;
+        const std::uint32_t slot = live[pick % live.size()];
+        sim::detail::EventRecord& rec = pool.record(slot);
+        rec.when = now + delay;
+        rec.seq = nextSeq++;  // re-armed events fire after same-time peers
+        sched->update(slot);
+    }
+
+    /// Fires up to `count` earliest events, mirroring Simulator::fireMin:
+    /// remove + release the min, then advance the backend's time base.
+    /// Returns the (when, seq) firing log.
+    std::vector<std::pair<Time, std::uint64_t>> advance(int count) {
+        std::vector<std::pair<Time, std::uint64_t>> log;
+        for (int i = 0; i < count; ++i) {
+            const std::uint32_t slot = sched->peekMin();
+            if (slot == sim::detail::kNoSlot) break;
+            const sim::detail::EventRecord& rec = pool.record(slot);
+            now = rec.when;
+            log.emplace_back(rec.when, rec.seq);
+            sched->remove(slot);
+            pool.release(slot);
+            sched->onTimeAdvance(now);
+            for (std::size_t k = 0; k < live.size(); ++k) {
+                if (live[k] == slot) {
+                    eraseLive(k);
+                    break;
+                }
+            }
+        }
+        return log;
+    }
+};
+
+/// Replays `ops` against both backends in lockstep. Returns a mismatch
+/// description, or nullopt if the logs stayed bit-identical throughout.
+std::optional<std::string> replay(const std::vector<Op>& ops) {
+    Harness heap(SchedulerKind::kBinaryHeap);
+    Harness wheel(SchedulerKind::kTimerWheel);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        switch (op.kind) {
+            case Op::kInsert:
+                heap.insert(op.delay);
+                wheel.insert(op.delay);
+                break;
+            case Op::kCancel:
+                heap.cancel(op.pick);
+                wheel.cancel(op.pick);
+                break;
+            case Op::kRearm:
+                heap.rearm(op.pick, op.delay);
+                wheel.rearm(op.pick, op.delay);
+                break;
+            case Op::kAdvance: {
+                const auto a = heap.advance(op.fireCount);
+                const auto b = wheel.advance(op.fireCount);
+                if (a != b) {
+                    return "firing logs diverged at op " + std::to_string(i) +
+                           " (advance " + std::to_string(op.fireCount) + "): heap fired " +
+                           std::to_string(a.size()) + ", wheel fired " +
+                           std::to_string(b.size());
+                }
+                break;
+            }
+        }
+        if (heap.sched->size() != wheel.sched->size()) {
+            return "pending-event counts diverged at op " + std::to_string(i) + ": heap " +
+                   std::to_string(heap.sched->size()) + ", wheel " +
+                   std::to_string(wheel.sched->size());
+        }
+    }
+    // Drain: the remaining events must pop in the identical total order.
+    const auto a = heap.advance(int(heap.sched->size()));
+    const auto b = wheel.advance(int(wheel.sched->size()));
+    if (a != b) return "drain order diverged (" + std::to_string(a.size()) + " events)";
+    return std::nullopt;
+}
+
+/// Prefix bisection: the length of the shortest failing prefix of `ops`
+/// (ops.size() if only the full sequence fails).
+std::size_t shrinkFailingPrefix(const std::vector<Op>& ops) {
+    std::size_t lo = 0, hi = ops.size();  // invariant: prefix[hi] fails
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const std::vector<Op> prefix(ops.begin(), ops.begin() + long(mid));
+        if (replay(prefix).has_value()) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return hi;
+}
+
+}  // namespace
+
+TEST(SchedulerProperty, RandomOpSequencesFireIdenticallyOnBothBackends) {
+    constexpr std::size_t kOpsPerSeed = 10000;
+    for (std::uint64_t seed : {1ULL, 42ULL, 0xfeedULL}) {
+        const std::vector<Op> ops = generateOps(seed, kOpsPerSeed);
+        const std::optional<std::string> mismatch = replay(ops);
+        if (mismatch.has_value()) {
+            const std::size_t prefix = shrinkFailingPrefix(ops);
+            FAIL() << "seed " << seed << ": " << *mismatch
+                   << "; shortest failing prefix: " << prefix << " of " << kOpsPerSeed
+                   << " ops (reproduce: generateOps(" << seed << ", " << prefix << "))";
+        }
+    }
+}
+
+TEST(SchedulerProperty, ShrinkerLocatesAMinimalFailingPrefix) {
+    // Sanity-check the shrinking machinery itself against a synthetic
+    // failure: a predicate that "fails" once the op list contains the
+    // first kAdvance at-or-after position 7 locates exactly that prefix.
+    const std::vector<Op> ops = generateOps(7, 200);
+    std::size_t firstAdvance = ops.size();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == Op::kAdvance) {
+            firstAdvance = i;
+            break;
+        }
+    }
+    ASSERT_LT(firstAdvance, ops.size());
+    // Bisect with the synthetic predicate (prefix fails iff it includes the
+    // first kAdvance op), reusing the same bisection loop shape.
+    std::size_t lo = 0, hi = ops.size();
+    const auto fails = [&](std::size_t n) { return n > firstAdvance; };
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (fails(mid)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    EXPECT_EQ(hi, firstAdvance + 1);
+}
+
+TEST(SchedulerProperty, AdversarialClusteredDeadlines) {
+    // Heavy when-ties: every deadline lands on one of 3 instants, so the
+    // entire order is carried by the scheduling seq — the regime where a
+    // bucket-scan bug in the wheel would be invisible to throughput tests
+    // but corrupt the replay order.
+    Harness heap(SchedulerKind::kBinaryHeap);
+    Harness wheel(SchedulerKind::kTimerWheel);
+    Rng rng(99);
+    for (int round = 0; round < 500; ++round) {
+        const Time delay = Time(1000 * (1 + rng.uniformInt(3)));
+        heap.insert(delay);
+        wheel.insert(delay);
+        if (round % 5 == 2) {
+            const std::size_t pick = std::size_t(rng.uniformInt(1 << 10));
+            heap.cancel(pick);
+            wheel.cancel(pick);
+        }
+        if (round % 7 == 3) {
+            const auto a = heap.advance(2);
+            const auto b = wheel.advance(2);
+            ASSERT_EQ(a, b) << "round " << round;
+        }
+    }
+    const auto a = heap.advance(int(heap.sched->size()));
+    const auto b = wheel.advance(int(wheel.sched->size()));
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+}

@@ -1,6 +1,8 @@
 // Unit tests: discrete-event simulator core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <string>
@@ -398,4 +400,73 @@ TEST(Rng, ChanceFrequency) {
     int hits = 0;
     for (int i = 0; i < 100000; ++i) hits += r.chance(0.3);
     EXPECT_NEAR(double(hits) / 100000.0, 0.3, 0.01);
+}
+
+// --- deriveStream: the per-run-point stream keying every sharded sweep -----
+//
+// Every parallel sweep and campaign keys a point's RNG stream on its grid
+// position via deriveStream. If its mixing constants (or the xoshiro
+// seeding behind it) ever change — even "harmlessly" — every golden
+// artifact and every pinned digest in the repo silently shifts. The pinned
+// values below make such a change fail loudly; they are pure integer
+// arithmetic, so they must hold on every platform and compiler.
+
+TEST(RngStreams, DeriveStreamPinnedValues) {
+    EXPECT_EQ(Rng::deriveStream(1, 0), 0x910a2dec89025cc1ULL);
+    EXPECT_EQ(Rng::deriveStream(1, 1), 0xbeeb8da1658eec67ULL);
+    EXPECT_EQ(Rng::deriveStream(42, 7), 0xccf635ee9e9e2fa4ULL);
+    // First draw of the derived stream: pins the seed -> xoshiro expansion.
+    Rng r(Rng::deriveStream(42, 7));
+    EXPECT_EQ(r.next(), 0xd156fe7ba6b2616eULL);
+}
+
+TEST(RngStreams, DerivedDigestStableAcrossPlatforms) {
+    // The cross-refactor determinism oracle in one assertion: seed a stream
+    // from a derived key, consume 1000 draws, pin the order-sensitive state
+    // digest. Shift/xor/multiply only — platform-independent.
+    Rng r(Rng::deriveStream(42, 7));
+    for (int i = 0; i < 1000; ++i) r.next();
+    EXPECT_EQ(r.stateDigest(), 0xcfeed6755cd25666ULL);
+}
+
+TEST(RngStreams, AdjacentStreamsAreIndependent) {
+    // Cross-correlation smoke over adjacent grid positions (the pairing a
+    // sweep actually produces): bitwise agreement of paired draws should be
+    // ~50%, and the sample correlation of paired uniforms ~0.
+    Rng a(Rng::deriveStream(42, 0));
+    Rng b(Rng::deriveStream(42, 1));
+    constexpr int kDraws = 100000;
+    std::uint64_t agreeingBits = 0;
+    double sumA = 0, sumB = 0, sumAB = 0, sumA2 = 0, sumB2 = 0;
+    for (int i = 0; i < kDraws; ++i) {
+        const std::uint64_t xa = a.next();
+        const std::uint64_t xb = b.next();
+        agreeingBits += std::uint64_t(64 - __builtin_popcountll(xa ^ xb));
+        const double ua = double(xa >> 11) * (1.0 / 9007199254740992.0);
+        const double ub = double(xb >> 11) * (1.0 / 9007199254740992.0);
+        sumA += ua;
+        sumB += ub;
+        sumAB += ua * ub;
+        sumA2 += ua * ua;
+        sumB2 += ub * ub;
+    }
+    const double bitAgreement = double(agreeingBits) / double(kDraws) / 64.0;
+    EXPECT_NEAR(bitAgreement, 0.5, 0.005);
+    const double n = kDraws;
+    const double cov = sumAB / n - (sumA / n) * (sumB / n);
+    const double varA = sumA2 / n - (sumA / n) * (sumA / n);
+    const double varB = sumB2 / n - (sumB / n) * (sumB / n);
+    const double corr = cov / std::sqrt(varA * varB);
+    EXPECT_LT(std::abs(corr), 0.02);
+}
+
+TEST(RngStreams, StreamIdsAndBaseSeedsBothSeparate) {
+    // No collisions across a realistic sweep's worth of derived seeds.
+    std::vector<std::uint64_t> seen;
+    for (std::uint64_t base : {1ULL, 42ULL, 1000003ULL}) {
+        for (std::uint64_t id = 0; id < 256; ++id)
+            seen.push_back(Rng::deriveStream(base, id));
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
 }
