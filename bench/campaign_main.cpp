@@ -7,7 +7,8 @@
 //
 //   tcplp_campaign [--list] [--filter SUBSTR] [--subset golden] [--jobs N]
 //                  [--out DIR] [--resume] [--golden DIR] [--check]
-//                  [--seeds a,b,c] [--quiet]
+//                  [--present-golden DIR] [--seeds a,b,c] [--quiet]
+//                  [--wall-out FILE] [--wall-check FILE] [--wall-tolerance T]
 //
 //   --filter    run only scenarios whose name contains SUBSTR
 //   --subset    'golden': the curated fast corpus subset (scenario::goldenSubset)
@@ -17,15 +18,30 @@
 //   --resume    skip points already recorded in DIR's manifest
 //   --golden D  write the golden corpus to D — or, with --check, diff
 //               against it instead (exit 1 on any non-timing drift)
-//   --check     verify mode: re-run and diff against --golden DIR
+//   --check     verify mode: diff against --golden / --present-golden DIR
+//   --present-golden D
+//               snapshot each scenario's presenter table (rendered over
+//               timing-stripped rows, so the text is deterministic) to
+//               D/<name>.txt — or diff against the snapshots with --check
 //   --seeds     override every scenario's seed list
 //   --quiet     suppress per-scenario progress on stderr
+//   --wall-out F      record the campaign's total wall time to F (JSON)
+//   --wall-check F    fail (exit 1) if this run's wall time drifts more than
+//                     the tolerance from the recording in F
+//   --wall-tolerance T  relative drift budget for --wall-check (default 0.2)
 //
 // CI runs `tcplp_campaign --subset golden --golden golden --check` as the
-// cross-refactor determinism oracle; see docs/SCENARIOS.md.
+// cross-refactor determinism oracle, and a same-settings --wall-out /
+// --wall-check pair as a coarse perf tripwire; see docs/SCENARIOS.md.
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,9 +66,80 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--list] [--filter SUBSTR] [--subset golden] [--jobs N]\n"
                  "          [--out DIR] [--resume] [--golden DIR] [--check]\n"
-                 "          [--seeds a,b,c] [--quiet]\n",
+                 "          [--present-golden DIR] [--seeds a,b,c] [--quiet]\n"
+                 "          [--wall-out FILE] [--wall-check FILE] [--wall-tolerance T]\n",
                  argv0);
     return 2;
+}
+
+/// The scenario's presenter output, captured from stdout. The presenter
+/// renders TIMING-STRIPPED copies of the rows: any presenter that reads a
+/// wall-clock field sees 0, so the snapshot text is a deterministic function
+/// of (spec, seed) and can be golden-pinned like the JSONL artifacts.
+std::string capturePresentation(const tcplp::scenario::CampaignScenario& s) {
+    using namespace tcplp::scenario;
+    SweepResult sweep;
+    sweep.def = &s.def;
+    sweep.ok = true;
+    sweep.records.reserve(s.records.size());
+    for (const RunRecord& rec : s.records)
+        sweep.records.push_back(RunRecord{rec.point, stripTimingFields(rec.row)});
+
+    std::fflush(stdout);
+    FILE* sink = std::tmpfile();
+    if (sink == nullptr) return {};
+    const int saved = dup(fileno(stdout));
+    dup2(fileno(sink), fileno(stdout));
+    s.def.present(sweep);
+    std::fflush(stdout);
+    dup2(saved, fileno(stdout));
+    close(saved);
+
+    std::fseek(sink, 0, SEEK_END);
+    const long size = std::ftell(sink);
+    std::fseek(sink, 0, SEEK_SET);
+    std::string text(size > 0 ? std::size_t(size) : 0, '\0');
+    if (!text.empty() && std::fread(text.data(), 1, text.size(), sink) != text.size())
+        text.clear();
+    std::fclose(sink);
+    return text;
+}
+
+std::string presentArtifactPath(const std::string& dir, const std::string& scenario) {
+    return dir + "/" + scenario + ".txt";
+}
+
+/// "" on success, else a description of the first mismatch.
+std::string diffPresentation(const std::string& path, const std::string& actual) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return "missing presenter snapshot " + path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string expected = ss.str();
+    if (expected == actual) return {};
+    // Name the first diverging line for the failure message.
+    std::size_t line = 1, pos = 0;
+    const std::size_t n = std::min(expected.size(), actual.size());
+    while (pos < n && expected[pos] == actual[pos]) {
+        if (expected[pos] == '\n') ++line;
+        ++pos;
+    }
+    return "presenter output diverged at line " + std::to_string(line);
+}
+
+/// {"campaign_wall_ms": N} — the recorded total campaign wall time.
+bool readWallRecord(const std::string& path, double& wallMs) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::size_t key = text.find("\"campaign_wall_ms\"");
+    if (key == std::string::npos) return false;
+    const std::size_t colon = text.find(':', key);
+    if (colon == std::string::npos) return false;
+    wallMs = std::strtod(text.c_str() + colon + 1, nullptr);
+    return wallMs > 0.0;
 }
 
 }  // namespace
@@ -61,7 +148,9 @@ int main(int argc, char** argv) {
     using namespace tcplp::scenario;
 
     bool list = false, check = false, quiet = false;
-    std::string filter, subset, goldenDir;
+    std::string filter, subset, goldenDir, presentDir;
+    std::string wallOut, wallCheck;
+    double wallTolerance = 0.2;
     CampaignOptions options;
     options.progress = true;
     if (const char* env = std::getenv("TCPLP_BENCH_JOBS")) options.jobs = std::atoi(env);
@@ -92,6 +181,18 @@ int main(int argc, char** argv) {
             options.outDir = v;
         } else if (const char* v = valueOf("--golden")) {
             goldenDir = v;
+        } else if (const char* v = valueOf("--present-golden")) {
+            presentDir = v;
+        } else if (const char* v = valueOf("--wall-out")) {
+            wallOut = v;
+        } else if (const char* v = valueOf("--wall-check")) {
+            wallCheck = v;
+        } else if (const char* v = valueOf("--wall-tolerance")) {
+            wallTolerance = std::strtod(v, nullptr);
+            if (wallTolerance <= 0.0) {
+                std::fprintf(stderr, "bad --wall-tolerance: %s\n", v);
+                return 2;
+            }
         } else if (const char* v = valueOf("--seeds")) {
             options.seedOverride.clear();
             if (!parseSeedList(v, options.seedOverride)) {
@@ -103,8 +204,10 @@ int main(int argc, char** argv) {
         }
     }
     options.progress = !quiet;
-    if (check && goldenDir.empty()) {
-        std::fprintf(stderr, "--check requires --golden DIR (the corpus to diff)\n");
+    if (check && goldenDir.empty() && presentDir.empty()) {
+        std::fprintf(stderr,
+                     "--check requires --golden DIR and/or --present-golden DIR "
+                     "(the corpus to diff)\n");
         return 2;
     }
     if (options.resume && options.outDir.empty()) {
@@ -153,7 +256,11 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    const auto wallStart = std::chrono::steady_clock::now();
     const CampaignResult result = runCampaign(defs, options);
+    const double wallMs = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - wallStart)
+                              .count();
     if (!result.ok) {
         std::fprintf(stderr, "campaign failed: %s\n", result.error.c_str());
         for (const ShardFailure& failure : result.failures)
@@ -165,18 +272,93 @@ int main(int argc, char** argv) {
                      result.pointsRun, result.pointsResumed, result.scenarios.size());
     }
 
+    // --- Wall-clock tracker (coarse same-machine perf tripwire) ------------
+    if (!wallOut.empty()) {
+        std::ofstream out(wallOut, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write wall record '%s'\n", wallOut.c_str());
+            return 1;
+        }
+        out << "{\"campaign_wall_ms\": " << std::int64_t(wallMs) << "}\n";
+        if (!quiet)
+            std::fprintf(stderr, "[campaign] wall %.0f ms recorded to %s\n", wallMs,
+                         wallOut.c_str());
+    }
+    if (!wallCheck.empty()) {
+        double recordedMs = 0.0;
+        if (!readWallRecord(wallCheck, recordedMs)) {
+            std::fprintf(stderr, "cannot read wall record '%s'\n", wallCheck.c_str());
+            return 1;
+        }
+        const double drift = wallMs / recordedMs - 1.0;
+        std::fprintf(stderr, "[campaign] wall %.0f ms vs recorded %.0f ms (%+.0f%%)\n",
+                     wallMs, recordedMs, drift * 100.0);
+        if (drift > wallTolerance || drift < -wallTolerance) {
+            std::fprintf(stderr,
+                         "[campaign] WALL DRIFT beyond +/-%.0f%% — perf regression "
+                         "or machine noise; investigate before re-recording\n",
+                         wallTolerance * 100.0);
+            return 1;
+        }
+    }
+
+    // --- Presenter snapshots ----------------------------------------------
+    int presentFailures = 0;
+    if (!presentDir.empty() && check) {
+        std::size_t checked = 0;
+        for (const CampaignScenario& s : result.scenarios) {
+            if (!s.def.present) continue;
+            const std::string detail = diffPresentation(
+                presentArtifactPath(presentDir, s.def.name), capturePresentation(s));
+            if (detail.empty()) {
+                ++checked;
+                continue;
+            }
+            std::fprintf(stderr, "[campaign] PRESENT DIFF in %s: %s\n",
+                         s.def.name.c_str(), detail.c_str());
+            ++presentFailures;
+        }
+        if (presentFailures == 0)
+            std::fprintf(stderr, "[campaign] presenter check OK: %zu snapshots match %s\n",
+                         checked, presentDir.c_str());
+    } else if (!presentDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(presentDir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create present-golden directory '%s': %s\n",
+                         presentDir.c_str(), ec.message().c_str());
+            return 1;
+        }
+        std::size_t written = 0;
+        for (const CampaignScenario& s : result.scenarios) {
+            if (!s.def.present) continue;
+            const std::string path = presentArtifactPath(presentDir, s.def.name);
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            if (!out) {
+                std::fprintf(stderr, "cannot write presenter snapshot '%s'\n",
+                             path.c_str());
+                return 1;
+            }
+            out << capturePresentation(s);
+            ++written;
+        }
+        std::fprintf(stderr, "[campaign] %zu presenter snapshots written to %s\n",
+                     written, presentDir.c_str());
+    }
+
     if (!goldenDir.empty() && check) {
         const std::vector<GoldenDiff> diffs = checkGoldenCorpus(result, goldenDir);
         if (diffs.empty()) {
             std::fprintf(stderr, "[campaign] golden check OK: %zu scenarios match %s\n",
                          result.scenarios.size(), goldenDir.c_str());
-            return 0;
+            return presentFailures == 0 ? 0 : 1;
         }
         for (const GoldenDiff& diff : diffs)
             std::fprintf(stderr, "[campaign] GOLDEN DIFF in %s: %s\n",
                          diff.scenario.c_str(), diff.detail.c_str());
         return 1;
     }
+    if (check) return presentFailures == 0 ? 0 : 1;
     if (!goldenDir.empty()) {
         std::string error;
         if (!writeGoldenCorpus(result, goldenDir, error)) {

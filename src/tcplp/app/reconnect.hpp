@@ -1,0 +1,233 @@
+// App-level connection survival for the chaos workloads: a bulk sender that
+// reconnects with deterministic exponential backoff when its connection
+// fails, and a goodput meter that tolerates the resulting resumed sessions.
+//
+// The paper's deployment argument (§9) is that TCP's failure handling plus a
+// thin application layer is enough for multi-week LLN lifetimes: when R2
+// gives up on a dead path the application reopens the connection and resumes
+// from its durable log. ReconnectingBulkSender models exactly that — resume
+// offset is the acked high-water mark across all previous sessions (bytes
+// the peer's TCP provably delivered; anything offered-but-unacked is re-sent
+// on the new connection, so the receiver may see an overlapping prefix).
+// Backoff draws no RNG: fault-injection policy must never perturb the
+// simulation's own random stream.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "tcplp/common/bytes.hpp"
+#include "tcplp/sim/simulator.hpp"
+#include "tcplp/tcp/tcp.hpp"
+
+namespace tcplp::app {
+
+/// Saturating pattern-byte sender that survives connection failures.
+class ReconnectingBulkSender {
+public:
+    struct Policy {
+        bool reconnect = true;
+        sim::Time backoffInitial = 2 * sim::kSecond;
+        sim::Time backoffMax = 30 * sim::kSecond;
+        int maxReconnects = 8;
+    };
+
+    /// Fires just before each (re)connect with the absolute stream offset
+    /// the new session resumes at — the receiver-side meter aligns its
+    /// pattern check through this (the rigs run in one process, standing in
+    /// for an app-level resume header).
+    using SessionHook = std::function<void(std::size_t resumeOffset)>;
+
+    ReconnectingBulkSender(tcp::TcpStack& stack, tcp::TcpConfig config,
+                           ip6::Address dst, std::uint16_t port,
+                           std::size_t totalBytes, Policy policy)
+        : stack_(stack),
+          config_(config),
+          dst_(dst),
+          port_(port),
+          total_(totalBytes),
+          policy_(policy) {}
+
+    void setOnSession(SessionHook hook) { onSession_ = std::move(hook); }
+
+    void start() { open(); }
+
+    /// Crash notification (reboot listener recovery edge): the stack dropped
+    /// every socket silently, so no onError ever fires — treat the in-flight
+    /// session as dead and start the reconnect ladder.
+    void noteCrash() {
+        if (socket_ == nullptr) return;
+        const tcp::State s = socket_->state();
+        if (s == tcp::State::kClosed || s == tcp::State::kFailed) onDead();
+    }
+
+    /// Completed re-establishments (a replacement connection that reached
+    /// ESTABLISHED); the acceptance metric for the chaos scenarios.
+    int reconnects() const { return reconnects_; }
+    /// Replacement connections opened (a SYN that dies during an outage
+    /// counts here but not in reconnects()).
+    int reconnectAttempts() const { return attempts_; }
+    bool gaveUp() const { return gaveUp_; }
+
+    /// Bytes the peer's TCP has acknowledged across every session.
+    std::size_t ackedBytes() const {
+        return base_ + (socket_ != nullptr ? socket_->stats().bytesAcked : 0);
+    }
+
+    const tcp::TcpSocket* socket() const { return socket_; }
+
+    /// Transport stats summed over every dead session plus the live one.
+    tcp::TcpStats aggregateStats() const {
+        tcp::TcpStats out = dead_;
+        if (socket_ != nullptr) accumulate(out, socket_->stats());
+        return out;
+    }
+
+private:
+    void open() {
+        if (onSession_) onSession_(base_);
+        offered_ = 0;
+        closed_ = false;
+        const bool isReconnect = attempts_ > 0;
+        socket_ = &stack_.createSocket(config_);
+        socket_->setOnConnected([this, isReconnect] {
+            if (isReconnect) ++reconnects_;
+            pump();
+        });
+        socket_->setOnSendSpace([this] { pump(); });
+        socket_->setOnError([this] { onDead(); });
+        socket_->connect(dst_, port_);
+    }
+
+    void pump() {
+        while (base_ + offered_ < total_) {
+            const std::size_t chunk =
+                std::min<std::size_t>(512, total_ - base_ - offered_);
+            const Bytes data = patternBytes(base_ + offered_, chunk);
+            const std::size_t n = socket_->send(data);
+            if (n == 0) return;
+            offered_ += n;
+        }
+        if (!closed_) {
+            closed_ = true;
+            socket_->close();
+        }
+    }
+
+    void onDead() {
+        if (socket_ == nullptr) return;
+        accumulate(dead_, socket_->stats());
+        base_ += socket_->stats().bytesAcked;
+        // The failed socket stays parked in the stack (kClosed/kFailed is
+        // ignored by demux); destroying it here would free the object whose
+        // callback frame we may be inside.
+        socket_ = nullptr;
+        if (!policy_.reconnect || attempts_ >= policy_.maxReconnects ||
+            base_ >= total_) {
+            gaveUp_ = base_ < total_;
+            return;
+        }
+        ++attempts_;
+        sim::Time backoff = policy_.backoffInitial;
+        for (int i = 1; i < attempts_ && backoff < policy_.backoffMax; ++i)
+            backoff = std::min(backoff * 2, policy_.backoffMax);
+        stack_.simulator().schedule(backoff, [this] {
+            if (socket_ == nullptr) open();
+        });
+    }
+
+    static void accumulate(tcp::TcpStats& into, const tcp::TcpStats& s) {
+        into.segsSent += s.segsSent;
+        into.segsReceived += s.segsReceived;
+        into.bytesSent += s.bytesSent;
+        into.bytesAcked += s.bytesAcked;
+        into.retransmissions += s.retransmissions;
+        into.fastRetransmissions += s.fastRetransmissions;
+        into.sackRetransmissions += s.sackRetransmissions;
+        into.timeouts += s.timeouts;
+        into.dupAcksReceived += s.dupAcksReceived;
+        into.zeroWindowProbes += s.zeroWindowProbes;
+        into.rexmitNotifications += s.rexmitNotifications;
+        into.rexmitGiveUps += s.rexmitGiveUps;
+        into.persistGiveUps += s.persistGiveUps;
+        into.keepAliveProbesSent += s.keepAliveProbesSent;
+        into.keepAliveGiveUps += s.keepAliveGiveUps;
+    }
+
+    tcp::TcpStack& stack_;
+    tcp::TcpConfig config_;
+    ip6::Address dst_;
+    std::uint16_t port_;
+    std::size_t total_;
+    Policy policy_;
+    SessionHook onSession_;
+
+    tcp::TcpSocket* socket_ = nullptr;
+    std::size_t base_ = 0;     // absolute offset the current session starts at
+    std::size_t offered_ = 0;  // bytes queued into the current session
+    bool closed_ = false;
+    int attempts_ = 0;
+    int reconnects_ = 0;
+    bool gaveUp_ = false;
+    tcp::TcpStats dead_;  // summed stats of every failed session
+};
+
+/// Receiver-side meter for reconnecting transfers. Each session resumes the
+/// pattern stream at the sender's acked offset, which may sit below bytes
+/// already delivered (delivered-but-unacked data is re-sent) — content is
+/// verified against the absolute pattern offset, and only bytes above the
+/// high-water mark count as fresh progress.
+class ResumableGoodputMeter {
+public:
+    explicit ResumableGoodputMeter(sim::Simulator& simulator)
+        : simulator_(simulator) {}
+
+    /// Next session's data starts at absolute stream offset `offset`.
+    void beginSession(std::size_t offset) { at_ = offset; }
+
+    /// Fires whenever the high-water mark advances, with the fresh byte
+    /// count (drives the chaos runner's recovery metrics and watchdog).
+    void setOnProgress(std::function<void(std::size_t freshBytes)> cb) {
+        onProgress_ = std::move(cb);
+    }
+
+    void onData(BytesView data) {
+        if (!started_) {
+            started_ = true;
+            first_ = simulator_.now();
+        }
+        contentOk_ = contentOk_ && matchesPattern(at_, data);
+        at_ += data.size();
+        if (at_ > highWater_) {
+            const std::size_t fresh = at_ - highWater_;
+            highWater_ = at_;
+            last_ = simulator_.now();
+            if (onProgress_) onProgress_(fresh);
+        }
+    }
+
+    /// Unique application bytes delivered (the high-water mark).
+    std::size_t bytes() const { return highWater_; }
+    bool contentOk() const { return contentOk_; }
+    sim::Time firstAt() const { return first_; }
+    sim::Time lastAt() const { return last_; }
+
+    double goodputKbps() const {
+        const sim::Time span = last_ - first_;
+        if (span <= 0) return 0.0;
+        return double(highWater_) * 8.0 / 1000.0 / sim::toSeconds(span);
+    }
+
+private:
+    sim::Simulator& simulator_;
+    std::function<void(std::size_t)> onProgress_;
+    std::size_t at_ = 0;         // absolute offset of the next expected byte
+    std::size_t highWater_ = 0;  // unique bytes delivered
+    bool contentOk_ = true;
+    bool started_ = false;
+    sim::Time first_ = 0;
+    sim::Time last_ = 0;
+};
+
+}  // namespace tcplp::app

@@ -87,6 +87,14 @@ public:
         return p;
     }
 
+    /// Crash semantics (node reboot): queued packets and the RED average are
+    /// volatile state and vanish with the power rail.
+    void clear() {
+        queue_.clear();
+        avg_ = 0.0;
+        emptySince_ = simulator_.now();
+    }
+
 private:
     void updateAverage() {
         if (queue_.empty()) {

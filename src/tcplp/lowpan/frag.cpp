@@ -222,6 +222,15 @@ void Reassembler::input(ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
     }
 }
 
+void Reassembler::clear() {
+    for (Slot& s : slots_) {
+        if (s.active) {
+            ++stats_.dropped;
+            releaseSlot(s);
+        }
+    }
+}
+
 void Reassembler::expire() {
     const sim::Time now = simulator_.now();
     for (Slot& s : slots_) {

@@ -99,6 +99,10 @@ public:
     const BufferArena* arena() const { return arena_; }
     std::size_t maxPartials() const { return slots_.size(); }
 
+    /// Drops every partial datagram, returning their gather buffers to the
+    /// arena (node reboot: volatile reassembly state is lost, not leaked).
+    void clear();
+
 private:
     struct Slot {
         bool active = false;

@@ -212,6 +212,17 @@ void CsmaMac::scheduleRetry(SendOp& op) {
     });
 }
 
+void CsmaMac::reset() {
+    waitHandle_.cancel();
+    current_.reset();
+    awaitingAck_ = false;
+    queue_.clear();
+    indirectQueues_.clear();
+    lastDeliveredSeq_.clear();
+    lastPollAt_.clear();
+    lastAckPending_ = false;
+}
+
 void CsmaMac::finishCurrent(bool success) {
     TCPLP_ASSERT(current_);
     SendOp op = std::move(*current_);

@@ -132,6 +132,13 @@ public:
 
     bool busy() const { return current_.has_value() || !queue_.empty(); }
 
+    /// Crash semantics (node reboot): abandons the in-flight frame, cancels
+    /// pending waits, and empties every queue without firing completion
+    /// callbacks. The `!current_` guards on radio done-callbacks make this
+    /// safe even with a frame upload in progress. Sleepy-child registrations
+    /// survive (they model the parent's config, not volatile state).
+    void reset();
+
 private:
     struct SendOp {
         Frame frame;

@@ -71,6 +71,39 @@ void Node::start() {
     if (sleepy_) sleepy_->start();
 }
 
+void Node::reboot(sim::Time downtime) {
+    TCPLP_ASSERT(config_.role != Role::kCloudHost);
+    ++stats_.reboots;
+    ++rebootEpoch_;  // invalidates closures scheduled before the crash
+    const bool wasDown = down_;
+    down_ = true;
+
+    // Volatile state dies with the power rail. Order matters: the radio
+    // first (its done-callbacks are guarded by the MAC's current_ check),
+    // then MAC queues, then the reassembly partials (returning their arena
+    // chunks), then this node's own forwarding state.
+    if (radio_) radio_->setPowered(false);
+    if (mac_) mac_->reset();
+    if (reassembler_) reassembler_->clear();
+    if (queue_) queue_->clear();
+    txFrames_.clear();
+    txIndex_ = 0;
+    txTagActive_ = false;
+    draining_ = false;
+    fragRoutes_.clear();
+
+    if (!wasDown)
+        for (auto& listener : rebootListeners_) listener(true);
+
+    simulator_.schedule(downtime, [this, epoch = rebootEpoch_] {
+        if (epoch != rebootEpoch_) return;  // superseded by a later reboot
+        down_ = false;
+        if (radio_) radio_->setPowered(true);
+        if (sleepy_) sleepy_->start();  // leaf resumes its poll loop
+        for (auto& listener : rebootListeners_) listener(false);
+    });
+}
+
 void Node::addRoute(ip6::ShortAddr dst, NodeId nextHop) { routes_[dst] = nextHop; }
 void Node::setDefaultRoute(NodeId nextHop) { defaultRoute_ = nextHop; }
 
@@ -96,6 +129,7 @@ std::optional<NodeId> Node::lookupRoute(const ip6::Address& dst) const {
 }
 
 void Node::sendPacket(ip6::Packet packet) {
+    if (down_) return;  // a crashed node originates nothing
     if (packet.src == ip6::Address{}) packet.src = address_;
     ++stats_.packetsSent;
     if (radio_) radio_->energy().addCpuBusy(config_.cpuPerPacket);
@@ -103,6 +137,7 @@ void Node::sendPacket(ip6::Packet packet) {
 }
 
 void Node::wiredInput(ip6::Packet packet) {
+    if (down_) return;  // wired frames to a crashed border router are lost
     if (packet.dst == address_) {
         deliverLocal(packet);
         return;
@@ -181,10 +216,13 @@ void Node::drainQueue() {
     std::vector<PacketBuffer> frames =
         lowpan::encodeDatagram(std::move(packet), id_, *nextHop, tag, config_.macPayloadBudget);
     if (config_.txProcessingDelay > 0) {
-        simulator_.schedule(config_.txProcessingDelay,
-                            [this, frames = std::move(frames), hop = *nextHop]() mutable {
-                                sendDatagramFrames(std::move(frames), hop);
-                            });
+        simulator_.schedule(
+            config_.txProcessingDelay,
+            [this, frames = std::move(frames), hop = *nextHop,
+             epoch = rebootEpoch_]() mutable {
+                if (epoch != rebootEpoch_) return;  // node crashed meanwhile
+                sendDatagramFrames(std::move(frames), hop);
+            });
         if (radio_) radio_->energy().addCpuBusy(config_.txProcessingDelay / 2);
     } else {
         sendDatagramFrames(std::move(frames), *nextHop);
@@ -227,6 +265,7 @@ void Node::macSend(NodeId dst, PacketBuffer payload, mac::CsmaMac::SendCallback 
 }
 
 void Node::macInput(NodeId macSrc, const PacketBuffer& macPayload) {
+    if (down_) return;  // the MCU is off (the radio is too, but be explicit)
     if (radio_) radio_->energy().addCpuBusy(config_.cpuPerPacket / 4);
     const auto info = lowpan::parseFragmentHeader(macPayload);
     if (!info) return;

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "tcplp/ip6/netif.hpp"
 #include "tcplp/ip6/red_queue.hpp"
@@ -58,6 +60,7 @@ struct NodeConfig {
 };
 
 struct NodeStats {
+    std::uint64_t reboots = 0;
     std::uint64_t packetsSent = 0;
     std::uint64_t packetsForwarded = 0;
     std::uint64_t packetsDelivered = 0;
@@ -148,6 +151,26 @@ public:
     /// Starts duty cycling (leaf role).
     void start();
 
+    // --- Fault injection -------------------------------------------------
+    /// Fires on both edges of a reboot: listener(true) at power loss (after
+    /// volatile node state is flushed), listener(false) at recovery. The
+    /// transport layer lives outside the Node, so the workload rig uses this
+    /// to drop TCP connections with crash semantics and schedule reconnects.
+    using RebootListener = std::function<void(bool isDown)>;
+    void addRebootListener(RebootListener listener) {
+        rebootListeners_.push_back(std::move(listener));
+    }
+
+    /// Crash-reboots the node: the radio rail drops, MAC queues and the
+    /// in-flight datagram are abandoned, reassembly partials return their
+    /// arena chunks, and the forwarding queue empties — no callbacks fire.
+    /// After `downtime` the node powers back up (routes and sleepy-child
+    /// registrations survive: they model configuration, not volatile state;
+    /// a leaf resumes its poll loop). A reboot during downtime extends the
+    /// outage (the superseded recovery is ignored via an epoch counter).
+    void reboot(sim::Time downtime);
+    bool isDown() const { return down_; }
+
     /// Raw MAC ingress (also exposed for forwarding-path tests): one
     /// received MAC payload from neighbor `macSrc`.
     void macInput(NodeId macSrc, const PacketBuffer& macPayload);
@@ -195,6 +218,12 @@ private:
 
     std::uint16_t nextTag_ = 1;
     bool draining_ = false;
+    // Fault injection: while down_, every ingress/egress path is a no-op.
+    // The epoch counter invalidates closures scheduled before a reboot
+    // (txProcessingDelay sends, the recovery event of a superseded reboot).
+    bool down_ = false;
+    std::uint64_t rebootEpoch_ = 0;
+    std::vector<RebootListener> rebootListeners_;
     // Frames of the datagram currently draining to the MAC (in order),
     // and the datagram tag it was encoded with (tag-uniqueness bookkeeping).
     std::vector<PacketBuffer> txFrames_;

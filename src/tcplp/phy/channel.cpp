@@ -105,7 +105,46 @@ bool Channel::clearAt(const Radio* listener) const {
     return true;
 }
 
+bool Channel::blackedOut(NodeId src, NodeId dst) const {
+    if (globalBlackout_ > 0) return true;
+    if (!nodeBlackout_.empty()) {
+        if (auto it = nodeBlackout_.find(src); it != nodeBlackout_.end() && it->second > 0)
+            return true;
+        if (auto it = nodeBlackout_.find(dst); it != nodeBlackout_.end() && it->second > 0)
+            return true;
+    }
+    if (!linkBlackout_.empty()) {
+        if (auto it = linkBlackout_.find({src, dst});
+            it != linkBlackout_.end() && it->second > 0)
+            return true;
+    }
+    return false;
+}
+
+void Channel::setLinkBlackout(NodeId a, NodeId b, bool active) {
+    const int delta = active ? 1 : -1;
+    linkBlackout_[{a, b}] += delta;
+    linkBlackout_[{b, a}] += delta;
+    blackoutEntries_ += delta;
+}
+
+void Channel::setNodeBlackout(NodeId node, bool active) {
+    const int delta = active ? 1 : -1;
+    nodeBlackout_[node] += delta;
+    blackoutEntries_ += delta;
+}
+
+void Channel::setGlobalBlackout(bool active) {
+    const int delta = active ? 1 : -1;
+    globalBlackout_ += delta;
+    blackoutEntries_ += delta;
+}
+
 double Channel::lossFor(NodeId src, NodeId dst, sim::Time now) const {
+    // Blackout fades the frame with certainty: the Bernoulli draw still
+    // happens (chance(1.0) is always true — uniform() < 1.0), preserving
+    // the RNG draw order of the equivalent clean run.
+    if (blackoutEntries_ > 0 && blackedOut(src, dst)) return 1.0;
     double p = defaultLoss_;
     if (auto it = linkLoss_.find({src, dst}); it != linkLoss_.end()) p = it->second;
     if (ambientLoss_) {

@@ -133,6 +133,18 @@ public:
         ambientLoss_ = std::move(fn);
     }
 
+    // --- Blackouts (fault injection) ----------------------------------
+    // A blacked-out link fades every frame (loss 1.0) while leaving the
+    // carrier geometry — and hence the RNG fading-draw order — untouched:
+    // a chaos run consumes exactly the draws a clean run does, which keeps
+    // fault schedules from perturbing the simulation's RNG stream. Each
+    // entry is a counter so overlapping windows compose (deactivation
+    // decrements; the blackout lifts when the count returns to zero).
+    void setLinkBlackout(NodeId a, NodeId b, bool active);
+    void setNodeBlackout(NodeId node, bool active);
+    void setGlobalBlackout(bool active);
+    bool anyBlackoutActive() const { return blackoutEntries_ > 0; }
+
     /// Optional delivery log tap: invoked once per in-range listener at
     /// delivery time — (now, transmitter, listener, MPDU bytes, faded) — in
     /// exactly the order the RNG fading draws are made. The scheduler
@@ -209,6 +221,7 @@ private:
     void forEachCandidate(Radio* transmitter, Fn&& fn);
 
     double lossFor(NodeId src, NodeId dst, sim::Time now) const;
+    bool blackedOut(NodeId src, NodeId dst) const;
     Transmission retireActive(std::uint64_t txId);
     void deliverTransmission(const Transmission& tx);
     void deliverBatch(sim::Time end);
@@ -223,6 +236,10 @@ private:
     std::uint64_t gridEpoch_ = 1;
     std::unordered_map<const Radio*, NeighborCache> neighborCache_;
     std::unordered_map<std::pair<NodeId, NodeId>, double, LinkKeyHash> linkLoss_;
+    std::unordered_map<std::pair<NodeId, NodeId>, int, LinkKeyHash> linkBlackout_;
+    std::unordered_map<NodeId, int> nodeBlackout_;
+    int globalBlackout_ = 0;
+    int blackoutEntries_ = 0;  // total active entries: single fast-path gate
     std::function<double(sim::Time, NodeId)> ambientLoss_;
     DeliveryTap deliveryTap_;
     std::vector<Transmission> active_;

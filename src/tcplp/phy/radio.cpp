@@ -30,7 +30,23 @@ void Radio::setSleeping(bool sleeping) {
             rxTxId_ = 0;
         }
         changeState(RadioState::kSleep);
-    } else if (state_ == RadioState::kSleep) {
+    } else if (state_ == RadioState::kSleep && powered_) {
+        changeState(RadioState::kListen);
+    }
+}
+
+void Radio::setPowered(bool on) {
+    if (on == powered_) return;
+    powered_ = on;
+    if (!on) {
+        // The rail drops instantly: any reception lock is lost and a frame
+        // mid-air from this radio dies with the carrier (receivers stay
+        // locked on the txId and see it end; rxTxId mismatch elsewhere is
+        // impossible since the carrier object lives in the channel).
+        rxTxId_ = 0;
+        rxCorrupted_ = false;
+        changeState(RadioState::kSleep);
+    } else {
         changeState(RadioState::kListen);
     }
 }
@@ -46,6 +62,11 @@ bool Radio::channelClear() const {
 void Radio::transmit(const Frame& frame, std::function<void(bool)> done) {
     TCPLP_ASSERT(state_ != RadioState::kTx);
     TCPLP_ASSERT(!txBusy_);
+    if (!powered_) {
+        // Unpowered transceiver: fail fast so the MAC backs off/retries.
+        if (done) done(false);
+        return;
+    }
     txBusy_ = true;
     if (state_ == RadioState::kSleep) changeState(RadioState::kListen);
 
@@ -58,7 +79,7 @@ void Radio::transmit(const Frame& frame, std::function<void(bool)> done) {
         // Final clear-channel check at carrier-up time: a frame may have
         // started (or be arriving at us) during the SPI load, or our own
         // hardware auto-ACK may be in the air.
-        if (state_ == RadioState::kRx || state_ == RadioState::kTx ||
+        if (!powered_ || state_ == RadioState::kRx || state_ == RadioState::kTx ||
             !channel_.clearAt(this)) {
             txBusy_ = false;
             if (done) done(false);
@@ -77,7 +98,7 @@ void Radio::radiate(const Frame& frame, std::function<void()> airDone) {
     ++framesSent_;
     channel_.startTransmission(this, frame);
     simulator_.schedule(frame.airTime(), [this, airDone = std::move(airDone)] {
-        changeState(RadioState::kListen);
+        changeState(idleState());
         if (airDone) airDone();
     });
 }
@@ -107,7 +128,7 @@ void Radio::airFinished(std::uint64_t txId, const Frame& frame, bool faded) {
     if (rxCorrupted_) channel_.noteCollision();
     rxTxId_ = 0;
     rxCorrupted_ = false;
-    if (state_ == RadioState::kRx) changeState(RadioState::kListen);
+    if (state_ == RadioState::kRx) changeState(idleState());
     if (corrupted) return;
 
     ++framesReceived_;

@@ -45,6 +45,13 @@ public:
     void setSleeping(bool sleeping);
     bool sleeping() const { return state_ == RadioState::kSleep; }
 
+    /// Power rail (fault injection). Powering off forces SLEEP, abandons any
+    /// in-flight RX lock, and refuses transmissions until powered back on;
+    /// setSleeping(false) is a no-op while unpowered. Powering on returns
+    /// the transceiver to LISTEN.
+    void setPowered(bool on);
+    bool powered() const { return powered_; }
+
     /// Loads the frame over SPI (CPU busy), re-checks the channel at
     /// carrier-up time (as the AT86RF233's TX_ARET sequence does after the
     /// frame upload), then radiates. `done(true)` fires when the carrier
@@ -86,6 +93,9 @@ private:
     void changeState(RadioState next);
     /// Immediate carrier-up for `frame` (caller has done all gating).
     void radiate(const Frame& frame, std::function<void()> airDone);
+    /// The state to return to when idle: LISTEN normally, SLEEP when the
+    /// power rail is off.
+    RadioState idleState() const { return powered_ ? RadioState::kListen : RadioState::kSleep; }
 
     sim::Simulator& simulator_;
     Channel& channel_;
@@ -101,6 +111,7 @@ private:
     std::function<void(const Frame&)> receiveCallback_;
     std::function<bool(NodeId, FrameType)> pendingBitProvider_;
     bool autoAck_ = true;
+    bool powered_ = true;
     bool txBusy_ = false;  // covers the SPI-load + air phases of transmit()
     // Reception attempt tracking (one frame at a time).
     std::uint64_t rxTxId_ = 0;

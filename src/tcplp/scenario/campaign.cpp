@@ -229,6 +229,12 @@ constexpr GoldenEntry kGoldenEntries[] = {
          // check fast. The corpus pins this trimmed variant.
          d.base.workload.anemometer.duration = 1 * sim::kHour;
      }},
+    // Chaos scenarios: pinning these proves fault expansion, reboot/blackout
+    // scheduling, reconnect backoff and the recovery metrics are all
+    // deterministic functions of (spec, seed).
+    {"line_blackout", nullptr},
+    {"office_reboot_storm", nullptr},
+    {"border_router_restart", nullptr},
 };
 
 }  // namespace

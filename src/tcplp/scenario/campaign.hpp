@@ -75,10 +75,12 @@ CampaignResult runCampaign(const std::vector<ScenarioDef>& defs,
 std::vector<ScenarioDef> registryDefs(const std::string& filter = {});
 
 /// The curated golden-corpus subset: sweep_smoke, sec72_hops,
-/// office_multiflow, grid200_dense, and fig10_table8_day trimmed from 24 to
-/// 1 simulated hour — fast enough for CI, wide enough to cover the bulk
-/// line path, the office tree, the dense grid, the sweep machinery, and the
-/// anemometer application study. Regenerate golden/ with this exact subset
+/// office_multiflow, grid200_dense, fig10_table8_day trimmed from 24 to
+/// 1 simulated hour, and the three chaos scenarios (line_blackout,
+/// office_reboot_storm, border_router_restart) — fast enough for CI, wide
+/// enough to cover the bulk line path, the office tree, the dense grid, the
+/// sweep machinery, the anemometer application study, and the
+/// fault-injection layer. Regenerate golden/ with this exact subset
 /// (see docs/SCENARIOS.md). Curated names missing from the registry are
 /// skipped here (a test binary links no drivers); the campaign CLI compares
 /// against goldenSubsetNames() and fails loudly, so a dropped driver cannot

@@ -20,6 +20,7 @@
 
 #include "tcplp/harness/anemometer.hpp"
 #include "tcplp/harness/testbed.hpp"
+#include "tcplp/sim/fault.hpp"
 #include "tcplp/tcp/tcp.hpp"
 #include "tcplp/transport/embedded_tcp.hpp"
 
@@ -126,10 +127,51 @@ struct WorkloadSpec {
     sim::Time multiFlowDuration = 5 * sim::kMinute;
 };
 
+/// Fault-injection layer of a scenario (the chaos campaigns).
+///
+/// `chaos` marks the scenario as a chaos scenario: bulk runs go through the
+/// fault-aware runner (scenario/chaos.hpp) — recovery metrics, reconnect
+/// policy, progress watchdog — even when no faults are injected, so the
+/// fault=0 baseline rows share the chaos schema. `enabled` arms the plan and
+/// is bound from the canonical `fault` sweep axis (0 = clean baseline,
+/// 1 = faults injected; see faultFromAxis).
+struct FaultSpec {
+    bool chaos = false;
+    bool enabled = false;
+    sim::FaultPlan plan{};
+
+    /// App-level reconnect-with-backoff: when the sender's connection fails
+    /// (R2/persist/keep-alive give-up, or an endpoint crash), open a fresh
+    /// connection after a deterministic exponential backoff and resume the
+    /// transfer at the acked high-water mark. No RNG draws — backoff is
+    /// initial, 2x, 4x, ... capped at `reconnectBackoffMax`.
+    bool reconnect = true;
+    sim::Time reconnectBackoffInitial = 2 * sim::kSecond;
+    sim::Time reconnectBackoffMax = 30 * sim::kSecond;
+    int maxReconnects = 8;
+
+    /// Mote-side TCP survival overrides (applied whenever `chaos` is set, so
+    /// the fault axis toggles only the injection, never the TCP config).
+    std::optional<int> maxRetransmits;       // lower R2 = faster dead-peer detection
+    std::optional<sim::Time> keepAliveIdle;  // nonzero enables keep-alive probes
+
+    /// Progress watchdog: fail the run (std::runtime_error, attributed by
+    /// the sweep/campaign machinery) if the flow delivers nothing fresh for
+    /// this long while no injected outage is active. 0 disables — but every
+    /// registered chaos scenario keeps it on, so no chaos run can hang.
+    sim::Time watchdogStall = 2 * sim::kMinute;
+};
+
 struct ScenarioSpec {
     TopologySpec topology{};
     WorkloadSpec workload{};
+    FaultSpec fault{};
 };
+
+/// Canonical mapping of the `fault` sweep axis: 0 = clean baseline,
+/// 1 = inject the plan. Bind hooks use this so every chaos scenario spells
+/// the axis the same way.
+inline bool faultFromAxis(double value) { return value >= 0.5; }
 
 /// Canonical mapping of the `scheduler` sweep axis onto the backend enum:
 /// 0 = indexed binary heap, 1 = hierarchical timer wheel. Bind hooks use

@@ -7,6 +7,7 @@
 #include "tcplp/common/assert.hpp"
 #include "tcplp/harness/pipe.hpp"
 #include "tcplp/lowpan/frag.hpp"
+#include "tcplp/scenario/chaos.hpp"
 
 namespace tcplp::scenario {
 
@@ -69,20 +70,6 @@ harness::TestbedConfig testbedConfigFor(const TopologySpec& t, std::uint64_t see
     return cfg;
 }
 
-/// The mote endpoint of a single-flow workload: the far end of the line,
-/// one of the pair, or the farthest grid/star node from the border router.
-mesh::Node& senderMote(harness::Testbed& tb, const TopologySpec& t) {
-    switch (t.kind) {
-        case TopologyKind::kLine: return *tb.findNode(phy::NodeId(9 + t.hops));
-        case TopologyKind::kPair: return tb.node(0);
-        case TopologyKind::kGrid:
-        case TopologyKind::kStar: return *tb.findNode(phy::NodeId(t.nodes));
-        case TopologyKind::kOffice: return *tb.findNode(15);
-        default: TCPLP_ASSERT(false && "no mote endpoint for this topology");
-    }
-    return tb.node(0);
-}
-
 double jainIndex(const std::vector<double>& xs) {
     double sum = 0.0, sumSq = 0.0;
     for (double x : xs) {
@@ -94,6 +81,18 @@ double jainIndex(const std::vector<double>& xs) {
 }
 
 }  // namespace
+
+mesh::Node& senderMote(harness::Testbed& tb, const TopologySpec& t) {
+    switch (t.kind) {
+        case TopologyKind::kLine: return *tb.findNode(phy::NodeId(9 + t.hops));
+        case TopologyKind::kPair: return tb.node(0);
+        case TopologyKind::kGrid:
+        case TopologyKind::kStar: return *tb.findNode(phy::NodeId(t.nodes));
+        case TopologyKind::kOffice: return *tb.findNode(15);
+        default: TCPLP_ASSERT(false && "no mote endpoint for this topology");
+    }
+    return tb.node(0);
+}
 
 ScenarioSpec officeMultiflowSpec(sim::Time duration) {
     ScenarioSpec s;
@@ -474,6 +473,13 @@ harness::AnemometerResult runAnemometerSpec(const ScenarioSpec& spec,
 
 MetricRow runScenario(const ScenarioSpec& spec, std::uint64_t seed) {
     MetricRow row;
+    // Chaos scenarios route their bulk workload through the fault-aware
+    // runner even at the fault=0 baseline, so every row of the `fault` axis
+    // shares the chaos schema (reconnects, recover_s, ...).
+    if (spec.fault.chaos && spec.workload.kind == WorkloadKind::kBulk &&
+        spec.topology.kind != TopologyKind::kPipe) {
+        return chaosBulkRow(spec, seed);
+    }
     if (spec.topology.kind == TopologyKind::kPipe) {
         const PipeRunResult r = runPipeBulk(spec, seed);
         row.set("goodput_kbps", r.goodputKbps)

@@ -34,6 +34,11 @@ std::uint16_t resolveMss(const WorkloadSpec& w);
 std::unique_ptr<harness::Testbed> buildTestbed(const TopologySpec& t,
                                                std::uint64_t seed);
 
+/// The mote endpoint of a single-flow workload: the far end of the line,
+/// one of the pair, or the farthest grid/star/office node from the border
+/// router. Shared with the chaos runner (scenario/chaos.cpp).
+mesh::Node& senderMote(harness::Testbed& tb, const TopologySpec& t);
+
 // --- Shared scenario presets ---------------------------------------------
 // The canonical multiflow workloads, used by the registered drivers
 // (bench_office_multiflow, bench_grid200), the scheduler A/B bench

@@ -1,0 +1,54 @@
+#include "tcplp/sim/fault.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace tcplp::sim {
+
+const char* faultKindName(FaultKind k) {
+    switch (k) {
+        case FaultKind::kNodeReboot: return "node_reboot";
+        case FaultKind::kLinkBlackout: return "link_blackout";
+        case FaultKind::kCorruptionBurst: return "corruption_burst";
+    }
+    return "?";
+}
+
+std::vector<FaultEvent> expandFaultPlan(const FaultPlan& plan, std::uint64_t seed) {
+    std::vector<FaultEvent> events = plan.fixed;
+
+    // One dedicated stream for the whole expansion; draws happen in a fixed
+    // order (per event: time, duration, target), so the schedule is a pure
+    // function of (plan, seed).
+    Rng rng(Rng::deriveStream(seed, kFaultStreamId));
+    for (const RandomFaultBurst& burst : plan.random) {
+        for (std::uint32_t i = 0; i < burst.count; ++i) {
+            FaultEvent ev;
+            ev.kind = burst.kind;
+            const Time window = burst.windowEnd > burst.windowStart
+                                    ? burst.windowEnd - burst.windowStart
+                                    : 0;
+            ev.at = burst.windowStart + Time(rng.uniformInt(std::uint64_t(window)));
+            ev.duration = Time(rng.uniformRange(burst.durationMin, burst.durationMax));
+            if (!burst.candidates.empty()) {
+                ev.target = burst.candidates[std::size_t(
+                    rng.uniformInt(burst.candidates.size()))];
+            }
+            ev.peer = (burst.kind == FaultKind::kLinkBlackout) ? ev.target : 0;
+            events.push_back(ev);
+        }
+    }
+
+    // Stable deterministic order: injection hooks fire in list order at
+    // equal times, so the sort key must pin every field.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return std::tuple(a.at, std::uint8_t(a.kind), a.target,
+                                           a.duration, a.peer) <
+                                std::tuple(b.at, std::uint8_t(b.kind), b.target,
+                                           b.duration, b.peer);
+                     });
+    return events;
+}
+
+}  // namespace tcplp::sim

@@ -1,0 +1,87 @@
+// Deterministic fault plans: a typed schedule of injected failures.
+//
+// The paper's core robustness claim (§8, §9.4) is that full-scale TCP
+// survives the failure modes real LLN deployments see — nodes brown out and
+// reboot, links go dark for seconds at a time, the border router restarts.
+// A FaultPlan describes such a failure schedule. Plans are *data*: a list of
+// fixed events plus optional randomized bursts that are expanded into fixed
+// events by `expandFaultPlan` using a dedicated Rng stream derived from the
+// run seed. Identical (plan, seed) pairs therefore expand to identical
+// schedules — fault injection never perturbs the simulation's own RNG
+// stream, and chaos runs stay byte-reproducible and shardable.
+//
+// This layer is deliberately free of phy/mesh dependencies: targets are bare
+// node ids. The scenario layer (scenario/chaos.*) maps expanded events onto
+// Radio power, Channel blackouts, and Node::reboot calls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tcplp/sim/rng.hpp"
+#include "tcplp/sim/time.hpp"
+
+namespace tcplp::sim {
+
+enum class FaultKind : std::uint8_t {
+    /// Node loses power for `duration`, then cold-boots: radio off, all
+    /// volatile protocol state (TCP connections, reassembly buffers, MAC
+    /// queues) is lost.
+    kNodeReboot,
+    /// The link `target` <-> `peer` delivers nothing during the window
+    /// (both directions). target == peer means every link at that node;
+    /// target == peer == 0 means every link in the network.
+    kLinkBlackout,
+    /// Burst interference: all frames in the window are corrupted in flight.
+    /// In this PHY model corruption and loss are observationally identical
+    /// at the MAC (FCS failure -> frame discarded), so this maps to a
+    /// global blackout; kept as a distinct kind for plan readability.
+    kCorruptionBurst,
+};
+
+const char* faultKindName(FaultKind k);
+
+/// One concrete fault occurrence on the simulation timeline.
+struct FaultEvent {
+    FaultKind kind = FaultKind::kNodeReboot;
+    Time at = 0;        // injection time
+    Time duration = 0;  // outage length (reboot downtime / blackout window)
+    std::uint16_t target = 0;  // node id (reboot) or link endpoint A
+    std::uint16_t peer = 0;    // link endpoint B (blackout only)
+};
+
+/// A randomized batch of faults, expanded deterministically from the run
+/// seed: `count` events of `kind`, each at a uniform time in
+/// [windowStart, windowEnd), lasting uniform [durationMin, durationMax],
+/// targeting a uniformly chosen entry of `candidates`.
+struct RandomFaultBurst {
+    FaultKind kind = FaultKind::kNodeReboot;
+    std::uint32_t count = 0;
+    Time windowStart = 0;
+    Time windowEnd = 0;
+    Time durationMin = 0;
+    Time durationMax = 0;
+    std::vector<std::uint16_t> candidates;
+};
+
+/// A full fault schedule: fixed events plus randomized bursts.
+struct FaultPlan {
+    std::vector<FaultEvent> fixed;
+    std::vector<RandomFaultBurst> random;
+
+    bool empty() const { return fixed.empty() && random.empty(); }
+};
+
+/// Expands a plan into a time-sorted event list. Randomized bursts draw from
+/// a dedicated stream (`Rng::deriveStream(seed, kFaultStreamId)`) in a fixed
+/// order — per event: time, duration, target — so the expansion depends only
+/// on (plan, seed), never on anything else the simulation does. The result
+/// is sorted by (at, kind, target, duration, peer) with a stable tie-break,
+/// making the schedule itself reproducible byte-for-byte.
+std::vector<FaultEvent> expandFaultPlan(const FaultPlan& plan, std::uint64_t seed);
+
+/// Stream id reserved for fault-plan expansion (disjoint from the sweep
+/// runner's grid-position streams by magnitude).
+constexpr std::uint64_t kFaultStreamId = 0xFA17'0000'0000'0001ULL;
+
+}  // namespace tcplp::sim

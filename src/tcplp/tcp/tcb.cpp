@@ -15,6 +15,7 @@ const char* stateName(State s) {
         case State::kClosing: return "CLOSING";
         case State::kLastAck: return "LAST_ACK";
         case State::kTimeWait: return "TIME_WAIT";
+        case State::kFailed: return "FAILED";
     }
     return "?";
 }

@@ -24,6 +24,11 @@ enum class State : std::uint8_t {
     kClosing,
     kLastAck,
     kTimeWait,
+    /// Terminal: the connection gave up (R2 retransmission limit, persist
+    /// give-up, or keep-alive exhaustion — RFC 1122 §4.2.3.5/§4.2.3.6).
+    /// Unlike kClosed-via-drop, the state survives so the application can
+    /// distinguish "peer unreachable" from a clean close.
+    kFailed,
 };
 
 const char* stateName(State s);

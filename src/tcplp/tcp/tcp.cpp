@@ -28,7 +28,8 @@ TcpSocket::TcpSocket(TcpStack& stack, TcpConfig config)
       timeWaitTimer_(stack.simulator(), [this] {
           setState(State::kClosed);
           if (onClosed_) onClosed_();
-      }) {
+      }),
+      keepAliveTimer_(stack.simulator(), [this] { keepAliveTimeout(); }) {
     tcb_.mss = config.mss;
     tcb_.rto = config.initialRto;
 }
@@ -123,7 +124,7 @@ void TcpSocket::close() {
 
 void TcpSocket::abort() {
     if (tcb_.state != State::kClosed && tcb_.state != State::kListen &&
-        tcb_.state != State::kSynSent) {
+        tcb_.state != State::kSynSent && tcb_.state != State::kFailed) {
         Segment rst;
         rst.flags.rst = true;
         rst.flags.ack = true;
@@ -134,6 +135,16 @@ void TcpSocket::abort() {
     rexmitTimer_.stop();
     persistTimer_.stop();
     delackTimer_.stop();
+    keepAliveTimer_.stop();
+    setState(State::kClosed);
+}
+
+void TcpSocket::dropSilently() {
+    rexmitTimer_.stop();
+    persistTimer_.stop();
+    delackTimer_.stop();
+    timeWaitTimer_.stop();
+    keepAliveTimer_.stop();
     setState(State::kClosed);
 }
 
@@ -333,12 +344,25 @@ void TcpSocket::armRexmit() {
 }
 
 void TcpSocket::rexmitTimeout() {
-    if (tcb_.state == State::kClosed || tcb_.state == State::kTimeWait) return;
+    if (tcb_.state == State::kClosed || tcb_.state == State::kTimeWait ||
+        tcb_.state == State::kFailed)
+        return;
 
     ++stats_.timeouts;
     ++tcb_.rxtShift;
+    // RFC 1122 §4.2.3.5 R1: warn the application that delivery is in
+    // trouble, but keep trying until R2.
+    if (config_.rexmitNotifyThreshold > 0 &&
+        int(tcb_.rxtShift) == config_.rexmitNotifyThreshold) {
+        ++stats_.rexmitNotifications;
+        if (onRexmitTrouble_) onRexmitTrouble_();
+        if (tcb_.state == State::kClosed || tcb_.state == State::kFailed)
+            return;  // callback tore the connection down
+    }
+    // R2: give up. kFailed is terminal and visibly distinct from a close.
     if (tcb_.rxtShift > config_.maxRetransmits) {
-        connectionDropped();
+        ++stats_.rexmitGiveUps;
+        connectionFailed();
         return;
     }
     tcb_.rto = std::min<sim::Time>(tcb_.rto * 2, config_.maxRto);
@@ -373,18 +397,70 @@ void TcpSocket::persistTimeout() {
         tcb_.persistRtoBase = 0;
         return;
     }
+    // Collapse the probe path into the same give-up logic as R2: a live peer
+    // answering probes resets the count (notePeerActivity), so only an
+    // unreachable one accumulates unanswered probes.
+    if (config_.maxPersistProbes > 0 &&
+        persistProbesUnanswered_ >= config_.maxPersistProbes) {
+        ++stats_.persistGiveUps;
+        connectionFailed();
+        return;
+    }
     // Send a one-byte window probe past the advertised window. The probe is
     // re-sent by the persist timer itself, never by the retransmit timer.
     ++stats_.zeroWindowProbes;
+    ++persistProbesUnanswered_;
     sendSegment(tcb_.sndUna, 1, false, false);
     if (tcb_.persistShift < 10) ++tcb_.persistShift;
     persistTimer_.start(persistDelay());
+}
+
+void TcpSocket::armKeepAlive() {
+    if (config_.keepAliveIdle == 0) return;
+    keepAliveUnanswered_ = 0;
+    keepAliveTimer_.stop();
+    keepAliveTimer_.start(config_.keepAliveIdle);
+}
+
+void TcpSocket::keepAliveTimeout() {
+    if (tcb_.state != State::kEstablished && tcb_.state != State::kCloseWait) return;
+    const sim::Time idle = stack_.simulator().now() - lastRecvAt_;
+    if (idle < config_.keepAliveIdle) {
+        // The peer spoke since the timer was armed; re-arm for the remainder.
+        keepAliveTimer_.start(config_.keepAliveIdle - idle);
+        return;
+    }
+    if (keepAliveUnanswered_ >= config_.keepAliveProbes) {
+        ++stats_.keepAliveGiveUps;
+        connectionFailed();
+        return;
+    }
+    sendKeepAliveProbe();
+    ++keepAliveUnanswered_;
+    keepAliveTimer_.start(config_.keepAliveInterval);
+}
+
+void TcpSocket::sendKeepAliveProbe() {
+    // BSD-style probe: zero-length segment at sndNxt-1. The sequence number
+    // is below the peer's rcvNxt, so the acceptability test rejects it and
+    // the peer answers with a bare ACK — exactly the liveness signal needed.
+    ++stats_.keepAliveProbesSent;
+    Segment seg;
+    seg.seq = tcb_.sndNxt - 1;
+    emit(seg);
+}
+
+void TcpSocket::notePeerActivity() {
+    lastRecvAt_ = stack_.simulator().now();
+    keepAliveUnanswered_ = 0;
+    persistProbesUnanswered_ = 0;
 }
 
 void TcpSocket::enterTimeWait() {
     setState(State::kTimeWait);
     rexmitTimer_.stop();
     persistTimer_.stop();
+    keepAliveTimer_.stop();
     timeWaitTimer_.start(2 * config_.msl);
 }
 
@@ -392,7 +468,18 @@ void TcpSocket::connectionDropped() {
     rexmitTimer_.stop();
     persistTimer_.stop();
     delackTimer_.stop();
+    keepAliveTimer_.stop();
     setState(State::kClosed);
+    stack_.netif().setExpectingResponse(false);
+    if (onError_) onError_();
+}
+
+void TcpSocket::connectionFailed() {
+    rexmitTimer_.stop();
+    persistTimer_.stop();
+    delackTimer_.stop();
+    keepAliveTimer_.stop();
+    setState(State::kFailed);
     stack_.netif().setExpectingResponse(false);
     if (onError_) onError_();
 }
@@ -430,7 +517,8 @@ void TcpSocket::beginPassiveOpen(const Segment& syn, const ip6::Address& peer) {
 
 void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
     ++stats_.segsReceived;
-    if (tcb_.state == State::kClosed) return;
+    if (tcb_.state == State::kClosed || tcb_.state == State::kFailed) return;
+    notePeerActivity();
 
     // ECN: remember congestion marks to echo (receiver role).
     if (tcb_.ecnEnabled && ipEcn == ip6::Ecn::kCongestionExperienced)
@@ -464,6 +552,7 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
             rexmitTimer_.stop();
             tcb_.rxtShift = 0;
             setState(State::kEstablished);
+            armKeepAlive();
             sendAckNow();
             if (onConnected_) onConnected_();
             output();
@@ -544,6 +633,7 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
             rexmitTimer_.stop();
             tcb_.rxtShift = 0;
             setState(State::kEstablished);
+            armKeepAlive();
             if (onConnected_) onConnected_();
         } else {
             return;
@@ -985,6 +1075,10 @@ void TcpStack::destroySocket(TcpSocket& socket) {
     }
 }
 
+void TcpStack::dropAllConnectionsSilently() {
+    for (auto& s : sockets_) s->dropSilently();
+}
+
 void TcpStack::bind(TcpSocket&) {}
 void TcpStack::unbind(TcpSocket&) {}
 
@@ -1005,7 +1099,7 @@ void TcpStack::packetInput(const ip6::Packet& packet) {
 
     // Exact four-tuple match.
     for (auto& s : sockets_) {
-        if (s->tcb_.state == State::kClosed) continue;
+        if (s->tcb_.state == State::kClosed || s->tcb_.state == State::kFailed) continue;
         if (s->localPort_ == seg->dstPort && s->remotePort_ == seg->srcPort &&
             s->remoteAddr_ == packet.src) {
             s->input(*seg, packet.ecn());

@@ -52,6 +52,24 @@ struct TcpConfig {
     sim::Time persistMax = 60 * sim::kSecond;
     sim::Time msl = 5 * sim::kSecond;         // TIME_WAIT = 2*MSL
     int maxRetransmits = 12;                  // §9.4: "up to 12 retransmissions"
+    /// RFC 1122 §4.2.3.5 R1: after this many consecutive retransmissions of
+    /// the same data the application is notified (setOnRexmitTrouble) that
+    /// the path may be down — delivery is still attempted until R2
+    /// (maxRetransmits) aborts. 0 disables the notification.
+    int rexmitNotifyThreshold = 4;
+    /// Zero-window probes are exempt from R2 while the peer answers them
+    /// (RFC 1122 explicitly allows a zero window to persist indefinitely),
+    /// but a peer that stops answering probes is just as dead as one that
+    /// stops ACKing data: give up after this many consecutive *unanswered*
+    /// probes. 0 = probe forever (pre-fault-injection behavior).
+    int maxPersistProbes = 12;
+    /// Keep-alive (RFC 1122 §4.2.3.6): after `keepAliveIdle` with no segment
+    /// from the peer, send a probe every `keepAliveInterval`; give up after
+    /// `keepAliveProbes` consecutive unanswered probes. Idle 0 = disabled
+    /// (the default — idle connections are free in the paper's deployments).
+    sim::Time keepAliveIdle = 0;
+    sim::Time keepAliveInterval = 10 * sim::kSecond;
+    int keepAliveProbes = 6;
     std::uint32_t initialCwndSegments = 2;
     /// Congestion-window ceiling in bytes; 0 = the send buffer capacity.
     /// Lets the send buffer hold application backlog (§9.2: "an additional
@@ -79,6 +97,11 @@ struct TcpStats {
     std::uint64_t challengeAcks = 0;
     std::uint64_t zeroWindowProbes = 0;
     std::uint64_t ecnResponses = 0;
+    std::uint64_t rexmitNotifications = 0;  // R1 threshold crossings
+    std::uint64_t rexmitGiveUps = 0;        // R2 aborts (-> kFailed)
+    std::uint64_t persistGiveUps = 0;       // unanswered-probe aborts
+    std::uint64_t keepAliveProbesSent = 0;
+    std::uint64_t keepAliveGiveUps = 0;
     Summary rttSamples;                   // milliseconds
 };
 
@@ -108,6 +131,9 @@ public:
     void close();
     /// Hard drop: RST to peer, socket immediately closed.
     void abort();
+    /// Crash semantics: all timers stopped, state cleared to kClosed, no RST
+    /// and no callbacks — as if the host lost power (fault injection).
+    void dropSilently();
 
     void setOnConnected(EventCallback cb) { onConnected_ = std::move(cb); }
     void setOnData(DataCallback cb) { onData_ = std::move(cb); }
@@ -119,6 +145,9 @@ public:
     std::size_t readable() const { return recvBuf_.readable(); }
     /// Connection failed/reset/timed out.
     void setOnError(EventCallback cb) { onError_ = std::move(cb); }
+    /// R1 notification (RFC 1122 §4.2.3.5): retransmissions are piling up
+    /// but the connection has not yet been aborted.
+    void setOnRexmitTrouble(EventCallback cb) { onRexmitTrouble_ = std::move(cb); }
     void setCwndTracer(CwndTracer cb) { cwndTracer_ = std::move(cb); }
     /// Fires whenever send-buffer space becomes available.
     void setOnSendSpace(EventCallback cb) { onSendSpace_ = std::move(cb); }
@@ -180,8 +209,13 @@ private:
     void armRexmit();
     void rexmitTimeout();
     void persistTimeout();
+    void keepAliveTimeout();
+    void sendKeepAliveProbe();
+    void armKeepAlive();
+    void notePeerActivity();
     void enterTimeWait();
     void connectionDropped();
+    void connectionFailed();
     void setState(State s);
     void maybeFinishClose(bool finAcked);
 
@@ -204,6 +238,12 @@ private:
     sim::Timer persistTimer_;
     sim::Timer delackTimer_;
     sim::Timer timeWaitTimer_;
+    sim::Timer keepAliveTimer_;
+
+    // Survival bookkeeping (outside Tcb: sizeof(Tcb) stays paper-comparable).
+    sim::Time lastRecvAt_ = 0;           // last segment from the peer
+    int persistProbesUnanswered_ = 0;
+    int keepAliveUnanswered_ = 0;
 
     DataCallback onData_;
     EventCallback onConnected_;
@@ -211,6 +251,7 @@ private:
     EventCallback onError_;
     EventCallback onSendSpace_;
     EventCallback onPeerFin_;
+    EventCallback onRexmitTrouble_;
     CwndTracer cwndTracer_;
     Seq finSeq_ = 0;  // sequence number consumed by our FIN
     bool sentAdvWndZero_ = false;
@@ -250,6 +291,9 @@ public:
     PassiveSocket& listen(std::uint16_t port, TcpConfig config, PassiveSocket::AcceptCallback cb);
 
     void destroySocket(TcpSocket& socket);
+    /// Crash semantics for every socket at once (node reboot): timers
+    /// stopped, states cleared, no RSTs, no callbacks.
+    void dropAllConnectionsSilently();
 
     // Internal.
     void transmit(TcpSocket& socket, Segment& seg);

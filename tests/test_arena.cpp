@@ -271,6 +271,47 @@ TEST(ReassemblyArena, MidFlightTeardownReleasesInFlightPayloads) {
     }
 }
 
+// Reboot variant of the teardown sweep: instead of destroying the testbed,
+// the reassembling border router *reboots* mid-transfer. The flush must
+// release any arena-backed partial exactly once (no leak, no double-free —
+// ASan enforces the latter), a payload already launched onto the wired link
+// stays pinned only until that transfer drains, and the recovered router
+// must keep forwarding fresh traffic afterwards.
+TEST(ReassemblyArena, RebootMidFlightReleasesPartialsAndRecovers) {
+    for (int cutoffMs = 2; cutoffMs <= 60; cutoffMs += 2) {
+        auto tb = harness::Testbed::line(1);
+        mesh::Node& mote = *tb->findNode(10);
+        mesh::Node& border = tb->borderRouter();
+        ip6::Packet p;
+        p.dst = ip6::Address::cloud(1000);
+        p.nextHeader = ip6::kProtoUdp;
+        p.payload = patternBytes(1, 700);
+        mote.sendPacket(std::move(p));
+        const sim::Time cutoff = sim::Time(cutoffMs) * sim::kMillisecond;
+        tb->simulator().runUntil(cutoff);
+
+        border.reboot(50 * sim::kMillisecond);
+        EXPECT_TRUE(border.isDown());
+        // Drain: the downtime elapses and any in-flight wired transfer
+        // completes, so every arena chunk must be home again.
+        tb->simulator().runUntil(cutoff + sim::kSecond);
+        EXPECT_FALSE(border.isDown());
+        EXPECT_EQ(border.stats().reboots, 1u) << "cutoff " << cutoffMs;
+        EXPECT_EQ(border.reassemblyArena()->outstandingChunks(), 0u)
+            << "cutoff " << cutoffMs;
+
+        // The cold-booted router still reassembles and forwards.
+        ip6::Packet again;
+        again.dst = ip6::Address::cloud(1000);
+        again.nextHeader = ip6::kProtoUdp;
+        again.payload = patternBytes(2, 700);
+        mote.sendPacket(std::move(again));
+        tb->simulator().runUntil(cutoff + 3 * sim::kSecond);
+        EXPECT_EQ(border.reassemblyArena()->outstandingChunks(), 0u)
+            << "cutoff " << cutoffMs;
+    }
+}
+
 TEST(SimulatorTeardown, CancelAllPendingDestroysCallbacksEagerly) {
     sim::Simulator simulator;
     int destroyed = 0;

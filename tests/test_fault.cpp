@@ -1,0 +1,129 @@
+// Fault-plan expansion: the determinism contract of the chaos campaigns.
+//
+// expandFaultPlan must be a pure function of (plan, seed) — fixed events
+// pass through untouched, randomized bursts draw from a dedicated derived
+// stream within the declared bounds, and the result is totally ordered by a
+// stable key. Everything downstream (installFaults, golden-pinned chaos
+// rows) leans on exactly these properties.
+#include <gtest/gtest.h>
+
+#include "tcplp/sim/fault.hpp"
+
+using namespace tcplp;
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::RandomFaultBurst;
+
+namespace {
+
+FaultPlan stormPlan() {
+    FaultPlan plan;
+    RandomFaultBurst burst;
+    burst.kind = FaultKind::kNodeReboot;
+    burst.count = 8;
+    burst.windowStart = 10 * sim::kSecond;
+    burst.windowEnd = 120 * sim::kSecond;
+    burst.durationMin = 2 * sim::kSecond;
+    burst.durationMax = 9 * sim::kSecond;
+    burst.candidates = {2, 3, 4, 5, 6, 7};
+    plan.random = {burst};
+    return plan;
+}
+
+bool sameEvents(const std::vector<FaultEvent>& a, const std::vector<FaultEvent>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].kind != b[i].kind || a[i].at != b[i].at ||
+            a[i].duration != b[i].duration || a[i].target != b[i].target ||
+            a[i].peer != b[i].peer) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+TEST(Fault, EmptyPlanExpandsToNothing) {
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_TRUE(sim::expandFaultPlan(plan, 1).empty());
+}
+
+TEST(Fault, FixedEventsPassThroughTimeSorted) {
+    FaultPlan plan;
+    plan.fixed = {
+        {FaultKind::kLinkBlackout, 45 * sim::kSecond, 7 * sim::kSecond, 1, 10},
+        {FaultKind::kNodeReboot, 20 * sim::kSecond, 20 * sim::kSecond, 1, 0},
+        {FaultKind::kLinkBlackout, 15 * sim::kSecond, 10 * sim::kSecond, 1, 10},
+    };
+    const std::vector<FaultEvent> events = sim::expandFaultPlan(plan, 99);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].at, 15 * sim::kSecond);
+    EXPECT_EQ(events[1].at, 20 * sim::kSecond);
+    EXPECT_EQ(events[1].kind, FaultKind::kNodeReboot);
+    EXPECT_EQ(events[2].at, 45 * sim::kSecond);
+    // A purely fixed plan expands identically under every seed.
+    EXPECT_TRUE(sameEvents(events, sim::expandFaultPlan(plan, 12345)));
+}
+
+TEST(Fault, SameSeedSamePlanExpandIdentically) {
+    const FaultPlan plan = stormPlan();
+    const auto a = sim::expandFaultPlan(plan, 7);
+    const auto b = sim::expandFaultPlan(plan, 7);
+    ASSERT_EQ(a.size(), 8u);
+    EXPECT_TRUE(sameEvents(a, b));
+}
+
+TEST(Fault, DifferentSeedsDrawDifferentSchedules) {
+    const FaultPlan plan = stormPlan();
+    const auto a = sim::expandFaultPlan(plan, 1);
+    const auto b = sim::expandFaultPlan(plan, 2);
+    EXPECT_FALSE(sameEvents(a, b));
+}
+
+TEST(Fault, BurstDrawsStayWithinDeclaredBounds) {
+    const FaultPlan plan = stormPlan();
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const std::vector<FaultEvent> events = sim::expandFaultPlan(plan, seed);
+        ASSERT_EQ(events.size(), 8u);
+        sim::Time prev = 0;
+        for (const FaultEvent& e : events) {
+            EXPECT_EQ(e.kind, FaultKind::kNodeReboot);
+            EXPECT_GE(e.at, 10 * sim::kSecond);
+            EXPECT_LT(e.at, 120 * sim::kSecond);  // window end is exclusive
+            EXPECT_GE(e.duration, 2 * sim::kSecond);
+            EXPECT_LE(e.duration, 9 * sim::kSecond);  // duration max inclusive
+            EXPECT_GE(e.target, 2);
+            EXPECT_LE(e.target, 7);
+            EXPECT_EQ(e.peer, 0);  // reboots have no link peer
+            EXPECT_GE(e.at, prev) << "expansion must be time-sorted";
+            prev = e.at;
+        }
+    }
+}
+
+TEST(Fault, MixedPlanKeepsFixedEventsVerbatim) {
+    FaultPlan plan = stormPlan();
+    const FaultEvent pinned{FaultKind::kCorruptionBurst, 33 * sim::kSecond,
+                            3 * sim::kSecond, 0, 0};
+    plan.fixed = {pinned};
+    const std::vector<FaultEvent> events = sim::expandFaultPlan(plan, 4);
+    ASSERT_EQ(events.size(), 9u);
+    int found = 0;
+    for (const FaultEvent& e : events) {
+        if (e.kind == FaultKind::kCorruptionBurst) {
+            ++found;
+            EXPECT_EQ(e.at, pinned.at);
+            EXPECT_EQ(e.duration, pinned.duration);
+        }
+    }
+    EXPECT_EQ(found, 1);
+}
+
+TEST(Fault, KindNamesAreStable) {
+    EXPECT_STREQ(sim::faultKindName(FaultKind::kNodeReboot), "node_reboot");
+    EXPECT_STREQ(sim::faultKindName(FaultKind::kLinkBlackout), "link_blackout");
+    EXPECT_STREQ(sim::faultKindName(FaultKind::kCorruptionBurst), "corruption_burst");
+}

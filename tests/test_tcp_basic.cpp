@@ -153,7 +153,9 @@ TEST(TcpBasic, RetransmissionOnTotalBlackout) {
     EXPECT_EQ(toPrintable(t.received), "hello");
 }
 
-TEST(TcpBasic, ConnectionDropsAfterMaxRetransmits) {
+TEST(TcpBasic, ConnectionFailsAfterMaxRetransmits) {
+    // R2 (RFC 1122 §4.2.3.5): a dead path must not retransmit forever. The
+    // terminal state is kFailed, distinguishable from a clean close.
     tcp::TcpConfig cfg;
     cfg.maxRetransmits = 3;
     TcpPair t({}, cfg);
@@ -165,7 +167,173 @@ TEST(TcpBasic, ConnectionDropsAfterMaxRetransmits) {
     t.client->send(toBytes("doomed"));
     t.simulator.runUntil(10 * sim::kMinute);
     EXPECT_TRUE(errored);
-    EXPECT_EQ(t.client->state(), tcp::State::kClosed);
+    EXPECT_EQ(t.client->state(), tcp::State::kFailed);
+    EXPECT_EQ(t.client->stats().rexmitGiveUps, 1u);
+}
+
+TEST(TcpBasic, R1ThresholdNotifiesBeforeR2Aborts) {
+    tcp::TcpConfig cfg;
+    cfg.rexmitNotifyThreshold = 2;
+    cfg.maxRetransmits = 5;
+    TcpPair t({}, cfg);
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    bool troubled = false;
+    bool errored = false;
+    t.client->setOnRexmitTrouble([&] {
+        troubled = true;
+        EXPECT_FALSE(errored);  // R1 strictly precedes R2
+        EXPECT_EQ(t.client->state(), tcp::State::kEstablished);
+    });
+    t.client->setOnError([&] { errored = true; });
+    t.pipe.config().lossAtoB = 1.0;
+    t.client->send(toBytes("doomed"));
+    t.simulator.runUntil(30 * sim::kMinute);
+    EXPECT_TRUE(troubled);
+    EXPECT_TRUE(errored);
+    EXPECT_EQ(t.client->stats().rexmitNotifications, 1u);
+}
+
+TEST(TcpBasic, RexmitTroubleClearedByRecovery) {
+    // R1 fires, then the path heals: the transfer completes and no abort
+    // happens; a later stall starts the R1 count over.
+    tcp::TcpConfig cfg;
+    cfg.rexmitNotifyThreshold = 2;
+    TcpPair t({}, cfg);
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    bool errored = false;
+    t.client->setOnError([&] { errored = true; });
+    t.pipe.config().lossAtoB = 1.0;
+    t.client->send(toBytes("delayed"));
+    t.simulator.runUntil(30 * sim::kSecond);
+    EXPECT_GE(t.client->stats().rexmitNotifications, 1u);
+    t.pipe.config().lossAtoB = 0.0;
+    t.simulator.runUntil(3 * sim::kMinute);
+    EXPECT_FALSE(errored);
+    EXPECT_EQ(toPrintable(t.received), "delayed");
+    EXPECT_EQ(t.client->state(), tcp::State::kEstablished);
+}
+
+TEST(TcpBasic, PersistProbesGiveUpWhenPeerVanishes) {
+    // Zero-window probing collapses into the same give-up logic as R2: a
+    // peer that stops answering probes eventually fails the connection.
+    tcp::TcpConfig clientCfg;
+    clientCfg.maxPersistProbes = 4;
+    tcp::TcpConfig serverCfg;
+    serverCfg.recvBufferBytes = 128;
+    TcpPair t({}, clientCfg, serverCfg);
+    // Manual-read server: never drain, so the window closes.
+    t.serverStack.listen(81, serverCfg, [&](tcp::TcpSocket& s) { t.server = &s; });
+    t.client->connect(t.pipe.b().address(), 81);
+    t.simulator.runUntil(2 * sim::kSecond);
+    ASSERT_EQ(t.client->state(), tcp::State::kEstablished);
+
+    const Bytes data = patternBytes(0, 600);
+    std::size_t offset = 0;
+    auto pump = [&] {
+        while (offset < data.size()) {
+            const std::size_t n = t.client->send(
+                BytesView(data.data() + offset, std::min<std::size_t>(128, data.size() - offset)));
+            if (n == 0) break;
+            offset += n;
+        }
+    };
+    t.client->setOnSendSpace(pump);
+    pump();
+    t.simulator.runUntil(2 * sim::kMinute);
+    ASSERT_TRUE(t.client->tcb().persisting);
+    EXPECT_GT(t.client->stats().zeroWindowProbes, 0u);
+
+    bool errored = false;
+    t.client->setOnError([&] { errored = true; });
+    // Peer answers probes -> probing continues indefinitely (RFC 1122 allows
+    // a zero window to persist); only an unreachable peer accumulates.
+    t.pipe.config().lossAtoB = 1.0;
+    t.pipe.config().lossBtoA = 1.0;
+    t.simulator.runUntil(60 * sim::kMinute);
+    EXPECT_TRUE(errored);
+    EXPECT_EQ(t.client->state(), tcp::State::kFailed);
+    EXPECT_EQ(t.client->stats().persistGiveUps, 1u);
+}
+
+TEST(TcpBasic, PersistProbesContinueWhilePeerAnswers) {
+    tcp::TcpConfig clientCfg;
+    clientCfg.maxPersistProbes = 3;
+    tcp::TcpConfig serverCfg;
+    serverCfg.recvBufferBytes = 128;
+    TcpPair t({}, clientCfg, serverCfg);
+    t.serverStack.listen(81, serverCfg, [&](tcp::TcpSocket& s) { t.server = &s; });
+    t.client->connect(t.pipe.b().address(), 81);
+    t.simulator.runUntil(2 * sim::kSecond);
+
+    const Bytes data = patternBytes(0, 600);
+    std::size_t offset = 0;
+    auto pump = [&] {
+        while (offset < data.size()) {
+            const std::size_t n = t.client->send(
+                BytesView(data.data() + offset, std::min<std::size_t>(128, data.size() - offset)));
+            if (n == 0) break;
+            offset += n;
+        }
+    };
+    t.client->setOnSendSpace(pump);
+    pump();
+    bool errored = false;
+    t.client->setOnError([&] { errored = true; });
+    // Probe count far beyond maxPersistProbes, but every probe is answered.
+    t.simulator.runUntil(30 * sim::kMinute);
+    EXPECT_GT(t.client->stats().zeroWindowProbes, 3u);
+    EXPECT_FALSE(errored);
+    ASSERT_NE(t.server, nullptr);
+    // Reader finally drains; the transfer completes.
+    while (t.server->readable() > 0 || t.received.size() < data.size()) {
+        const Bytes chunk = t.server->read(128);
+        append(t.received, BytesView(chunk));
+        t.simulator.runUntil(t.simulator.now() + 10 * sim::kSecond);
+        if (t.simulator.now() > 90 * sim::kMinute) break;
+    }
+    EXPECT_EQ(t.received.size(), data.size());
+    EXPECT_TRUE(matchesPattern(0, t.received));
+}
+
+TEST(TcpBasic, KeepAliveProbesDetectDeadPeer) {
+    tcp::TcpConfig cfg;
+    cfg.keepAliveIdle = 30 * sim::kSecond;
+    cfg.keepAliveInterval = 10 * sim::kSecond;
+    cfg.keepAliveProbes = 3;
+    TcpPair t({}, cfg);
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    ASSERT_EQ(t.client->state(), tcp::State::kEstablished);
+    bool errored = false;
+    t.client->setOnError([&] { errored = true; });
+    // Idle connection, dead path: keep-alive notices within
+    // idle + probes*interval.
+    t.pipe.config().lossAtoB = 1.0;
+    t.pipe.config().lossBtoA = 1.0;
+    t.simulator.runUntil(5 * sim::kMinute);
+    EXPECT_TRUE(errored);
+    EXPECT_EQ(t.client->state(), tcp::State::kFailed);
+    EXPECT_GE(t.client->stats().keepAliveProbesSent, 3u);
+    EXPECT_EQ(t.client->stats().keepAliveGiveUps, 1u);
+}
+
+TEST(TcpBasic, KeepAliveQuietOnLivePeer) {
+    tcp::TcpConfig cfg;
+    cfg.keepAliveIdle = 20 * sim::kSecond;
+    cfg.keepAliveInterval = 5 * sim::kSecond;
+    cfg.keepAliveProbes = 2;
+    TcpPair t({}, cfg);
+    t.connect();
+    t.simulator.runUntil(2 * sim::kSecond);
+    bool errored = false;
+    t.client->setOnError([&] { errored = true; });
+    // Idle but healthy path: probes are answered, the connection lives.
+    t.simulator.runUntil(10 * sim::kMinute);
+    EXPECT_FALSE(errored);
+    EXPECT_EQ(t.client->state(), tcp::State::kEstablished);
+    EXPECT_GT(t.client->stats().keepAliveProbesSent, 0u);
 }
 
 TEST(TcpBasic, RstOnSegmentToClosedPort) {
