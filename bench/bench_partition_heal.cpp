@@ -1,0 +1,58 @@
+// Chaos: a sensor is partitioned past R2, then the partition heals.
+//
+// Every link at sensor 15 goes dark for 60s while it streams uplink — longer
+// than the lowered R2 budget (maxRetransmits=3), so the mote's TCP gives up
+// mid-outage and the app falls back to the reconnect ladder. During the
+// blackout the sensor's liveness tracker declares both candidate parents
+// (10, then alternate 11) dead; once the partition heals its probes revive
+// them and the default route *fails back* to the preferred parent. The
+// transfer completes inside the backoff budget (2+4+8+16+30... > 60s).
+#include "bench/driver.hpp"
+
+namespace {
+using namespace bench;
+
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "partition_heal";
+    d.title = "Chaos: sensor partition past R2, reconnect + route failback";
+    d.base.topology.kind = TopologyKind::kOffice;
+    d.base.topology.selfHealing = true;
+    d.base.workload.totalBytes = 25000;
+    d.base.workload.timeLimit = 10 * sim::kMinute;
+    d.base.fault.chaos = true;
+    d.base.fault.maxRetransmits = 3;  // give up well inside the 60s outage
+    {
+        sim::FaultEvent cut;
+        cut.kind = sim::FaultKind::kLinkBlackout;
+        cut.at = 5 * sim::kSecond;
+        cut.duration = 60 * sim::kSecond;
+        cut.target = 15;  // target == peer: every link at the sensor
+        cut.peer = 15;
+        d.base.fault.plan.fixed = {cut};
+    }
+    d.axes = {{"fault", {0, 1}}};
+    d.seeds = {1, 2};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.fault.enabled = scenario::faultFromAxis(p.value("fault"));
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-10s %14s %10s %10s %12s %10s\n", "Fault", "Goodput kb/s",
+                    "Complete", "GiveUps", "Reconnects", "Failbacks");
+        for (double fault : {0.0, 1.0}) {
+            std::printf("%-10s %14.1f %10.1f %10.1f %12.1f %10.1f\n",
+                        fault > 0.5 ? "cut" : "clean",
+                        r.mean("goodput_kbps", {{"fault", fault}}),
+                        r.mean("complete", {{"fault", fault}}),
+                        r.mean("give_ups", {{"fault", fault}}),
+                        r.mean("reconnects", {{"fault", fault}}),
+                        r.mean("failbacks", {{"fault", fault}}));
+        }
+        std::printf("\nThe give-up is expected (outage > R2); what matters is the\n"
+                    "reconnect completing and the route failing back after the heal.\n");
+    };
+    return d;
+}
+
+Registration reg{def()};
+}  // namespace

@@ -1,0 +1,55 @@
+// Chaos: permanent death of the sensor's first-hop relay, self-healing on.
+//
+// Sensor 15 streams uplink over the Fig. 3 office tree when its only parent,
+// relay 10, dies for good at t=4s (sim::FaultKind::kNodeFailure — no reboot
+// ever comes). With self-healing routing enabled the mesh repairs around the
+// corpse: node 15 fails its default route over to sibling relay 11, and node
+// 8 fails the downlink (ACK) route to 15 over to 11 as well, so the flow
+// completes without a single TCP give-up. The fault=0 baseline pins that the
+// liveness machinery costs nothing when nothing fails.
+#include "bench/driver.hpp"
+
+namespace {
+using namespace bench;
+
+ScenarioDef def() {
+    ScenarioDef d;
+    d.name = "relay_failover";
+    d.title = "Chaos: permanent first-hop relay death, alternate-parent failover";
+    d.base.topology.kind = TopologyKind::kOffice;
+    d.base.topology.selfHealing = true;
+    d.base.workload.totalBytes = 25000;
+    d.base.workload.timeLimit = 10 * sim::kMinute;
+    d.base.fault.chaos = true;
+    {
+        sim::FaultEvent death;
+        death.kind = sim::FaultKind::kNodeFailure;
+        death.at = 4 * sim::kSecond;
+        death.target = 10;  // sensor 15's first-hop relay
+        d.base.fault.plan.fixed = {death};
+    }
+    d.axes = {{"fault", {0, 1}}};
+    d.seeds = {1, 2};
+    d.bind = [](ScenarioSpec& s, const Point& p) {
+        s.fault.enabled = scenario::faultFromAxis(p.value("fault"));
+    };
+    d.present = [](const SweepResult& r) {
+        std::printf("%-10s %14s %10s %10s %10s %12s\n", "Fault", "Goodput kb/s",
+                    "Complete", "Reroutes", "GiveUps", "Blackholes");
+        for (double fault : {0.0, 1.0}) {
+            std::printf("%-10s %14.1f %10.1f %10.1f %10.1f %12.1f\n",
+                        fault > 0.5 ? "death" : "clean",
+                        r.mean("goodput_kbps", {{"fault", fault}}),
+                        r.mean("complete", {{"fault", fault}}),
+                        r.mean("reroutes", {{"fault", fault}}),
+                        r.mean("give_ups", {{"fault", fault}}),
+                        r.mean("blackhole_drops", {{"fault", fault}}));
+        }
+        std::printf("\nThe relay never comes back; the flow must finish over the\n"
+                    "alternate parent with zero TCP give-ups.\n");
+    };
+    return d;
+}
+
+Registration reg{def()};
+}  // namespace

@@ -1,5 +1,6 @@
 #include "tcplp/harness/testbed.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 
@@ -17,6 +18,16 @@ Testbed::Testbed(TestbedConfig config)
 Testbed::~Testbed() { simulator_.cancelAllPending(); }
 
 mesh::Node& Testbed::addNode(phy::NodeId id, phy::Position pos, mesh::NodeConfig config) {
+    // Self-healing routing: routers learn link liveness and fail over.
+    // Leaves stay out — their traffic rides the duty-cycled indirect path,
+    // where a missed wakeup window says nothing about the link.
+    if (config_.selfHealing && config.role != mesh::Role::kLeaf &&
+        config.role != mesh::Role::kCloudHost) {
+        config.neighbor = config_.neighborDefaults;
+        config.neighbor.enabled = true;
+        config.neighbor.probeSeed =
+            sim::Rng::deriveStream(config_.seed, mesh::kLivenessStreamId + id);
+    }
     nodes_.push_back(std::make_unique<mesh::Node>(simulator_, &channel_, id, pos, config));
     return *nodes_.back();
 }
@@ -177,6 +188,63 @@ void Testbed::installTreeRoutes() {
             const int up = parent[std::size_t(cur)];
             node(std::size_t(up)).addRoute(child.id(), node(std::size_t(cur)).id());
             cur = up;
+        }
+    }
+
+    if (!config_.selfHealing) return;
+
+    // --- Ranked loop-free alternates (RPL-lite parent sets) ---------------
+    // For every (router v, router destination d) the candidate set is the
+    // in-range neighbors of v strictly closer to d, where distance is BFS
+    // over the relay graph (leaves never relay). BFS depths equal graph
+    // distances, so the tree next hop is always in the set; the installed
+    // rank order is tree primary first, then ascending node id. Every
+    // candidate hop strictly decreases the distance to d, so any mix of
+    // failovers is loop-free by construction.
+    const auto relays = [&](std::size_t u) { return !isLeaf(node(u).id()); };
+    std::vector<std::vector<int>> distTo(n, std::vector<int>(n, -1));
+    for (std::size_t d = 0; d < n; ++d) {
+        if (!relays(d)) continue;  // a leaf is reachable only via its parent
+        std::vector<int>& dist = distTo[d];
+        dist[d] = 0;
+        std::queue<std::size_t> q;
+        q.push(d);
+        while (!q.empty()) {
+            const std::size_t u = q.front();
+            q.pop();
+            if (u != d && !relays(u)) continue;
+            for (std::size_t v = 0; v < n; ++v) {
+                if (dist[v] != -1) continue;
+                if (!channel().inRange(node(u).radio(), node(v).radio())) continue;
+                dist[v] = dist[u] + 1;
+                q.push(v);
+            }
+        }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+        if (!relays(v)) continue;
+        mesh::Node& router = node(v);
+        for (std::size_t d = 0; d < n; ++d) {
+            if (d == v || !relays(d)) continue;
+            const std::vector<int>& dist = distTo[d];
+            if (dist[v] <= 0) continue;
+            std::vector<phy::NodeId> cand;
+            for (std::size_t u = 0; u < n; ++u) {
+                if (u == v || dist[u] != dist[v] - 1) continue;
+                if (u != d && !relays(u)) continue;
+                if (!channel().inRange(node(v).radio(), node(u).radio())) continue;
+                cand.push_back(node(u).id());
+            }
+            std::sort(cand.begin(), cand.end());
+            if (d == 0) {
+                // Uplink rides the default route; the tree parent is
+                // already rank 0 (appends deduplicate against it).
+                for (phy::NodeId c : cand) router.addDefaultRouteAlternate(c);
+            } else {
+                // Downlink/cross-tree: at ancestors the tree primary is
+                // already rank 0; elsewhere the best-id candidate leads.
+                for (phy::NodeId c : cand) router.addRouteAlternate(node(d).id(), c);
+            }
         }
     }
 }

@@ -34,6 +34,17 @@ struct TestbedConfig {
     /// their BFS parent (the sensors of §9; empty = all routers).
     std::vector<phy::NodeId> sleepyLeaves{};
     mac::SleepyConfig sleepyConfig{};
+
+    /// Self-healing mesh routing: every router gets link-liveness tracking
+    /// (mesh::NeighborTable, probe seed derived per node from the run
+    /// seed), and installTreeRoutes additionally installs ranked loop-free
+    /// alternate next hops (neighbors strictly closer to the destination).
+    /// Off by default: fault-free runs are byte-identical either way, but
+    /// the flag keeps the legacy static-route topologies bit-exact.
+    bool selfHealing = false;
+    /// Knob overrides for the per-router NeighborConfig (enabled/probeSeed
+    /// are managed by the testbed).
+    mesh::NeighborConfig neighborDefaults{};
 };
 
 class Testbed {
@@ -50,6 +61,7 @@ public:
     mesh::WiredLink& wired() { return *wired_; }
 
     mesh::Node& node(std::size_t index) { return *nodes_[index]; }
+    const mesh::Node& node(std::size_t index) const { return *nodes_[index]; }
     std::size_t nodeCount() const { return nodes_.size(); }
     mesh::Node& borderRouter() { return *border_; }
     mesh::Node& cloud() { return *cloud_; }

@@ -248,6 +248,11 @@ void CsmaMac::finishCurrent(bool success) {
             ++stats_.dataDelivered;
         else
             ++stats_.dataFailed;
+        // Link-liveness feed: direct unicast payloads only. Broadcasts are
+        // unacked (no signal) and indirect frames answer to the child's
+        // wakeup schedule, not the link.
+        if (txOutcome_ && op.frame.ackRequest && !op.indirect)
+            txOutcome_(op.frame.dst, success);
     }
     if (op.pollDone) op.pollDone(success, lastAckPending_);
     if (op.done) op.done(SendResult{success, op.transmissions});

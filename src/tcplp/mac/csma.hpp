@@ -109,6 +109,16 @@ public:
     /// Payloads from frames addressed to this node (or broadcast).
     void setReceiveCallback(ReceiveCallback cb) { receiveCallback_ = std::move(cb); }
 
+    /// Per-neighbor TX outcome feed for link-liveness tracking: fires once
+    /// per direct unicast data payload with the final verdict — acked, or
+    /// dropped after exhausting the retry ladder. Indirect (sleepy-child)
+    /// deliveries are excluded: a missed wakeup window says nothing about
+    /// the link. Fired before the SendCallback so the routing layer's view
+    /// is fresh when the sender decides what to do with the rest of the
+    /// datagram.
+    using TxOutcomeCallback = std::function<void(NodeId dst, bool acked)>;
+    void setTxOutcomeCallback(TxOutcomeCallback cb) { txOutcome_ = std::move(cb); }
+
     /// Fires whenever the TX queue drains (used by the sleepy wrapper to
     /// decide when the radio may sleep).
     void setIdleCallback(std::function<void()> cb) { idleCallback_ = std::move(cb); }
@@ -170,6 +180,7 @@ private:
     CsmaConfig config_;
     MacStats stats_;
     ReceiveCallback receiveCallback_;
+    TxOutcomeCallback txOutcome_;
     std::function<void()> idleCallback_;
 
     std::deque<SendOp> queue_;

@@ -27,6 +27,14 @@ Node::Node(sim::Simulator& simulator, phy::Channel* channel, NodeId id, phy::Pos
         arena_ = std::make_unique<BufferArena>(config_.reassemblyArenaBytes);
         radio_ = std::make_unique<phy::Radio>(simulator, *channel, id, pos);
         mac_ = std::make_unique<mac::CsmaMac>(*radio_, config_.macConfig);
+        neighbors_ = std::make_unique<NeighborTable>(simulator, config_.neighbor);
+        if (config_.neighbor.enabled) {
+            mac_->setTxOutcomeCallback([this](NodeId dst, bool acked) {
+                neighbors_->onTxOutcome(dst, acked);
+            });
+            neighbors_->setProbeSender([this](NodeId n) { sendProbe(n); });
+            routes_.setLiveness([this](NodeId n) { return neighbors_->isLive(n); });
+        }
         reassembler_ = std::make_unique<lowpan::Reassembler>(
             simulator,
             [this](ip6::Packet p, ip6::ShortAddr src) {
@@ -53,6 +61,9 @@ const NodeStats& Node::stats() const {
             reassembler_->stats().arenaDrops + reassembler_->stats().slotDrops;
     }
     if (arena_) stats_.reassemblyArenaHighWater = arena_->stats().highWaterBytes;
+    stats_.reroutes = routes_.reroutes();
+    stats_.failbacks = routes_.failbacks();
+    stats_.blackholeDrops = routes_.blackholeDrops();
     return stats_;
 }
 
@@ -73,6 +84,7 @@ void Node::start() {
 
 void Node::reboot(sim::Time downtime) {
     TCPLP_ASSERT(config_.role != Role::kCloudHost);
+    if (failed_) return;  // a permanently failed node never power-cycles
     ++stats_.reboots;
     ++rebootEpoch_;  // invalidates closures scheduled before the crash
     const bool wasDown = down_;
@@ -91,6 +103,10 @@ void Node::reboot(sim::Time downtime) {
     txTagActive_ = false;
     draining_ = false;
     fragRoutes_.clear();
+    // Liveness verdicts and failover selections are volatile; installed
+    // routes (configuration) survive.
+    if (neighbors_) neighbors_->reset();
+    routes_.resetSelections();
 
     if (!wasDown)
         for (auto& listener : rebootListeners_) listener(true);
@@ -104,8 +120,37 @@ void Node::reboot(sim::Time downtime) {
     });
 }
 
-void Node::addRoute(ip6::ShortAddr dst, NodeId nextHop) { routes_[dst] = nextHop; }
-void Node::setDefaultRoute(NodeId nextHop) { defaultRoute_ = nextHop; }
+void Node::addRoute(ip6::ShortAddr dst, NodeId nextHop) { routes_.setRoute(dst, nextHop); }
+void Node::addRouteAlternate(ip6::ShortAddr dst, NodeId nextHop) {
+    routes_.addAlternate(dst, nextHop);
+}
+void Node::setDefaultRoute(NodeId nextHop) { routes_.setDefaultRoute(nextHop); }
+void Node::addDefaultRouteAlternate(NodeId nextHop) {
+    routes_.addDefaultAlternate(nextHop);
+}
+
+void Node::failPermanently() {
+    TCPLP_ASSERT(config_.role != Role::kCloudHost);
+    if (failed_) return;
+    failed_ = true;
+    ++rebootEpoch_;  // strands any scheduled recovery / delayed sends
+    const bool wasDown = down_;
+    down_ = true;
+    if (radio_) radio_->setPowered(false);
+    if (mac_) mac_->reset();
+    if (reassembler_) reassembler_->clear();
+    if (queue_) queue_->clear();
+    txFrames_.clear();
+    txIndex_ = 0;
+    txTagActive_ = false;
+    draining_ = false;
+    fragRoutes_.clear();
+    if (neighbors_) neighbors_->reset();
+    routes_.resetSelections();
+    if (!wasDown)
+        for (auto& listener : rebootListeners_) listener(true);
+    // No recovery is scheduled: the node is gone for good.
+}
 
 void Node::attachWired(WiredLink* link) { wired_ = link; }
 
@@ -122,10 +167,8 @@ void Node::setExpectingResponse(bool expecting) {
     if (sleepy_) sleepy_->setExpectingResponse(expecting);
 }
 
-std::optional<NodeId> Node::lookupRoute(const ip6::Address& dst) const {
-    if (auto it = routes_.find(dst.shortAddr()); it != routes_.end()) return it->second;
-    if (defaultRoute_) return *defaultRoute_;
-    return std::nullopt;
+RouteLookupStatus Node::lookupRoute(const ip6::Address& dst, NodeId& nextHop) {
+    return routes_.lookup(dst.shortAddr(), nextHop);
 }
 
 void Node::sendPacket(ip6::Packet packet) {
@@ -174,20 +217,28 @@ void Node::routePacket(ip6::Packet packet, bool forwarded) {
             return;
         }
     }
-    const auto nextHop = lookupRoute(packet.dst);
-    if (!nextHop) {
-        ++stats_.noRouteDrops;
-        return;
+    NodeId nextHop = 0;
+    switch (lookupRoute(packet.dst, nextHop)) {
+        case RouteLookupStatus::kNoRoute:
+            ++stats_.noRouteDrops;
+            return;
+        case RouteLookupStatus::kDead:
+            // Route exists but every next hop is known dead: drop now
+            // (counted by the route manager) instead of burning a CSMA
+            // retry ladder per frame into a blackhole.
+            return;
+        case RouteLookupStatus::kOk:
+            break;
     }
-    enqueueMeshPacket(std::move(packet), *nextHop);
+    enqueueMeshPacket(std::move(packet), nextHop);
 }
 
 void Node::enqueueMeshPacket(ip6::Packet packet, NodeId nextHop) {
     TCPLP_ASSERT(mac_);
-    // Stash the chosen next hop in the queue entry by pairing: we requeue as
-    // (packet, nextHop) via a small side map keyed by pointer identity —
-    // instead, simpler: resolve the next hop again at dequeue. Routes are
-    // static during experiments, so resolving twice is equivalent.
+    // The chosen next hop is not stashed with the queue entry: the route is
+    // resolved again at dequeue. With static routes the two lookups are
+    // equivalent; with self-healing routing the dequeue-time lookup is the
+    // one that must win (the selection may have failed over meanwhile).
     if (!queue_->push(std::move(packet))) {
         ++stats_.forwardDrops;
         return;
@@ -200,13 +251,17 @@ void Node::drainQueue() {
     if (draining_ || !queue_ || queue_->empty()) return;
     draining_ = true;
     ip6::Packet packet = queue_->pop();
-    const auto nextHop = lookupRoute(packet.dst);
-    if (!nextHop) {
-        ++stats_.noRouteDrops;
+    // Re-resolve at dequeue: with self-healing routing the selection may
+    // have failed over (or back) while the packet sat in the queue.
+    NodeId hop = 0;
+    const RouteLookupStatus status = lookupRoute(packet.dst, hop);
+    if (status != RouteLookupStatus::kOk) {
+        if (status == RouteLookupStatus::kNoRoute) ++stats_.noRouteDrops;
         draining_ = false;
         drainQueue();
         return;
     }
+    const std::optional<NodeId> nextHop = hop;
     // Skip tags adopted by the relay fast path: relayed fragments bypass
     // this queue and can interleave with our own in the MAC, so the two
     // streams must not share a (sender, tag) pair at the receiver.
@@ -248,12 +303,29 @@ void Node::sendNextFrame(NodeId nextHop) {
         drainQueue();
         return;
     }
+    // Dead-next-hop fast drop: if liveness tracking has marked the hop
+    // unreachable mid-datagram, abandon the remainder immediately instead
+    // of paying a full CSMA retry ladder per frame.
+    if (neighbors_ && config_.neighbor.enabled && !neighbors_->isLive(nextHop)) {
+        routes_.noteBlackhole();
+        txIndex_ = txFrames_.size();
+        sendNextFrame(nextHop);
+        return;
+    }
     PacketBuffer payload = std::move(txFrames_[txIndex_]);
     ++txIndex_;
     macSend(nextHop, std::move(payload), [this, nextHop](const mac::SendResult& r) {
         if (!r.success) txIndex_ = txFrames_.size();  // abandon the datagram
         sendNextFrame(nextHop);
     });
+}
+
+void Node::sendProbe(NodeId neighbor) {
+    if (down_ || !mac_) return;
+    // An empty unicast payload: the receiver's 6LoWPAN parser discards it,
+    // but the link-layer ACK (or the exhausted retry ladder) feeds the
+    // neighbor table through the MAC's TX-outcome callback.
+    mac_->send(neighbor, PacketBuffer{}, nullptr);
 }
 
 void Node::macSend(NodeId dst, PacketBuffer payload, mac::CsmaMac::SendCallback done) {
@@ -287,11 +359,17 @@ void Node::macInput(NodeId macSrc, const PacketBuffer& macPayload) {
             reassembler_->input(macSrc, id_, macPayload);
             return;
         }
-        const auto nextHop = lookupRoute(probe.dst);
-        if (!nextHop) {
-            ++stats_.noRouteDrops;
-            return;
+        NodeId hop = 0;
+        switch (lookupRoute(probe.dst, hop)) {
+            case RouteLookupStatus::kNoRoute:
+                ++stats_.noRouteDrops;
+                return;
+            case RouteLookupStatus::kDead:
+                return;  // counted by the route manager
+            case RouteLookupStatus::kOk:
+                break;
         }
+        const std::optional<NodeId> nextHop = hop;
         // Zero-copy fast path: keep the origin's datagram tag when no other
         // datagram this node is currently relaying or originating uses it,
         // so the fragment can be forwarded as a shared buffer with no header
@@ -332,6 +410,15 @@ void Node::forwardRawFragment(const PacketBuffer& macPayload, const lowpan::Frag
                               NodeId macSrc) {
     const auto it = fragRoutes_.find({macSrc, info.tag});
     TCPLP_ASSERT(it != fragRoutes_.end());
+    // Pinned fast-path hop gone dead mid-datagram: drop the fragment and
+    // retire the route — the receiver discards on gap anyway, and burning
+    // retry ladders into a blackhole would only delay the sender's own
+    // failover.
+    if (neighbors_ && config_.neighbor.enabled && !neighbors_->isLive(it->second.nextHop)) {
+        routes_.noteBlackhole();
+        fragRoutes_.erase(it);
+        return;
+    }
     it->second.lastActivity = simulator_.now();
     PacketBuffer out = macPayload;  // shares storage with the received frame
     if (it->second.newTag != info.tag) {

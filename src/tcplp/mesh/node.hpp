@@ -25,6 +25,8 @@
 #include "tcplp/lowpan/frag.hpp"
 #include "tcplp/mac/csma.hpp"
 #include "tcplp/mac/sleepy.hpp"
+#include "tcplp/mesh/neighbor_table.hpp"
+#include "tcplp/mesh/route_manager.hpp"
 #include "tcplp/phy/radio.hpp"
 
 namespace tcplp::mesh {
@@ -57,6 +59,13 @@ struct NodeConfig {
     /// Per-datagram processing latency before frames reach the MAC
     /// (thread-per-layer IPC in GNRC, event queue in BLIP).
     sim::Time txProcessingDelay = 0;
+
+    // --- Self-healing routing (link liveness + failover) ----------------
+    /// neighbor.enabled turns on liveness tracking, dead-next-hop fast
+    /// drops, and failover across the alternate routes the harness
+    /// installs. Off (the default) reproduces the static-route behavior
+    /// byte-for-byte — no extra RNG draws, no extra events.
+    NeighborConfig neighbor{};
 };
 
 struct NodeStats {
@@ -76,6 +85,11 @@ struct NodeStats {
     /// High-water mark of the reassembly arena, in bytes (Tables 3/4:
     /// genuine buffer pressure, not elastic heap growth).
     std::size_t reassemblyArenaHighWater = 0;
+
+    // --- Self-healing routing (mirrors RouteManager counters) -----------
+    std::uint64_t reroutes = 0;        // selection slid to a worse rank
+    std::uint64_t failbacks = 0;       // selection recovered a better rank
+    std::uint64_t blackholeDrops = 0;  // route existed, no live next hop
 };
 
 class Node;
@@ -127,10 +141,18 @@ public:
     const BufferArena* reassemblyArena() const { return arena_.get(); }
 
     // --- Topology wiring -------------------------------------------------
-    /// Route packets for `dst` (short address) via neighbor `nextHop`.
+    /// Route packets for `dst` (short address) via neighbor `nextHop`
+    /// (installs/replaces the rank-0 primary).
     void addRoute(ip6::ShortAddr dst, NodeId nextHop);
+    /// Appends a ranked loop-free alternate next hop for `dst`.
+    void addRouteAlternate(ip6::ShortAddr dst, NodeId nextHop);
     /// Route anything without a specific route via `nextHop` (mesh side).
     void setDefaultRoute(NodeId nextHop);
+    /// Appends a ranked alternate for the default route.
+    void addDefaultRouteAlternate(NodeId nextHop);
+    /// Self-healing introspection (tests, presenters).
+    const RouteManager& routeTable() const { return routes_; }
+    const NeighborTable* neighborTable() const { return neighbors_.get(); }
     /// Attach the wired link (border router / cloud host roles).
     void attachWired(WiredLink* link);
     /// Declare `child` as a duty-cycled child (parent queues indirectly).
@@ -171,6 +193,12 @@ public:
     void reboot(sim::Time downtime);
     bool isDown() const { return down_; }
 
+    /// Permanent failure (FaultKind::kNodeFailure): the reboot teardown
+    /// with no recovery — the node never returns, and later reboot() calls
+    /// are ignored. Reboot listeners fire their down edge once.
+    void failPermanently();
+    bool isFailed() const { return failed_; }
+
     /// Raw MAC ingress (also exposed for forwarding-path tests): one
     /// received MAC payload from neighbor `macSrc`.
     void macInput(NodeId macSrc, const PacketBuffer& macPayload);
@@ -191,8 +219,11 @@ private:
     std::uint16_t claimOutgoingTag(std::optional<std::uint16_t> preferred);
     void forwardRawFragment(const PacketBuffer& macPayload, const lowpan::FragInfo& info,
                             NodeId macSrc);
-    std::optional<NodeId> lookupRoute(const ip6::Address& dst) const;
+    RouteLookupStatus lookupRoute(const ip6::Address& dst, NodeId& nextHop);
     void macSend(NodeId dst, PacketBuffer payload, mac::CsmaMac::SendCallback done);
+    /// Emits an empty-payload unicast toward a dead neighbor; the MAC ACK
+    /// (or its absence) is the liveness verdict.
+    void sendProbe(NodeId neighbor);
 
     sim::Simulator& simulator_;
     NodeId id_;
@@ -211,8 +242,8 @@ private:
     std::unique_ptr<ip6::RedQueue> queue_;
     WiredLink* wired_ = nullptr;
 
-    std::map<ip6::ShortAddr, NodeId> routes_;
-    std::optional<NodeId> defaultRoute_;
+    RouteManager routes_;
+    std::unique_ptr<NeighborTable> neighbors_;
     std::optional<NodeId> parent_;
     std::map<std::uint8_t, ProtocolHandler> protocols_;
 
@@ -222,6 +253,7 @@ private:
     // The epoch counter invalidates closures scheduled before a reboot
     // (txProcessingDelay sends, the recovery event of a superseded reboot).
     bool down_ = false;
+    bool failed_ = false;  // kNodeFailure: down forever, reboots ignored
     std::uint64_t rebootEpoch_ = 0;
     std::vector<RebootListener> rebootListeners_;
     // Frames of the datagram currently draining to the MAC (in order),

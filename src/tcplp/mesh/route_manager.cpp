@@ -1,0 +1,35 @@
+#include "tcplp/mesh/route_manager.hpp"
+
+namespace tcplp::mesh {
+
+RouteLookupStatus RouteManager::select(Entry& e, phy::NodeId& nextHop) {
+    if (!liveness_) {
+        nextHop = e.hops[e.sel];
+        return RouteLookupStatus::kOk;
+    }
+    // Scan best-first: the first live candidate wins, so a revived primary
+    // is re-selected (failback) on the next lookup automatically.
+    for (std::size_t i = 0; i < e.hops.size(); ++i) {
+        if (!liveness_(e.hops[i])) continue;
+        if (i != e.sel) {
+            if (i > e.sel)
+                ++reroutes_;
+            else
+                ++failbacks_;
+            e.sel = i;
+        }
+        nextHop = e.hops[i];
+        return RouteLookupStatus::kOk;
+    }
+    ++blackholeDrops_;
+    return RouteLookupStatus::kDead;
+}
+
+RouteLookupStatus RouteManager::lookup(ip6::ShortAddr dst, phy::NodeId& nextHop) {
+    if (const auto it = entries_.find(dst); it != entries_.end())
+        return select(it->second, nextHop);
+    if (haveDefault_) return select(defaultEntry_, nextHop);
+    return RouteLookupStatus::kNoRoute;
+}
+
+}  // namespace tcplp::mesh

@@ -1,0 +1,115 @@
+// Ranked next-hop routing table with liveness-driven failover/failback.
+//
+// RPL-lite: for each destination (and for the default route) the harness
+// installs a ranked candidate list — the BFS-tree next hop first, then the
+// loop-free alternates (neighbors strictly closer to the destination, so
+// any combination of failovers is loop-free). Lookup returns the
+// best-ranked *live* candidate: when the primary goes unreachable the
+// selection slides down the list (a reroute), and when a better-ranked
+// candidate revives it slides back up (a failback). With no liveness
+// source installed the manager behaves exactly like the plain map +
+// default-route pair it replaced: rank 0, always.
+//
+// All state transitions are counted — reroutes, failbacks, and blackhole
+// drops (a lookup that found a route but no live candidate) — and surfaced
+// through mesh::NodeStats into the chaos campaign rows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "tcplp/ip6/address.hpp"
+#include "tcplp/phy/radio.hpp"
+
+namespace tcplp::mesh {
+
+/// Outcome of a route lookup: distinguishes "never had a route" (the
+/// caller's noRouteDrops) from "have routes, all next hops dead" (counted
+/// here as a blackhole drop).
+enum class RouteLookupStatus : std::uint8_t { kOk, kNoRoute, kDead };
+
+class RouteManager {
+public:
+    /// nullptr = everything live (the pre-self-healing behavior).
+    using LivenessFn = std::function<bool(phy::NodeId)>;
+    void setLiveness(LivenessFn fn) { liveness_ = std::move(fn); }
+
+    /// Installs/replaces the rank-0 primary for `dst`, clearing alternates
+    /// (matches the overwrite semantics of the map it replaced).
+    void setRoute(ip6::ShortAddr dst, phy::NodeId nextHop) {
+        Entry& e = entries_[dst];
+        e.hops.assign(1, nextHop);
+        e.sel = 0;
+    }
+    /// Appends an alternate candidate (deduplicated, keeps rank order).
+    void addAlternate(ip6::ShortAddr dst, phy::NodeId nextHop) {
+        append(entries_[dst], nextHop);
+    }
+    void setDefaultRoute(phy::NodeId nextHop) {
+        defaultEntry_.hops.assign(1, nextHop);
+        defaultEntry_.sel = 0;
+        haveDefault_ = true;
+    }
+    void addDefaultAlternate(phy::NodeId nextHop) {
+        // An alternate without a primary would promote itself to rank 0.
+        if (haveDefault_) append(defaultEntry_, nextHop);
+    }
+
+    /// Best-ranked live next hop for `dst` (specific entry, else default).
+    /// Counts reroutes/failbacks on selection changes and blackhole drops
+    /// when a route exists but every candidate is dead.
+    RouteLookupStatus lookup(ip6::ShortAddr dst, phy::NodeId& nextHop);
+
+    bool hasDefaultRoute() const { return haveDefault_; }
+    /// Candidate list introspection (tests, presenters). Empty = no entry.
+    std::vector<phy::NodeId> candidates(ip6::ShortAddr dst) const {
+        const auto it = entries_.find(dst);
+        return it == entries_.end() ? std::vector<phy::NodeId>{} : it->second.hops;
+    }
+    std::vector<phy::NodeId> defaultCandidates() const {
+        return haveDefault_ ? defaultEntry_.hops : std::vector<phy::NodeId>{};
+    }
+
+    /// An in-flight frame was abandoned because its next hop is known dead
+    /// (the enqueue-time fast drop that replaces the CSMA retry burn).
+    void noteBlackhole() { ++blackholeDrops_; }
+
+    /// Reboot semantics: installed routes are configuration and survive;
+    /// the failover selections are volatile and snap back to rank 0
+    /// without counting a failback.
+    void resetSelections() {
+        for (auto& [dst, e] : entries_) e.sel = 0;
+        defaultEntry_.sel = 0;
+    }
+
+    std::uint64_t reroutes() const { return reroutes_; }
+    std::uint64_t failbacks() const { return failbacks_; }
+    std::uint64_t blackholeDrops() const { return blackholeDrops_; }
+
+private:
+    struct Entry {
+        std::vector<phy::NodeId> hops;  // ranked best-first
+        std::size_t sel = 0;            // current selection (sticky)
+    };
+
+    static void append(Entry& e, phy::NodeId hop) {
+        for (phy::NodeId h : e.hops)
+            if (h == hop) return;
+        e.hops.push_back(hop);
+    }
+
+    RouteLookupStatus select(Entry& e, phy::NodeId& nextHop);
+
+    std::map<ip6::ShortAddr, Entry> entries_;
+    Entry defaultEntry_;
+    bool haveDefault_ = false;
+    LivenessFn liveness_;
+    std::uint64_t reroutes_ = 0;
+    std::uint64_t failbacks_ = 0;
+    std::uint64_t blackholeDrops_ = 0;
+};
+
+}  // namespace tcplp::mesh

@@ -235,6 +235,10 @@ constexpr GoldenEntry kGoldenEntries[] = {
     {"line_blackout", nullptr},
     {"office_reboot_storm", nullptr},
     {"border_router_restart", nullptr},
+    // Self-healing routing scenarios: pin liveness detection, alternate
+    // failover/failback and permanent-failure injection end to end.
+    {"relay_failover", nullptr},
+    {"partition_heal", nullptr},
 };
 
 }  // namespace

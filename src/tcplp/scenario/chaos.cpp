@@ -108,6 +108,12 @@ FaultTimeline installFaults(harness::Testbed& testbed, const sim::FaultPlan& pla
                 simulator.schedule(e.at + e.duration,
                                    [&channel] { channel.setGlobalBlackout(false); });
                 break;
+            case sim::FaultKind::kNodeFailure: {
+                mesh::Node* node = testbed.findNode(phy::NodeId(e.target));
+                TCPLP_ASSERT(node != nullptr && "fault plan kills an unknown node");
+                simulator.schedule(e.at, [node] { node->failPermanently(); });
+                break;
+            }
         }
     }
     return timeline;
@@ -241,6 +247,12 @@ ChaosBulkResult runChaosBulk(const ScenarioSpec& spec, std::uint64_t seed) {
                            ? sim::toSeconds(recoveredAt - lastOutageEnd)
                            : -1.0;
     r.framesTransmitted = tb->channel().framesTransmitted();
+    const MeshRouteTotals mesh = meshRouteTotals(*tb);
+    r.reroutes = mesh.reroutes;
+    r.failbacks = mesh.failbacks;
+    r.blackholeDrops = mesh.blackholeDrops;
+    r.noRouteDrops = mesh.noRouteDrops;
+    r.forwardDrops = mesh.forwardDrops;
     r.rngDigest = simulator.rng().stateDigest();
     return r;
 }
@@ -261,8 +273,17 @@ MetricRow chaosBulkRow(const ScenarioSpec& spec, std::uint64_t seed) {
         .set("fault_bytes", r.faultBytes)
         .set("fault_goodput_kbps", r.faultGoodputKbps)
         .set("recover_s", r.timeToRecoverS)
-        .set("frames_tx", r.framesTransmitted)
-        .set("rng_digest", r.rngDigest);
+        .set("frames_tx", r.framesTransmitted);
+    // Routing-repair keys exist only under self-healing, so the legacy chaos
+    // rows (and their golden artifacts) keep their exact schema.
+    if (spec.topology.selfHealing) {
+        row.set("reroutes", r.reroutes)
+            .set("failbacks", r.failbacks)
+            .set("blackhole_drops", r.blackholeDrops)
+            .set("no_route_drops", r.noRouteDrops)
+            .set("forward_drops", r.forwardDrops);
+    }
+    row.set("rng_digest", r.rngDigest);
     return row;
 }
 

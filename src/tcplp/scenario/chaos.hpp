@@ -60,6 +60,12 @@ struct ChaosBulkResult {
     /// (or no progress was pending), 0-ish = the flow never stalled.
     double timeToRecoverS = -1.0;
     std::uint64_t framesTransmitted = 0;
+    /// Mesh routing-repair totals (all zero without topology.selfHealing).
+    std::uint64_t reroutes = 0;
+    std::uint64_t failbacks = 0;
+    std::uint64_t blackholeDrops = 0;
+    std::uint64_t noRouteDrops = 0;
+    std::uint64_t forwardDrops = 0;
     std::uint64_t rngDigest = 0;
 };
 

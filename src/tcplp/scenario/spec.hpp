@@ -60,6 +60,16 @@ struct TopologySpec {
     bool perHopReassembly = false;  // Appendix A RED/ECN regime
     bool redQueue = false;
     bool ecnMarking = false;
+    /// Self-healing mesh routing: link-liveness tracking on every router
+    /// plus ranked loop-free alternate next hops (tree topologies). Off by
+    /// default so legacy scenarios keep their static-route byte streams;
+    /// rows of self-healing scenarios additionally carry the routing-repair
+    /// metric keys (reroutes / failbacks / blackhole and route drops).
+    bool selfHealing = false;
+    /// Dead-neighbor probe cadence override (selfHealing only; nullopt =
+    /// mesh::NeighborConfig's default, 0 = probing off — then only organic
+    /// traffic revives a dead neighbor).
+    std::optional<sim::Time> probeInterval;
 
     // kPipe parameters (§8).
     sim::Time pipeOneWayDelay = 50 * sim::kMillisecond;

@@ -65,6 +65,8 @@ harness::TestbedConfig testbedConfigFor(const TopologySpec& t, std::uint64_t see
     if (t.macPayloadBudget) cfg.nodeDefaults.macPayloadBudget = *t.macPayloadBudget;
     if (t.txProcessingDelay) cfg.nodeDefaults.txProcessingDelay = *t.txProcessingDelay;
     if (t.perHopReassembly) cfg.nodeDefaults.perHopReassembly = true;
+    cfg.selfHealing = t.selfHealing;
+    if (t.probeInterval) cfg.neighborDefaults.probeInterval = *t.probeInterval;
     if (t.redQueue) cfg.nodeDefaults.queueConfig.discipline = ip6::QueueDiscipline::kRed;
     if (t.ecnMarking) cfg.nodeDefaults.queueConfig.ecnMarking = true;
     return cfg;
@@ -139,6 +141,19 @@ std::unique_ptr<harness::Testbed> buildTestbed(const TopologySpec& t,
     return nullptr;
 }
 
+MeshRouteTotals meshRouteTotals(const harness::Testbed& tb) {
+    MeshRouteTotals m;
+    for (std::size_t i = 0; i < tb.nodeCount(); ++i) {
+        const mesh::NodeStats& s = tb.node(i).stats();
+        m.noRouteDrops += s.noRouteDrops;
+        m.forwardDrops += s.forwardDrops;
+        m.reroutes += s.reroutes;
+        m.failbacks += s.failbacks;
+        m.blackholeDrops += s.blackholeDrops;
+    }
+    return m;
+}
+
 BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     const TopologySpec& t = spec.topology;
     const WorkloadSpec& w = spec.workload;
@@ -196,6 +211,7 @@ BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     const auto sent = sender.stats().segsSent;
     const auto rexmit = sender.stats().retransmissions;
     r.segmentLoss = sent > 0 ? double(rexmit) / double(sent) : 0.0;
+    r.mesh = meshRouteTotals(*tb);
     r.rngDigest = tb->simulator().rng().stateDigest();
     return r;
 }
@@ -426,6 +442,7 @@ BulkRunResult runEmbeddedBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     r.bytes = meter.bytes();
     r.contentOk = meter.contentOk();
     r.framesTransmitted = tb->channel().framesTransmitted();
+    r.mesh = meshRouteTotals(*tb);
     r.rngDigest = tb->simulator().rng().stateDigest();
     return r;
 }
@@ -501,8 +518,17 @@ MetricRow runScenario(const ScenarioSpec& spec, std::uint64_t seed) {
                 .set("timeouts", r.timeouts)
                 .set("fast_rexmits", r.fastRetransmissions)
                 .set("bytes", r.bytes)
-                .set("content_ok", r.contentOk)
-                .set("rng_digest", r.rngDigest);
+                .set("content_ok", r.contentOk);
+            // Routing-repair keys exist only under self-healing, so legacy
+            // scenario rows (and their golden artifacts) are unchanged.
+            if (spec.topology.selfHealing) {
+                row.set("no_route_drops", r.mesh.noRouteDrops)
+                    .set("forward_drops", r.mesh.forwardDrops)
+                    .set("reroutes", r.mesh.reroutes)
+                    .set("failbacks", r.mesh.failbacks)
+                    .set("blackhole_drops", r.mesh.blackholeDrops);
+            }
+            row.set("rng_digest", r.rngDigest);
             break;
         }
         case WorkloadKind::kTwoFlow: {

@@ -57,6 +57,18 @@ ScenarioSpec grid200DenseSpec(sim::Time duration = 90 * sim::kSecond);
 // --- Structured per-workload results (custom measures/presenters use the
 // --- raw forms; runScenario flattens them into a MetricRow) --------------
 
+/// Mesh-layer routing/repair counters summed over every mesh node of a
+/// testbed. Self-healing scenario rows surface these; counters stay zero
+/// under the legacy static-route regime.
+struct MeshRouteTotals {
+    std::uint64_t noRouteDrops = 0;
+    std::uint64_t forwardDrops = 0;
+    std::uint64_t reroutes = 0;
+    std::uint64_t failbacks = 0;
+    std::uint64_t blackholeDrops = 0;
+};
+MeshRouteTotals meshRouteTotals(const harness::Testbed& tb);
+
 struct BulkRunResult {
     double goodputKbps = 0.0;
     double rttMedianMs = 0.0;
@@ -66,6 +78,7 @@ struct BulkRunResult {
     std::uint64_t fastRetransmissions = 0;
     std::size_t bytes = 0;
     bool contentOk = false;
+    MeshRouteTotals mesh{};
     std::uint64_t rngDigest = 0;
 };
 

@@ -10,6 +10,7 @@ const char* faultKindName(FaultKind k) {
         case FaultKind::kNodeReboot: return "node_reboot";
         case FaultKind::kLinkBlackout: return "link_blackout";
         case FaultKind::kCorruptionBurst: return "corruption_burst";
+        case FaultKind::kNodeFailure: return "node_failure";
     }
     return "?";
 }
@@ -38,6 +39,13 @@ std::vector<FaultEvent> expandFaultPlan(const FaultPlan& plan, std::uint64_t see
             events.push_back(ev);
         }
     }
+
+    // A permanent failure has no outage window that ever ends: normalize the
+    // duration to zero (the draw above still happened, keeping the per-event
+    // draw count uniform across kinds) so timeline code never treats the
+    // infinite outage as a finite one.
+    for (FaultEvent& ev : events)
+        if (ev.kind == FaultKind::kNodeFailure) ev.duration = 0;
 
     // Stable deterministic order: injection hooks fire in list order at
     // equal times, so the sort key must pin every field.

@@ -37,6 +37,11 @@ enum class FaultKind : std::uint8_t {
     /// at the MAC (FCS failure -> frame discarded), so this maps to a
     /// global blackout; kept as a distinct kind for plan readability.
     kCorruptionBurst,
+    /// Permanent node death: the reboot teardown with infinite downtime —
+    /// the node never returns. `duration` is normalized to 0 in expansion
+    /// (there is no outage window that ends; recovery metrics anchor at
+    /// `at`, and only a routing repair can restore connectivity).
+    kNodeFailure,
 };
 
 const char* faultKindName(FaultKind k);

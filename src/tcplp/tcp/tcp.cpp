@@ -64,6 +64,10 @@ void TcpSocket::clampCwnd() {
 // --- Application interface --------------------------------------------------
 
 void TcpSocket::connect(const ip6::Address& dst, std::uint16_t dstPort) {
+    // kFailed is terminal: the app observes the failure via state() and
+    // opens a *fresh* socket to retry (see app::ReconnectingBulkSender).
+    // Rejecting the call keeps a dead TCB from being half-reinitialized.
+    if (tcb_.state == State::kFailed) return;
     TCPLP_ASSERT(tcb_.state == State::kClosed);
     remoteAddr_ = dst;
     remotePort_ = dstPort;
@@ -81,7 +85,7 @@ void TcpSocket::connect(const ip6::Address& dst, std::uint16_t dstPort) {
 }
 
 std::size_t TcpSocket::send(BytesView data) {
-    if (tcb_.finQueued) return 0;
+    if (tcb_.finQueued || tcb_.state == State::kFailed) return 0;
     const std::size_t n = sendBuf_.append(data);
     if (n > 0 && (tcb_.state == State::kEstablished || tcb_.state == State::kCloseWait))
         output();
@@ -89,7 +93,7 @@ std::size_t TcpSocket::send(BytesView data) {
 }
 
 std::size_t TcpSocket::sendZeroCopy(std::shared_ptr<const Bytes> data) {
-    if (tcb_.finQueued) return 0;
+    if (tcb_.finQueued || tcb_.state == State::kFailed) return 0;
     const std::size_t n = sendBuf_.appendShared(std::move(data));
     if (n > 0 && (tcb_.state == State::kEstablished || tcb_.state == State::kCloseWait))
         output();
