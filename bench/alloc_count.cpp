@@ -1,0 +1,31 @@
+#include "bench/alloc_count.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+// Atomic: the campaign orchestrator runs sweeps on worker threads.
+std::atomic<std::uint64_t> g_allocCount{0};
+}  // namespace
+
+namespace bench {
+std::uint64_t allocCount() { return g_allocCount.load(std::memory_order_relaxed); }
+}  // namespace bench
+
+#if !defined(__SANITIZE_ADDRESS__)
+void* operator new(std::size_t n) {
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n != 0 ? n : 1)) return p;
+    throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif

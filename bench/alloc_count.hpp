@@ -1,0 +1,17 @@
+// Shared counting allocator for bench binaries. One TU (alloc_count.cpp)
+// replaces the global operator new with a counting shim — behaviorally
+// identical to the default, one relaxed increment per allocation — so any
+// driver can measure heap traffic without instrumenting the measured code.
+// Linked into every bench/campaign binary; the counter is process-global, so
+// two drivers in one combined binary share it (always read deltas).
+#pragma once
+
+#include <cstdint>
+
+namespace bench {
+
+/// Total allocations since process start. Monotonic; 0 forever under ASan
+/// (which must interpose allocation itself — the shim is compiled out).
+std::uint64_t allocCount();
+
+}  // namespace bench

@@ -138,9 +138,22 @@ ScenarioDef def() {
     d.seeds = {11};
     d.measure = [](const ScenarioSpec&, const Point& p) {
         const std::size_t n = std::size_t(p.value("nodes"));
-        const GridResult indexed = runGrid(Channel::DeliveryMode::kSpatialIndex, n);
-        const GridResult linear = runGrid(Channel::DeliveryMode::kLinearScan, n);
-        const GridResult automatic = runGrid(Channel::DeliveryMode::kAuto, n);
+        // Best-of-3 per mode: the 15-node grid finishes in tens of
+        // milliseconds, where one scheduler hiccup swings the ratio by
+        // double digits. Reps replay identically (same seed), so the
+        // fastest wall is the least-perturbed measurement of the same
+        // computation; every non-timing field is rep-invariant.
+        const auto best = [n](Channel::DeliveryMode mode) {
+            GridResult fastest{};
+            for (int rep = 0; rep < 3; ++rep) {
+                GridResult r = runGrid(mode, n);
+                if (rep == 0 || r.wallMs < fastest.wallMs) fastest = r;
+            }
+            return fastest;
+        };
+        const GridResult indexed = best(Channel::DeliveryMode::kSpatialIndex);
+        const GridResult linear = best(Channel::DeliveryMode::kLinearScan);
+        const GridResult automatic = best(Channel::DeliveryMode::kAuto);
         // All three modes must replay the identical simulation.
         TCPLP_ASSERT(indexed.delivered == linear.delivered &&
                      indexed.rngDigest == linear.rngDigest &&

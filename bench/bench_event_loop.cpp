@@ -10,8 +10,9 @@
 // scheduler: a set of restartable millisecond-scale timers (TCP RTO,
 // delayed ACK, MAC sleep/poll — all of which cluster at a handful of
 // deadlines) that fire, re-arm themselves, and occasionally re-arm a
-// neighbor before it expires. Heap allocations are counted by overriding
-// global operator new — no instrumentation in the measured code.
+// neighbor before it expires. Heap allocations are counted by the shared
+// counting operator new (bench/alloc_count.hpp) — no instrumentation in the
+// measured code.
 //
 // "Legacy" is a frozen copy of the seed scheduler (shared_ptr<State> per
 // event + type-erased std::function + lazy-cancel priority_queue), kept here
@@ -21,34 +22,14 @@
 // identical event order, so the delta is pure scheduler cost.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <memory>
-#include <new>
 #include <queue>
 #include <vector>
 
+#include "bench/alloc_count.hpp"
 #include "bench/driver.hpp"
 #include "tcplp/sim/simulator.hpp"
-
-// --- Counting allocator ----------------------------------------------------
-
-static std::uint64_t g_allocs = 0;
-
-void* operator new(std::size_t n) {
-    ++g_allocs;
-    if (void* p = std::malloc(n)) return p;
-    throw std::bad_alloc();
-}
-void* operator new[](std::size_t n) {
-    ++g_allocs;
-    if (void* p = std::malloc(n)) return p;
-    throw std::bad_alloc();
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -163,12 +144,12 @@ RunResult runWorkload(Args&&... args) {
         }));
     }
 
-    const std::uint64_t allocsBefore = g_allocs;
+    const std::uint64_t allocsBefore = bench::allocCount();
     const auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < kTimers; ++i) timers[std::size_t(i)]->start(kMs + i);
     simulator.run();
     const auto t1 = std::chrono::steady_clock::now();
-    const std::uint64_t allocs = g_allocs - allocsBefore;
+    const std::uint64_t allocs = bench::allocCount() - allocsBefore;
 
     const double ns = double(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());

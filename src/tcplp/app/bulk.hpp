@@ -24,8 +24,9 @@ public:
     void pump() {
         while (offset_ < total_) {
             const std::size_t chunk = std::min<std::size_t>(512, total_ - offset_);
-            const Bytes data = patternBytes(offset_, chunk);
-            const std::size_t n = socket_.send(data);
+            std::uint8_t data[512];
+            patternBytesInto(offset_, chunk, data);
+            const std::size_t n = socket_.send(BytesView(data, chunk));
             if (n == 0) return;
             offset_ += n;
         }
@@ -56,8 +57,9 @@ public:
     void pump() {
         while (offset_ < total_) {
             const std::size_t chunk = std::min<std::size_t>(256, total_ - offset_);
-            const Bytes data = patternBytes(offset_, chunk);
-            const std::size_t n = socket_.send(data);
+            std::uint8_t data[256];
+            patternBytesInto(offset_, chunk, data);
+            const std::size_t n = socket_.send(BytesView(data, chunk));
             if (n == 0) return;
             offset_ += n;
         }

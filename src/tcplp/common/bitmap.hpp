@@ -44,6 +44,27 @@ public:
 
     void clearAll() { std::fill(words_.begin(), words_.end(), 0); }
 
+    /// Shifts every bit down by `by` in place (bit i+by moves to bit i); the
+    /// vacated top bits clear. Allocation-free — the reassembly commit path
+    /// advances its bitmap origin with this on every in-sequence run.
+    void shiftDown(std::size_t by) {
+        if (by == 0) return;
+        if (by >= bits_) {
+            clearAll();
+            return;
+        }
+        const std::size_t wordShift = by >> 6;
+        const std::size_t bitShift = by & 63;
+        const std::size_t nw = words_.size();
+        for (std::size_t i = 0; i + wordShift < nw; ++i) {
+            std::uint64_t v = words_[i + wordShift] >> bitShift;
+            if (bitShift != 0 && i + wordShift + 1 < nw)
+                v |= words_[i + wordShift + 1] << (64 - bitShift);
+            words_[i] = v;
+        }
+        for (std::size_t i = nw - wordShift; i < nw; ++i) words_[i] = 0;
+    }
+
     /// Length of the run of set bits starting at `begin`.
     std::size_t countContiguousFrom(std::size_t begin) const {
         std::size_t n = 0;

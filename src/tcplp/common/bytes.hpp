@@ -36,20 +36,27 @@ inline std::string toPrintable(BytesView b) {
 /// Generates `n` deterministic pattern bytes starting at stream offset
 /// `offset`. Used by bulk-transfer workloads so receivers can verify
 /// content integrity without keeping a copy of the sent stream.
+inline std::uint8_t patternByteAt(std::size_t pos) {
+    return static_cast<std::uint8_t>((pos * 131) ^ (pos >> 8) ^ 0x5a);
+}
+
+/// Allocation-free patternBytes: fills out[0..n).
+inline void patternBytesInto(std::size_t offset, std::size_t n, std::uint8_t* out) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = patternByteAt(offset + i);
+}
+
 inline Bytes patternBytes(std::size_t offset, std::size_t n) {
     Bytes out(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const std::size_t pos = offset + i;
-        out[i] = static_cast<std::uint8_t>((pos * 131) ^ (pos >> 8) ^ 0x5a);
-    }
+    patternBytesInto(offset, n, out.data());
     return out;
 }
 
 /// Checks that `data` equals the pattern stream at `offset`.
 inline bool matchesPattern(std::size_t offset, BytesView data) {
-    const Bytes expect = patternBytes(offset, data.size());
-    return data.size() == expect.size() &&
-           std::memcmp(data.data(), expect.data(), data.size()) == 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data[i] != patternByteAt(offset + i)) return false;
+    }
+    return true;
 }
 
 /// Appends `src` to `dst`.

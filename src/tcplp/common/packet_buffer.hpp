@@ -62,6 +62,7 @@
 #include "tcplp/common/arena.hpp"
 #include "tcplp/common/assert.hpp"
 #include "tcplp/common/bytes.hpp"
+#include "tcplp/common/slab_pool.hpp"
 
 namespace tcplp {
 
@@ -70,6 +71,7 @@ struct PacketBufferStats {
     std::uint64_t deepCopies = 0;   // copy-on-write / prepend-fallback duplications
     std::uint64_t copiedBytes = 0;  // bytes duplicated by those deep copies
     std::uint64_t shares = 0;       // refcount bumps (copies + subviews)
+    std::uint64_t prependFallbacks = 0;  // prepend() slow paths (shared or headroom-less)
 };
 
 class PacketBuffer {
@@ -85,14 +87,18 @@ public:
     /// Origination from legacy Bytes (copies once into counted storage).
     PacketBuffer(const Bytes& b) : PacketBuffer(copyOf(BytesView(b))) {}  // NOLINT
 
-    PacketBuffer(const PacketBuffer& other)
+    // Copying never allocates (refcount bump), so it is noexcept — which
+    // matters beyond hygiene: closures holding buffers (or Frames) stay
+    // nothrow-move-constructible and therefore SmallFn-inline on the event
+    // hot path instead of falling back to the heap.
+    PacketBuffer(const PacketBuffer& other) noexcept
         : storage_(other.storage_), off_(other.off_), len_(other.len_) {
         if (storage_ != nullptr) {
             ++storage_->refs;
             ++stats_.shares;
         }
     }
-    PacketBuffer& operator=(const PacketBuffer& other) {
+    PacketBuffer& operator=(const PacketBuffer& other) noexcept {
         if (this != &other) {
             PacketBuffer tmp(other);
             swap(tmp);
@@ -258,6 +264,7 @@ public:
             len_ += hdr.size();
             return;
         }
+        ++stats_.prependFallbacks;
         const std::size_t len = len_;
         Storage* fresh = newStorage(kDefaultHeadroom + hdr.size() + len);
         if (!hdr.empty())
@@ -286,19 +293,24 @@ private:
     };
 
     static Storage* newStorage(std::size_t capacity) {
-        void* mem = ::operator new(sizeof(Storage) + capacity);
-        ++stats_.allocations;  // heap blocks only; arena carves are counted by the arena
-        return ::new (mem) Storage{1, std::uint32_t(capacity), nullptr};
+        // Class-rounded through the slab recycler: the rounding slack is
+        // kept as extra tail capacity, and the exact class size at release
+        // is what lets the block go back on a free list.
+        const std::size_t block = SlabPool::roundUp(sizeof(Storage) + capacity);
+        void* mem = SlabPool::acquire(block);
+        ++stats_.allocations;  // logical creations; SlabPoolStats splits pooled/heap
+        return ::new (mem) Storage{1, std::uint32_t(block - sizeof(Storage)), nullptr};
     }
 
     void release() {
         if (storage_ != nullptr && --storage_->refs == 0) {
             BufferArena* arena = storage_->arena;
+            const std::size_t block = sizeof(Storage) + storage_->capacity;
             storage_->~Storage();
             if (arena != nullptr) {
                 arena->release(storage_);
             } else {
-                ::operator delete(storage_);
+                SlabPool::release(storage_, block);
             }
         }
         storage_ = nullptr;

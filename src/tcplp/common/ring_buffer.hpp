@@ -57,11 +57,20 @@ public:
 
     /// Removes and returns up to `n` bytes from the front.
     Bytes read(std::size_t n) {
+        Bytes out;
+        readInto(n, out);
+        return out;
+    }
+
+    /// read() into a caller-provided vector whose capacity is reused —
+    /// the auto-drain delivery path calls this once per committed run, so
+    /// reusing the scratch keeps the receive path allocation-free.
+    std::size_t readInto(std::size_t n, Bytes& out) {
         n = std::min(n, size_);
-        Bytes out(n);
+        out.resize(n);
         for (std::size_t i = 0; i < n; ++i) out[i] = data_[wrap(head_ + i)];
         consume(n);
-        return out;
+        return n;
     }
 
     /// Drops `n` bytes from the front.

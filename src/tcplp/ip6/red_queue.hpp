@@ -9,9 +9,9 @@
 
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <functional>
 
+#include "tcplp/common/ring_deque.hpp"
 #include "tcplp/ip6/packet.hpp"
 #include "tcplp/sim/simulator.hpp"
 
@@ -122,7 +122,9 @@ private:
     sim::Simulator& simulator_;
     RedConfig config_;
     QueueStats stats_;
-    std::deque<Packet> queue_;
+    // RingDeque: a relay queue drains to empty constantly; reusing its slot
+    // storage keeps the forwarding hot path allocation-free.
+    RingDeque<Packet> queue_;
     double avg_ = 0.0;
     sim::Time emptySince_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "tcplp/lowpan/frag.hpp"
 
+#include <algorithm>
+
 #include "tcplp/common/assert.hpp"
 #include "tcplp/common/log.hpp"
 
@@ -39,20 +41,21 @@ std::optional<FragInfo> parseFragmentHeader(BytesView macPayload) {
     return info;
 }
 
-std::vector<PacketBuffer> encodeDatagram(ip6::Packet p, ip6::ShortAddr macSrc,
-                                         ip6::ShortAddr macDst, std::uint16_t tag,
-                                         std::size_t maxMacPayload) {
-    const IphcResult iphc = compressHeader(p, macSrc, macDst);
-    std::vector<PacketBuffer> frames;
+void encodeDatagramInto(ip6::Packet p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
+                        std::uint16_t tag, std::size_t maxMacPayload,
+                        std::vector<PacketBuffer>& out) {
+    out.clear();
+    IphcHeader iphc;
+    compressHeaderInto(p, macSrc, macDst, iphc);
 
     // Fits without fragmentation? Prepend the IPHC header in place — free
     // when the caller moved the packet in and it was originated with
     // headroom; a counted deep copy otherwise.
     if (iphc.size() + p.payload.size() <= maxMacPayload) {
         PacketBuffer f = std::move(p.payload);
-        f.prepend(iphc.bytes);
-        frames.push_back(std::move(f));
-        return frames;
+        f.prepend(iphc.view());
+        out.push_back(std::move(f));
+        return;
     }
 
     const std::size_t datagramSize = p.uncompressedSize();
@@ -65,13 +68,16 @@ std::vector<PacketBuffer> encodeDatagram(ip6::Packet p, ip6::ShortAddr macSrc,
                                ip6::kUncompressedHeaderBytes;
     firstPayload = std::min(firstPayload, p.payload.size());
 
-    Bytes h1;
-    h1.push_back(std::uint8_t(kFrag1Dispatch | ((datagramSize >> 8) & 0x07)));
-    h1.push_back(std::uint8_t(datagramSize & 0xff));
-    putU16(h1, tag);
-    append(h1, iphc.bytes);
-    frames.push_back(
-        PacketBuffer::compose(h1, BytesView(p.payload.data(), firstPayload)));
+    // Both fragment headers are staged in stack buffers; the only storage
+    // each frame touches is its own composed wire buffer.
+    std::uint8_t h1[kFrag1HeaderBytes + IphcHeader::kMaxBytes];
+    h1[0] = std::uint8_t(kFrag1Dispatch | ((datagramSize >> 8) & 0x07));
+    h1[1] = std::uint8_t(datagramSize & 0xff);
+    h1[2] = std::uint8_t(tag >> 8);
+    h1[3] = std::uint8_t(tag & 0xff);
+    std::copy(iphc.bytes, iphc.bytes + iphc.len, h1 + kFrag1HeaderBytes);
+    out.push_back(PacketBuffer::compose(BytesView(h1, kFrag1HeaderBytes + iphc.len),
+                                        BytesView(p.payload.data(), firstPayload)));
 
     std::size_t sent = firstPayload;
     while (sent < p.payload.size()) {
@@ -80,21 +86,30 @@ std::vector<PacketBuffer> encodeDatagram(ip6::Packet p, ip6::ShortAddr macSrc,
         std::size_t chunk = ((maxMacPayload - kFragNHeaderBytes) / 8) * 8;
         TCPLP_ASSERT(chunk > 0);  // budget must fit FRAGN header + 8 bytes
         chunk = std::min(chunk, p.payload.size() - sent);
-        Bytes hn;
-        hn.push_back(std::uint8_t(kFragNDispatch | ((datagramSize >> 8) & 0x07)));
-        hn.push_back(std::uint8_t(datagramSize & 0xff));
-        putU16(hn, tag);
-        hn.push_back(std::uint8_t(offset / 8));
-        frames.push_back(
-            PacketBuffer::compose(hn, BytesView(p.payload.data() + sent, chunk)));
+        std::uint8_t hn[kFragNHeaderBytes];
+        hn[0] = std::uint8_t(kFragNDispatch | ((datagramSize >> 8) & 0x07));
+        hn[1] = std::uint8_t(datagramSize & 0xff);
+        hn[2] = std::uint8_t(tag >> 8);
+        hn[3] = std::uint8_t(tag & 0xff);
+        hn[4] = std::uint8_t(offset / 8);
+        out.push_back(PacketBuffer::compose(BytesView(hn, kFragNHeaderBytes),
+                                            BytesView(p.payload.data() + sent, chunk)));
         sent += chunk;
     }
+}
+
+std::vector<PacketBuffer> encodeDatagram(ip6::Packet p, ip6::ShortAddr macSrc,
+                                         ip6::ShortAddr macDst, std::uint16_t tag,
+                                         std::size_t maxMacPayload) {
+    std::vector<PacketBuffer> frames;
+    encodeDatagramInto(std::move(p), macSrc, macDst, tag, maxMacPayload, frames);
     return frames;
 }
 
 std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
                           std::size_t maxMacPayload) {
-    const IphcResult iphc = compressHeader(p, macSrc, macDst);
+    IphcHeader iphc;
+    compressHeaderInto(p, macSrc, macDst, iphc);
     if (iphc.size() + p.payload.size() <= maxMacPayload) return 1;
     const std::size_t room = maxMacPayload - kFrag1HeaderBytes - iphc.size();
     std::size_t firstPayload = ((ip6::kUncompressedHeaderBytes + room) / 8) * 8 -

@@ -45,6 +45,14 @@ std::vector<PacketBuffer> encodeDatagram(ip6::Packet p, ip6::ShortAddr macSrc,
                                          ip6::ShortAddr macDst, std::uint16_t tag,
                                          std::size_t maxMacPayload);
 
+/// Same encoding, appended into a caller-owned vector (cleared first). The
+/// TX hot path passes its reusable per-node frame list so steady-state
+/// datagram encoding allocates no vector storage; headers are staged in
+/// stack buffers, and frame payload storage recycles through the slab pool.
+void encodeDatagramInto(ip6::Packet p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
+                        std::uint16_t tag, std::size_t maxMacPayload,
+                        std::vector<PacketBuffer>& out);
+
 /// Number of frames `encodeDatagram` would produce (MSS planning, §6.1).
 /// Computed arithmetically — no frames are materialized.
 std::size_t frameCountFor(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,

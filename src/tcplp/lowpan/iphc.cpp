@@ -1,5 +1,7 @@
 #include "tcplp/lowpan/iphc.hpp"
 
+#include <algorithm>
+
 #include "tcplp/common/assert.hpp"
 
 namespace tcplp::lowpan {
@@ -13,17 +15,18 @@ AddrMode modeFor(const ip6::Address& addr, ip6::ShortAddr macAddr) {
     return AddrMode::kInline16;
 }
 
-void putAddress(Bytes& out, const ip6::Address& addr, AddrMode mode) {
+std::size_t putAddress(std::uint8_t* out, const ip6::Address& addr, AddrMode mode) {
     switch (mode) {
         case AddrMode::kInline16:
-            out.insert(out.end(), addr.bytes.begin(), addr.bytes.end());
-            break;
+            std::copy(addr.bytes.begin(), addr.bytes.end(), out);
+            return 16;
         case AddrMode::kContext8:
-            out.insert(out.end(), addr.bytes.begin() + 8, addr.bytes.end());
-            break;
+            std::copy(addr.bytes.begin() + 8, addr.bytes.end(), out);
+            return 8;
         case AddrMode::kElided:
-            break;
+            return 0;
     }
+    return 0;
 }
 
 bool getAddress(BytesView in, std::size_t& off, AddrMode mode, ip6::ShortAddr macAddr,
@@ -52,10 +55,8 @@ bool getAddress(BytesView in, std::size_t& off, AddrMode mode, ip6::ShortAddr ma
 
 }  // namespace
 
-IphcResult compressHeader(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst) {
-    IphcResult r;
-    Bytes& out = r.bytes;
-
+void compressHeaderInto(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
+                        IphcHeader& out) {
     const AddrMode sm = modeFor(p.src, macSrc);
     const AddrMode dm = modeFor(p.dst, macDst);
     const bool tcInline = p.trafficClass != 0;
@@ -67,16 +68,27 @@ IphcResult compressHeader(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::Shor
         default: hlimMode = 0; break;
     }
 
+    std::uint8_t* b = out.bytes;
+    std::size_t n = 0;
     // Byte 0: dispatch(3) | tcInline(1) | reserved(2) | hlim(2)
-    out.push_back(std::uint8_t(kIphcDispatch | (tcInline ? 0x10 : 0) | hlimMode));
+    b[n++] = std::uint8_t(kIphcDispatch | (tcInline ? 0x10 : 0) | hlimMode);
     // Byte 1: srcMode(4) | dstMode(4)
-    out.push_back(std::uint8_t((static_cast<std::uint8_t>(sm) << 4) |
-                               static_cast<std::uint8_t>(dm)));
-    if (tcInline) out.push_back(p.trafficClass);
-    out.push_back(p.nextHeader);  // no NHC for TCP (§Table 1: TCP is the point)
-    if (hlimMode == 0) out.push_back(p.hopLimit);
-    putAddress(out, p.src, sm);
-    putAddress(out, p.dst, dm);
+    b[n++] = std::uint8_t((static_cast<std::uint8_t>(sm) << 4) |
+                          static_cast<std::uint8_t>(dm));
+    if (tcInline) b[n++] = p.trafficClass;
+    b[n++] = p.nextHeader;  // no NHC for TCP (§Table 1: TCP is the point)
+    if (hlimMode == 0) b[n++] = p.hopLimit;
+    n += putAddress(b + n, p.src, sm);
+    n += putAddress(b + n, p.dst, dm);
+    TCPLP_ASSERT(n <= IphcHeader::kMaxBytes);
+    out.len = n;
+}
+
+IphcResult compressHeader(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst) {
+    IphcHeader h;
+    compressHeaderInto(p, macSrc, macDst, h);
+    IphcResult r;
+    r.bytes.assign(h.bytes, h.bytes + h.len);
     return r;
 }
 

@@ -31,8 +31,24 @@ struct IphcResult {
     std::size_t size() const { return bytes.size(); }
 };
 
+/// Fixed-capacity compressed header staged on the caller's stack — the TX
+/// hot path's allocation-free variant of IphcResult. Worst case is 37 bytes
+/// (2 control + traffic class + next header + hop limit + two 16-byte
+/// inline addresses).
+struct IphcHeader {
+    static constexpr std::size_t kMaxBytes = 40;
+    std::uint8_t bytes[kMaxBytes];
+    std::size_t len = 0;
+    std::size_t size() const { return len; }
+    BytesView view() const { return BytesView(bytes, len); }
+};
+
 /// Compresses `header fields of p` (payload not included).
 IphcResult compressHeader(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst);
+
+/// Allocation-free compressHeader: writes into the caller's IphcHeader.
+void compressHeaderInto(const ip6::Packet& p, ip6::ShortAddr macSrc, ip6::ShortAddr macDst,
+                        IphcHeader& out);
 
 /// Decompresses an IPHC header at the front of `in`; returns the number of
 /// bytes consumed and fills everything except payload. Returns nullopt on a

@@ -26,6 +26,7 @@
 #include <optional>
 #include <set>
 
+#include "tcplp/common/ring_deque.hpp"
 #include "tcplp/phy/radio.hpp"
 #include "tcplp/sim/simulator.hpp"
 
@@ -183,7 +184,11 @@ private:
     TxOutcomeCallback txOutcome_;
     std::function<void()> idleCallback_;
 
-    std::deque<SendOp> queue_;
+    // Direct-send FIFO: a RingDeque so the constant drain-to-empty cycle
+    // reuses its slots (std::deque would re-allocate its chunk every cycle).
+    // The indirect queues below stay std::deque — they exist only for
+    // sleepy children, far off the dense-mesh hot path.
+    RingDeque<SendOp> queue_;
     std::optional<SendOp> current_;
     sim::EventHandle waitHandle_;  // drives backoff / retry / ack-wait waits
     bool awaitingAck_ = false;

@@ -12,8 +12,11 @@ void WiredLink::transfer(const Node* from, ip6::Packet packet) {
         ++dropped_;
         return;
     }
-    simulator_.schedule(delay_, [to, packet = std::move(packet)]() mutable {
-        to->wiredInput(std::move(packet));
+    inFlight_.push_back(InFlight{to, std::move(packet)});
+    simulator_.schedule(delay_, [this] {
+        InFlight entry = std::move(inFlight_.front());
+        inFlight_.pop_front();
+        entry.to->wiredInput(std::move(entry.packet));
     });
 }
 
@@ -268,9 +271,11 @@ void Node::drainQueue() {
     const std::uint16_t tag = claimOutgoingTag(std::nullopt);
     currentTxTag_ = tag;
     txTagActive_ = true;  // reserve through any txProcessingDelay
-    std::vector<PacketBuffer> frames =
-        lowpan::encodeDatagram(std::move(packet), id_, *nextHop, tag, config_.macPayloadBudget);
+    const std::uint64_t prependBase = PacketBuffer::stats().prependFallbacks;
     if (config_.txProcessingDelay > 0) {
+        std::vector<PacketBuffer> frames = lowpan::encodeDatagram(
+            std::move(packet), id_, *nextHop, tag, config_.macPayloadBudget);
+        stats_.prependFallbacks += PacketBuffer::stats().prependFallbacks - prependBase;
         simulator_.schedule(
             config_.txProcessingDelay,
             [this, frames = std::move(frames), hop = *nextHop,
@@ -280,7 +285,15 @@ void Node::drainQueue() {
             });
         if (radio_) radio_->energy().addCpuBusy(config_.txProcessingDelay / 2);
     } else {
-        sendDatagramFrames(std::move(frames), *nextHop);
+        // Hot path: encode straight into the node's reusable frame list.
+        // draining_ serializes datagrams, so txFrames_ is idle here and its
+        // capacity (and, via the slab pool, its frames' storage) is reused
+        // from one datagram to the next.
+        lowpan::encodeDatagramInto(std::move(packet), id_, *nextHop, tag,
+                                   config_.macPayloadBudget, txFrames_);
+        stats_.prependFallbacks += PacketBuffer::stats().prependFallbacks - prependBase;
+        txIndex_ = 0;
+        sendNextFrame(*nextHop);
     }
 }
 
@@ -376,11 +389,11 @@ void Node::macInput(NodeId macSrc, const PacketBuffer& macPayload) {
         // rewrite. A simultaneous collision falls back to a fresh tag and a
         // counted copy-on-write rewrite in forwardRawFragment.
         const std::uint16_t outTag = claimOutgoingTag(info->tag);
-        fragRoutes_[{macSrc, info->tag}] = FragRoute{outTag, *nextHop, simulator_.now()};
+        insertFragRoute(macSrc, info->tag, outTag, *nextHop);
         forwardRawFragment(macPayload, *info, macSrc);
         return;
     }
-    if (fragRoutes_.count({macSrc, info->tag}) > 0) {
+    if (findFragRoute(macSrc, info->tag) != nullptr) {
         forwardRawFragment(macPayload, *info, macSrc);
         return;
     }
@@ -392,9 +405,8 @@ bool Node::outgoingTagInUse(std::uint16_t tag) const {
     // Datagrams drain one at a time, so the only originated tag that can
     // still be in flight alongside relayed fragments is the current one.
     if (txTagActive_ && currentTxTag_ == tag) return true;
-    for (const auto& [origin, route] : fragRoutes_) {
-        (void)origin;
-        if (route.newTag == tag) return true;
+    for (const FragRoute& route : fragRoutes_) {
+        if (route.active && route.newTag == tag) return true;
     }
     return false;
 }
@@ -406,36 +418,62 @@ std::uint16_t Node::claimOutgoingTag(std::optional<std::uint16_t> preferred) {
     return tag;
 }
 
+Node::FragRoute* Node::findFragRoute(NodeId originSrc, std::uint16_t originTag) {
+    for (FragRoute& route : fragRoutes_) {
+        if (route.active && route.originSrc == originSrc && route.originTag == originTag)
+            return &route;
+    }
+    return nullptr;
+}
+
+void Node::insertFragRoute(NodeId originSrc, std::uint16_t originTag, std::uint16_t newTag,
+                           NodeId nextHop) {
+    FragRoute* slot = findFragRoute(originSrc, originTag);
+    if (slot == nullptr) {
+        for (FragRoute& route : fragRoutes_) {
+            if (!route.active) {
+                slot = &route;
+                break;
+            }
+        }
+    }
+    if (slot == nullptr) {
+        fragRoutes_.emplace_back();
+        slot = &fragRoutes_.back();
+    }
+    *slot = FragRoute{originSrc, originTag, newTag, nextHop, simulator_.now(), true};
+}
+
 void Node::forwardRawFragment(const PacketBuffer& macPayload, const lowpan::FragInfo& info,
                               NodeId macSrc) {
-    const auto it = fragRoutes_.find({macSrc, info.tag});
-    TCPLP_ASSERT(it != fragRoutes_.end());
+    FragRoute* route = findFragRoute(macSrc, info.tag);
+    TCPLP_ASSERT(route != nullptr);
     // Pinned fast-path hop gone dead mid-datagram: drop the fragment and
     // retire the route — the receiver discards on gap anyway, and burning
     // retry ladders into a blackhole would only delay the sender's own
     // failover.
-    if (neighbors_ && config_.neighbor.enabled && !neighbors_->isLive(it->second.nextHop)) {
+    if (neighbors_ && config_.neighbor.enabled && !neighbors_->isLive(route->nextHop)) {
         routes_.noteBlackhole();
-        fragRoutes_.erase(it);
+        route->active = false;
         return;
     }
-    it->second.lastActivity = simulator_.now();
+    route->lastActivity = simulator_.now();
     PacketBuffer out = macPayload;  // shares storage with the received frame
-    if (it->second.newTag != info.tag) {
+    if (route->newTag != info.tag) {
         // Tag collision: rewriting the FRAG header needs exclusive bytes —
         // the only payload deep copy possible on the forwarding path.
         out.copyForWrite();
         std::uint8_t* bytes = out.mutableData();
-        bytes[2] = std::uint8_t(it->second.newTag >> 8);
-        bytes[3] = std::uint8_t(it->second.newTag);
+        bytes[2] = std::uint8_t(route->newTag >> 8);
+        bytes[3] = std::uint8_t(route->newTag);
         ++stats_.payloadDeepCopies;
     }
     ++stats_.packetsForwarded;
-    const NodeId nextHop = it->second.nextHop;
+    const NodeId nextHop = route->nextHop;
     // Last fragment? Retire the mapping so the table stays bounded.
     if (!info.isFirst &&
         info.offsetBytes + (macPayload.size() - info.headerLen) >= info.datagramSize) {
-        fragRoutes_.erase(it);
+        route->active = false;
     }
     macSend(nextHop, std::move(out), nullptr);
 }
@@ -445,11 +483,9 @@ void Node::expireFragRoutes() {
     // fragment, the datagram's remainder is not coming.
     constexpr sim::Time kFragRouteTimeout = 5 * sim::kSecond;
     const sim::Time now = simulator_.now();
-    for (auto it = fragRoutes_.begin(); it != fragRoutes_.end();) {
-        if (now - it->second.lastActivity > kFragRouteTimeout) {
-            it = fragRoutes_.erase(it);
-        } else {
-            ++it;
+    for (FragRoute& route : fragRoutes_) {
+        if (route.active && now - route.lastActivity > kFragRouteTimeout) {
+            route.active = false;
         }
     }
 }

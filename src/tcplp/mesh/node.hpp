@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "tcplp/common/ring_deque.hpp"
 #include "tcplp/ip6/netif.hpp"
 #include "tcplp/ip6/red_queue.hpp"
 #include "tcplp/lowpan/frag.hpp"
@@ -82,6 +83,10 @@ struct NodeStats {
     /// Datagrams lost to reassembly buffer pressure: arena exhaustion plus
     /// partial-slot exhaustion (mirrors Reassembler stats).
     std::uint64_t reassemblyOverflowDrops = 0;
+    /// PacketBuffer::prepend slow paths this node's 6LoWPAN encoder hit
+    /// (headroom exhausted, storage reallocated through the slab pool).
+    /// The TCP/IPHC headroom budget keeps this at 0 on the hot path.
+    std::uint64_t prependFallbacks = 0;
     /// High-water mark of the reassembly arena, in bytes (Tables 3/4:
     /// genuine buffer pressure, not elastic heap growth).
     std::size_t reassemblyArenaHighWater = 0;
@@ -120,6 +125,16 @@ private:
     std::uint64_t dropped_ = 0;
     Node* a_ = nullptr;
     Node* b_ = nullptr;
+    // In-flight packets, in schedule order. The propagation delay is a
+    // constant, so deliveries fire in FIFO order and each scheduled event
+    // pops exactly one entry — which lets transfer() schedule a [this]-only
+    // closure (fits the simulator's inline event storage) instead of
+    // capturing the packet by value.
+    struct InFlight {
+        Node* to = nullptr;
+        ip6::Packet packet;
+    };
+    RingDeque<InFlight> inFlight_;
 };
 
 class Node : public ip6::NetIf {
@@ -268,14 +283,24 @@ private:
     // Fragment-forwarding state: (origin MAC, origin tag) -> (new tag, hop).
     // Entries normally retire with the final fragment; a timeout sweep
     // (expireFragRoutes) reclaims routes whose tail was lost upstream so
-    // they cannot pin tags or grow the table forever.
+    // they cannot pin tags or grow the table forever. A relay tracks a
+    // handful of concurrent datagrams, so the table is a flat slot vector
+    // (linear scan, retired slots recycled in place) rather than a node-
+    // per-entry map — the forwarding hot path allocates nothing once the
+    // vector's high-water capacity is reached.
     struct FragRoute {
-        std::uint16_t newTag;
-        NodeId nextHop;
+        NodeId originSrc = 0;
+        std::uint16_t originTag = 0;
+        std::uint16_t newTag = 0;
+        NodeId nextHop = 0;
         sim::Time lastActivity = 0;
+        bool active = false;
     };
+    FragRoute* findFragRoute(NodeId originSrc, std::uint16_t originTag);
+    void insertFragRoute(NodeId originSrc, std::uint16_t originTag, std::uint16_t newTag,
+                         NodeId nextHop);
     void expireFragRoutes();
-    std::map<std::pair<NodeId, std::uint16_t>, FragRoute> fragRoutes_;
+    std::vector<FragRoute> fragRoutes_;
 };
 
 }  // namespace tcplp::mesh

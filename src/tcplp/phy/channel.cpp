@@ -16,7 +16,9 @@ Channel::CellKey Channel::cellOf(Position p) const {
 
 void Channel::insertIntoGrid(Radio* radio, CellKey key) {
     // Cell order is irrelevant: neighborsOf sorts the merged candidate set.
-    grid_[key].push_back(radio);
+    Cell& cell = grid_[key];
+    cell.radios.push_back(radio);
+    cell.epoch = gridEpoch_;
 }
 
 void Channel::addRadio(Radio* radio) {
@@ -24,39 +26,69 @@ void Channel::addRadio(Radio* radio) {
         radiosById_.begin(), radiosById_.end(), radio,
         [](const Radio* a, const Radio* b) { return a->id() < b->id(); });
     radiosById_.insert(it, radio);
-    insertIntoGrid(radio, cellOf(radio->position()));
     ++gridEpoch_;
+    insertIntoGrid(radio, cellOf(radio->position()));
+    resolvedMode_ = resolveMode();
 }
 
 void Channel::radioMoved(Radio* radio, Position oldPos) {
     const CellKey oldKey = cellOf(oldPos);
     const CellKey newKey = cellOf(radio->position());
     if (oldKey == newKey) return;  // same cell: candidate sets are unchanged
-    std::vector<Radio*>& cell = grid_[oldKey];
-    cell.erase(std::find(cell.begin(), cell.end(), radio));
-    insertIntoGrid(radio, newKey);
     ++gridEpoch_;
+    Cell& cell = grid_[oldKey];
+    cell.radios.erase(std::find(cell.radios.begin(), cell.radios.end(), radio));
+    cell.epoch = gridEpoch_;
+    insertIntoGrid(radio, newKey);
 }
 
 const std::vector<Radio*>& Channel::neighborsOf(Radio* transmitter) {
     NeighborCache& cache = neighborCache_[transmitter];
-    if (cache.epoch != gridEpoch_) {
-        cache.epoch = gridEpoch_;
-        cache.radios.clear();
-        ++channelStats_.neighborRebuilds;
-        const CellKey center = cellOf(transmitter->position());
-        for (std::int32_t dx = -1; dx <= 1; ++dx) {
-            for (std::int32_t dy = -1; dy <= 1; ++dy) {
-                const auto it = grid_.find(CellKey{center.cx + dx, center.cy + dy});
-                if (it == grid_.end()) continue;
-                for (Radio* r : it->second) {
-                    if (r != transmitter) cache.radios.push_back(r);
+    if (cache.epoch == gridEpoch_) return cache.radios;
+
+    const CellKey center = cellOf(transmitter->position());
+    if (cache.built && center == cache.center) {
+        // Incremental revalidation: the global epoch moved, but if none of
+        // the 9 cells in this transmitter's window changed membership, the
+        // cached candidate set is still exact — adopt the new epoch for the
+        // price of 9 integer compares instead of a rebuild + sort.
+        bool unchanged = true;
+        std::size_t slot = 0;
+        for (std::int32_t dx = -1; dx <= 1 && unchanged; ++dx) {
+            for (std::int32_t dy = -1; dy <= 1; ++dy, ++slot) {
+                if (cellEpoch(CellKey{center.cx + dx, center.cy + dy}) !=
+                    cache.cellEpochs[slot]) {
+                    unchanged = false;
+                    break;
                 }
             }
         }
-        std::sort(cache.radios.begin(), cache.radios.end(),
-                  [](const Radio* a, const Radio* b) { return a->id() < b->id(); });
+        if (unchanged) {
+            cache.epoch = gridEpoch_;
+            ++channelStats_.neighborRevalidations;
+            return cache.radios;
+        }
     }
+
+    cache.epoch = gridEpoch_;
+    cache.built = true;
+    cache.center = center;
+    cache.radios.clear();
+    ++channelStats_.neighborRebuilds;
+    std::size_t slot = 0;
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+        for (std::int32_t dy = -1; dy <= 1; ++dy, ++slot) {
+            const CellKey key{center.cx + dx, center.cy + dy};
+            cache.cellEpochs[slot] = cellEpoch(key);
+            const auto it = grid_.find(key);
+            if (it == grid_.end()) continue;
+            for (Radio* r : it->second.radios) {
+                if (r != transmitter) cache.radios.push_back(r);
+            }
+        }
+    }
+    std::sort(cache.radios.begin(), cache.radios.end(),
+              [](const Radio* a, const Radio* b) { return a->id() < b->id(); });
     return cache.radios;
 }
 
@@ -88,17 +120,26 @@ bool Channel::inRange(const Radio* a, const Radio* b) const {
 }
 
 bool Channel::clearAt(const Radio* listener) const {
+    // Mode check hoisted out of the loop (and the listener's cell computed
+    // only when the spatial reject will use it): CCA runs once per CSMA
+    // attempt, and the per-transmission recompute showed up as pure
+    // overhead on small-n auto runs that resolve to the linear scan.
+    if (resolvedMode_ != DeliveryMode::kSpatialIndex) {
+        for (const Transmission& t : active_) {
+            if (t.transmitter == listener) continue;
+            if (inRange(listener, t.transmitter)) return false;
+        }
+        return true;
+    }
     const CellKey lc = cellOf(listener->position());
     for (const Transmission& t : active_) {
         if (t.transmitter == listener) continue;
-        if (effectiveMode() == DeliveryMode::kSpatialIndex) {
-            // Cells >= 2 apart in either axis are strictly farther than
-            // `range` (cell side == range): reject without the distance math.
-            const CellKey tc = cellOf(t.transmitter->position());
-            if (tc.cx - lc.cx > 1 || lc.cx - tc.cx > 1 || tc.cy - lc.cy > 1 ||
-                lc.cy - tc.cy > 1) {
-                continue;
-            }
+        // Cells >= 2 apart in either axis are strictly farther than
+        // `range` (cell side == range): reject without the distance math.
+        const CellKey tc = cellOf(t.transmitter->position());
+        if (tc.cx - lc.cx > 1 || lc.cx - tc.cx > 1 || tc.cy - lc.cy > 1 ||
+            lc.cy - tc.cy > 1) {
+            continue;
         }
         if (inRange(listener, t.transmitter)) return false;
     }

@@ -80,7 +80,11 @@ struct Position {
 struct ChannelStats {
     std::uint64_t deliveryEvents = 0;   // pooled end-of-air events fired
     std::uint64_t listenerVisits = 0;   // candidate radios examined
-    std::uint64_t neighborRebuilds = 0; // neighbor-cache misses
+    std::uint64_t neighborRebuilds = 0; // neighbor-cache misses (full rebuild)
+    /// Cache refreshes that compared the 3x3 cell epochs and found the
+    /// window untouched — a grid change elsewhere cost 9 integer compares
+    /// instead of a rebuild.
+    std::uint64_t neighborRevalidations = 0;
 };
 
 class Channel {
@@ -105,14 +109,16 @@ public:
     sim::Simulator& simulator() { return simulator_; }
     double range() const { return range_; }
 
-    void setDeliveryMode(DeliveryMode mode) { mode_ = mode; }
-    DeliveryMode deliveryMode() const { return mode_; }
-    /// The mode kAuto resolves to right now (itself otherwise).
-    DeliveryMode effectiveMode() const {
-        if (mode_ != DeliveryMode::kAuto) return mode_;
-        return radiosById_.size() < kAutoLinearThreshold ? DeliveryMode::kLinearScan
-                                                         : DeliveryMode::kSpatialIndex;
+    void setDeliveryMode(DeliveryMode mode) {
+        mode_ = mode;
+        resolvedMode_ = resolveMode();
     }
+    DeliveryMode deliveryMode() const { return mode_; }
+    /// The mode kAuto resolves to right now (itself otherwise). Cached in a
+    /// member — radios are only ever added, so it can change only inside
+    /// addRadio()/setDeliveryMode(); recomputing it per active transmission
+    /// in clearAt was measurable overhead on small-n auto runs.
+    DeliveryMode effectiveMode() const { return resolvedMode_; }
 
     void addRadio(Radio* radio);
     /// Re-files `radio` under its new position (called by Radio::setPosition
@@ -188,11 +194,6 @@ private:
         sim::Time end;
         std::vector<std::uint64_t> txIds;
     };
-    struct NeighborCache {
-        std::uint64_t epoch = 0;
-        std::vector<Radio*> radios;  // 3x3-cell candidates, NodeId-ascending
-    };
-
     struct CellKey {
         std::int32_t cx;
         std::int32_t cy;
@@ -204,6 +205,25 @@ private:
                                std::uint32_t(k.cy));
         }
     };
+    /// One grid cell: its members plus the global-epoch value at the last
+    /// membership change — the unit of incremental cache revalidation.
+    struct Cell {
+        std::vector<Radio*> radios;
+        std::uint64_t epoch = 0;
+    };
+
+    struct NeighborCache {
+        std::uint64_t epoch = 0;
+        bool built = false;
+        std::vector<Radio*> radios;  // 3x3-cell candidates, NodeId-ascending
+        // Snapshot for incremental revalidation: the window the cache was
+        // built over and the per-cell epochs of its 9 cells (row-major,
+        // 0 for a cell absent from the grid at build time). On a global
+        // epoch bump, an unchanged snapshot proves the candidate set is
+        // still exact — no rebuild needed.
+        CellKey center{0, 0};
+        std::uint64_t cellEpochs[9] = {};
+    };
     /// NodeId pairs hash into a perfect 32-bit key (ids are 16-bit).
     struct LinkKeyHash {
         std::size_t operator()(const std::pair<NodeId, NodeId>& k) const {
@@ -213,6 +233,16 @@ private:
 
     CellKey cellOf(Position p) const;
     void insertIntoGrid(Radio* radio, CellKey key);
+    DeliveryMode resolveMode() const {
+        if (mode_ != DeliveryMode::kAuto) return mode_;
+        return radiosById_.size() < kAutoLinearThreshold ? DeliveryMode::kLinearScan
+                                                         : DeliveryMode::kSpatialIndex;
+    }
+    /// Epoch of the cell at `key` (0 when the grid has no such cell).
+    std::uint64_t cellEpoch(CellKey key) const {
+        const auto it = grid_.find(key);
+        return it == grid_.end() ? 0 : it->second.epoch;
+    }
     const std::vector<Radio*>& neighborsOf(Radio* transmitter);
     /// Calls fn(listener) for each candidate in ascending NodeId order;
     /// callers still apply inRange(). Spatial mode visits the cached 3x3
@@ -230,9 +260,12 @@ private:
     sim::Simulator& simulator_;
     double range_;
     DeliveryMode mode_ = DeliveryMode::kAuto;
+    // What kAuto currently resolves to (kAuto itself never stored here);
+    // updated by addRadio()/setDeliveryMode(), read on every CCA/delivery.
+    DeliveryMode resolvedMode_ = DeliveryMode::kLinearScan;
     double defaultLoss_ = 0.0;
     std::vector<Radio*> radiosById_;  // all radios, ascending NodeId
-    std::unordered_map<CellKey, std::vector<Radio*>, CellKeyHash> grid_;
+    std::unordered_map<CellKey, Cell, CellKeyHash> grid_;
     std::uint64_t gridEpoch_ = 1;
     std::unordered_map<const Radio*, NeighborCache> neighborCache_;
     std::unordered_map<std::pair<NodeId, NodeId>, double, LinkKeyHash> linkLoss_;

@@ -68,6 +68,8 @@ void Radio::transmit(const Frame& frame, std::function<void(bool)> done) {
         return;
     }
     txBusy_ = true;
+    txFrame_ = frame;
+    txDone_ = std::move(done);
     if (state_ == RadioState::kSleep) changeState(RadioState::kListen);
 
     // SPI load: the MCU copies the frame into the radio FIFO. This is the
@@ -75,19 +77,23 @@ void Radio::transmit(const Frame& frame, std::function<void(bool)> done) {
     // ACKs skip it. The radio keeps listening during the load.
     const sim::Time load = (frame.type == FrameType::kAck) ? 0 : spiTime(frame.mpduBytes());
     energy_.addCpuBusy(load);
-    simulator_.schedule(load, [this, frame, done = std::move(done)]() mutable {
+    simulator_.schedule(load, [this] {
         // Final clear-channel check at carrier-up time: a frame may have
         // started (or be arriving at us) during the SPI load, or our own
         // hardware auto-ACK may be in the air.
         if (!powered_ || state_ == RadioState::kRx || state_ == RadioState::kTx ||
             !channel_.clearAt(this)) {
             txBusy_ = false;
-            if (done) done(false);
+            auto cb = std::move(txDone_);
+            txDone_ = nullptr;
+            if (cb) cb(false);
             return;
         }
-        radiate(frame, [this, done = std::move(done)] {
+        radiate(txFrame_, [this] {
             txBusy_ = false;
-            if (done) done(true);
+            auto cb = std::move(txDone_);
+            txDone_ = nullptr;
+            if (cb) cb(true);
         });
     });
 }
@@ -96,10 +102,15 @@ void Radio::radiate(const Frame& frame, std::function<void()> airDone) {
     TCPLP_ASSERT(state_ != RadioState::kTx);
     changeState(RadioState::kTx);
     ++framesSent_;
+    // airDone_ is necessarily empty here: it is only non-empty while a
+    // carrier is up (state kTx), and that state is asserted away above.
+    airDone_ = std::move(airDone);
     channel_.startTransmission(this, frame);
-    simulator_.schedule(frame.airTime(), [this, airDone = std::move(airDone)] {
+    simulator_.schedule(frame.airTime(), [this] {
         changeState(idleState());
-        if (airDone) airDone();
+        auto cb = std::move(airDone_);
+        airDone_ = nullptr;
+        if (cb) cb();
     });
 }
 
@@ -144,7 +155,7 @@ void Radio::airFinished(std::uint64_t txId, const Frame& frame, bool faded) {
         ack.seq = frame.seq;
         ack.framePending =
             pendingBitProvider_ ? pendingBitProvider_(frame.src, frame.type) : false;
-        simulator_.schedule(192, [this, ack] {  // aTurnaroundTime = 12 symbols
+        simulator_.schedule(192, [this, ack = std::move(ack)] {  // aTurnaroundTime = 12 symbols
             // The AACK engine bypasses the frame FIFO, so an in-progress
             // SPI upload (txBusy_) does not block it — only an actually
             // radiating or sleeping transceiver loses the ACK.
@@ -160,7 +171,11 @@ void Radio::airFinished(std::uint64_t txId, const Frame& frame, bool faded) {
     const sim::Time readout =
         (frame.type == FrameType::kAck) ? 32 : spiTime(frame.mpduBytes());
     energy_.addCpuBusy(readout);
-    simulator_.schedule(readout, [this, frame] {
+    // Init-capture: a plain `[this, frame]` capture of the const-reference
+    // parameter would give the closure a `const Frame` member, whose "move"
+    // is a copy — init-capture deduces a mutable Frame, keeping the closure
+    // nothrow-move-constructible and inside SmallFn's inline storage.
+    simulator_.schedule(readout, [this, frame = frame] {
         if (receiveCallback_) receiveCallback_(frame);
     });
 }

@@ -113,6 +113,13 @@ private:
     bool autoAck_ = true;
     bool powered_ = true;
     bool txBusy_ = false;  // covers the SPI-load + air phases of transmit()
+    // txBusy_ admits at most one transmit() in flight and radiate() asserts
+    // no concurrent carrier, so the pending frame and completion callbacks
+    // live here instead of inside scheduled closures — the event-queue
+    // lambdas capture only `this` and stay within SmallFn's inline storage.
+    Frame txFrame_;
+    std::function<void(bool)> txDone_;
+    std::function<void()> airDone_;
     // Reception attempt tracking (one frame at a time).
     std::uint64_t rxTxId_ = 0;
     bool rxCorrupted_ = false;

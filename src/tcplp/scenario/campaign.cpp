@@ -7,6 +7,7 @@
 
 #include "tcplp/common/assert.hpp"
 #include "tcplp/scenario/shard.hpp"
+#include "tcplp/scenario/workloads.hpp"
 
 namespace tcplp::scenario {
 
@@ -239,6 +240,15 @@ constexpr GoldenEntry kGoldenEntries[] = {
     // failover/failback and permanent-failure injection end to end.
     {"relay_failover", nullptr},
     {"partition_heal", nullptr},
+    {"city_scale",
+     +[](ScenarioDef& d) {
+         // The full scenario is a 1,024-node grid plus a legacy-engine
+         // comparison sweep; the corpus pins a 120-node, 15-second run of
+         // the current engine only — same code paths (slab pool, batched
+         // delivery, datapath counter rows), CI-sized wall cost.
+         d.base = cityScaleSpec(15 * sim::kSecond, 120);
+         d.axes = {{"config", {0}}};
+     }},
 };
 
 }  // namespace

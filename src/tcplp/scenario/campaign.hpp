@@ -76,8 +76,10 @@ std::vector<ScenarioDef> registryDefs(const std::string& filter = {});
 
 /// The curated golden-corpus subset: sweep_smoke, sec72_hops,
 /// office_multiflow, grid200_dense, fig10_table8_day trimmed from 24 to
-/// 1 simulated hour, and the three chaos scenarios (line_blackout,
-/// office_reboot_storm, border_router_restart) — fast enough for CI, wide
+/// 1 simulated hour, city_scale trimmed to a 120-node grid on the current
+/// engine, the self-healing scenarios, and the three chaos scenarios
+/// (line_blackout, office_reboot_storm, border_router_restart) — fast
+/// enough for CI, wide
 /// enough to cover the bulk line path, the office tree, the dense grid, the
 /// sweep machinery, the anemometer application study, and the
 /// fault-injection layer. Regenerate golden/ with this exact subset

@@ -147,7 +147,11 @@ bool isTimingField(const std::string& key) {
     for (const char* name : kExact) {
         if (key == name) return true;
     }
-    static const char* kSuffixes[] = {"_per_sec", "_ns_per_event", "_wall_ms"};
+    // "_allocs_per_frame" counts global operator-new calls, which are a
+    // perf observable of the build (stdlib growth policies, inlining), not
+    // of the simulated behavior — stripped like the wall-clock fields.
+    static const char* kSuffixes[] = {"_per_sec", "_ns_per_event", "_wall_ms",
+                                      "_allocs_per_frame"};
     for (const char* suffix : kSuffixes) {
         const std::size_t n = std::char_traits<char>::length(suffix);
         if (key.size() > n && key.compare(key.size() - n, n, suffix) == 0) return true;

@@ -70,6 +70,19 @@ struct TopologySpec {
     /// mesh::NeighborConfig's default, 0 = probing off — then only organic
     /// traffic revives a dead neighbor).
     std::optional<sim::Time> probeInterval;
+    /// Emit datapath perf counters (slab-pool recycle/fresh split, SmallFn
+    /// and prepend heap-fallbacks, neighbor-cache rebuild/revalidation) as
+    /// extra row keys. Off by default so legacy rows — and their golden
+    /// artifacts — are unchanged (same pattern as selfHealing).
+    bool datapathCounters = false;
+    /// Run on the pre-slab/pre-batching engine: linear-scan channel
+    /// delivery (one event per transmission) and no frame-storage pooling.
+    /// Both switches are RNG-neutral — listeners are visited in ascending
+    /// NodeId order in every delivery mode and the pool never draws — so a
+    /// legacy run replays the identical byte stream; only the wall clock
+    /// (and the datapath counters) differ. The city_scale bench sweeps this
+    /// to report the engine speedup.
+    bool legacyDatapath = false;
 
     // kPipe parameters (§8).
     sim::Time pipeOneWayDelay = 50 * sim::kMillisecond;

@@ -125,20 +125,50 @@ ScenarioSpec grid200DenseSpec(sim::Time duration) {
     return s;
 }
 
+ScenarioSpec cityScaleSpec(sim::Time duration, std::size_t nodes) {
+    ScenarioSpec s;
+    s.topology.kind = TopologyKind::kGrid;
+    s.topology.nodes = nodes;
+    s.topology.retryDelayMax = sim::fromMillis(40);  // §7.1 fix
+    s.topology.queueCapacityPackets = 24;
+    s.topology.datapathCounters = true;
+    s.workload.kind = WorkloadKind::kMultiFlow;
+    s.workload.multiFlowDuration = duration;
+    // 24 saturating flows, endpoints spread evenly across the grid interior
+    // (ids 2..nodes), alternating direction — dozens of concurrent TCP
+    // connections criss-crossing a four-digit-node mesh on one core.
+    for (std::size_t i = 0; i < 24; ++i) {
+        FlowSpec f;
+        f.node = phy::NodeId(2 + (i * (nodes - 2)) / 24);
+        f.uplink = (i % 2) == 0;
+        f.totalBytes = 2000000;
+        s.workload.flows.push_back(f);
+    }
+    return s;
+}
+
 std::unique_ptr<harness::Testbed> buildTestbed(const TopologySpec& t,
                                                std::uint64_t seed) {
     const harness::TestbedConfig cfg = testbedConfigFor(t, seed);
+    std::unique_ptr<harness::Testbed> tb;
     switch (t.kind) {
-        case TopologyKind::kPair: return harness::Testbed::pair(cfg);
-        case TopologyKind::kLine: return harness::Testbed::line(t.hops, cfg);
-        case TopologyKind::kOffice: return harness::Testbed::office(cfg);
-        case TopologyKind::kGrid: return harness::Testbed::grid(t.nodes, cfg);
-        case TopologyKind::kStar: return harness::Testbed::star(t.nodes, cfg);
+        case TopologyKind::kPair: tb = harness::Testbed::pair(cfg); break;
+        case TopologyKind::kLine: tb = harness::Testbed::line(t.hops, cfg); break;
+        case TopologyKind::kOffice: tb = harness::Testbed::office(cfg); break;
+        case TopologyKind::kGrid: tb = harness::Testbed::grid(t.nodes, cfg); break;
+        case TopologyKind::kStar: tb = harness::Testbed::star(t.nodes, cfg); break;
         case TopologyKind::kSleepyLeaf:
         case TopologyKind::kPipe:
             TCPLP_ASSERT(false && "topology built by its workload runner");
     }
-    return nullptr;
+    if (tb != nullptr && t.legacyDatapath) {
+        // Pre-PR engine, for A/B speedup rows: seed-era linear-scan delivery
+        // and every frame allocation straight from the heap. RNG-neutral —
+        // see TopologySpec::legacyDatapath.
+        tb->channel().setDeliveryMode(phy::Channel::DeliveryMode::kLinearScan);
+        tb->simulator().framePool().uninstall();
+    }
+    return tb;
 }
 
 MeshRouteTotals meshRouteTotals(const harness::Testbed& tb) {
@@ -347,6 +377,10 @@ TwoFlowResult runTwoFlow(const ScenarioSpec& spec, std::uint64_t seed) {
 MultiFlowResult runMultiFlow(const ScenarioSpec& spec, std::uint64_t seed) {
     const WorkloadSpec& w = spec.workload;
     TCPLP_ASSERT(!w.flows.empty() && "kMultiFlow needs explicit FlowSpecs");
+    // Process-wide counter baselines (SmallFn / PacketBuffer statics), taken
+    // before the testbed exists so the deltas cover the whole run.
+    const std::uint64_t smallFnBase = sim::SmallFn::heapFallbacks();
+    const std::uint64_t prependBase = PacketBuffer::stats().prependFallbacks;
     auto tb = buildTestbed(spec.topology, seed);
     if (w.deliveryTap) tb->channel().setDeliveryTap(w.deliveryTap);
     const std::uint16_t mss = resolveMss(w);
@@ -405,6 +439,15 @@ MultiFlowResult runMultiFlow(const ScenarioSpec& spec, std::uint64_t seed) {
     r.jainFairness = jainIndex(goodputs);
     r.framesTransmitted = tb->channel().framesTransmitted();
     r.listenerVisits = tb->channel().channelStats().listenerVisits;
+    const SlabPoolStats& pool = tb->simulator().framePool().stats();
+    r.datapath.poolRecycled = pool.recycled;
+    r.datapath.poolFresh = pool.fresh;
+    r.datapath.poolBytesRecycled = pool.bytesRecycled;
+    r.datapath.poolBytesFresh = pool.bytesFresh;
+    r.datapath.smallFnHeapFallbacks = sim::SmallFn::heapFallbacks() - smallFnBase;
+    r.datapath.prependFallbacks = PacketBuffer::stats().prependFallbacks - prependBase;
+    r.datapath.neighborRebuilds = tb->channel().channelStats().neighborRebuilds;
+    r.datapath.neighborRevalidations = tb->channel().channelStats().neighborRevalidations;
     r.rngDigest = tb->simulator().rng().stateDigest();
     return r;
 }
@@ -557,8 +600,21 @@ MetricRow runScenario(const ScenarioSpec& spec, std::uint64_t seed) {
             row.set("aggregate_kbps", r.aggregateKbps)
                 .set("jain_fairness", r.jainFairness)
                 .set("frames_tx", r.framesTransmitted)
-                .set("listener_visits", r.listenerVisits)
-                .set("rng_digest", r.rngDigest);
+                .set("listener_visits", r.listenerVisits);
+            // Datapath keys exist only when the spec opts in, so legacy
+            // scenario rows (and their golden artifacts) are unchanged.
+            if (spec.topology.datapathCounters) {
+                const DatapathCounters& d = r.datapath;
+                row.set("pool_recycled", d.poolRecycled)
+                    .set("pool_fresh", d.poolFresh)
+                    .set("pool_bytes_recycled", d.poolBytesRecycled)
+                    .set("pool_bytes_fresh", d.poolBytesFresh)
+                    .set("smallfn_heap_fallbacks", d.smallFnHeapFallbacks)
+                    .set("prepend_fallbacks", d.prependFallbacks)
+                    .set("neighbor_rebuilds", d.neighborRebuilds)
+                    .set("neighbor_revalidations", d.neighborRevalidations);
+            }
+            row.set("rng_digest", r.rngDigest);
             break;
         }
         case WorkloadKind::kSleepyBulk: {

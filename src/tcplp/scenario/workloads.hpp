@@ -54,6 +54,13 @@ ScenarioSpec officeMultiflowSpec(sim::Time duration = 3 * sim::kMinute);
 /// the grid (the PR 2 spatial-index stress).
 ScenarioSpec grid200DenseSpec(sim::Time duration = 90 * sim::kSecond);
 
+/// City-scale grid: `nodes` mesh nodes (default 1,024) with 24 saturating
+/// mixed-direction flows spread evenly across the grid — the megascale
+/// single-core stress the slab-pooled datapath was built for. Emits the
+/// datapath counter row keys (datapathCounters=true).
+ScenarioSpec cityScaleSpec(sim::Time duration = 30 * sim::kSecond,
+                           std::size_t nodes = 1024);
+
 // --- Structured per-workload results (custom measures/presenters use the
 // --- raw forms; runScenario flattens them into a MetricRow) --------------
 
@@ -97,6 +104,20 @@ struct TwoFlowResult {
     std::uint64_t rngDigest = 0;
 };
 
+/// Datapath perf counters collected over one run (deltas for the
+/// process-wide counters, so sequential runs in one process don't bleed
+/// into each other). Surfaced as row keys when datapathCounters is set.
+struct DatapathCounters {
+    std::uint64_t poolRecycled = 0;        // storage blocks served from free lists
+    std::uint64_t poolFresh = 0;           // storage blocks that hit the heap
+    std::uint64_t poolBytesRecycled = 0;
+    std::uint64_t poolBytesFresh = 0;
+    std::uint64_t smallFnHeapFallbacks = 0;  // event closures too big to inline
+    std::uint64_t prependFallbacks = 0;      // PacketBuffer::prepend slow paths
+    std::uint64_t neighborRebuilds = 0;      // candidate-cache full rebuilds
+    std::uint64_t neighborRevalidations = 0; // epoch-diff hits (no rebuild)
+};
+
 struct MultiFlowResult {
     struct Flow {
         phy::NodeId node = 0;
@@ -109,6 +130,7 @@ struct MultiFlowResult {
     double jainFairness = 0.0;
     std::uint64_t framesTransmitted = 0;
     std::uint64_t listenerVisits = 0;
+    DatapathCounters datapath{};
     std::uint64_t rngDigest = 0;
 };
 

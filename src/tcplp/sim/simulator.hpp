@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "tcplp/common/assert.hpp"
+#include "tcplp/common/slab_pool.hpp"
 #include "tcplp/sim/rng.hpp"
 #include "tcplp/sim/scheduler.hpp"
 #include "tcplp/sim/small_fn.hpp"
@@ -85,7 +86,13 @@ class Simulator {
 public:
     explicit Simulator(std::uint64_t seed = 1) : Simulator(SimConfig{seed, {}}) {}
     explicit Simulator(const SimConfig& config)
-        : rng_(config.seed), sched_(makeScheduler(config.scheduler, pool_)) {}
+        : rng_(config.seed), sched_(makeScheduler(config.scheduler, pool_)) {
+        // Frame-storage recycler for this simulation: every PacketBuffer
+        // allocated while this simulator exists recycles through it (see
+        // slab_pool.hpp for why buffers may safely outlive the pool).
+        framePool_.install();
+    }
+    ~Simulator() { framePool_.uninstall(); }
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -159,6 +166,11 @@ public:
         return stats_;
     }
 
+    /// This simulation's frame-storage recycler (datapath counters live in
+    /// its stats; benches and scenario rows read them from here).
+    SlabPool& framePool() { return framePool_; }
+    const SlabPool& framePool() const { return framePool_; }
+
     /// Cancels every pending event, destroying the captured callbacks NOW.
     /// Orchestration layers call this before tearing down the components
     /// those callbacks reference — e.g. Testbed's destructor must release
@@ -211,6 +223,7 @@ private:
     mutable SchedulerStats stats_;
     detail::EventPool pool_;
     std::unique_ptr<Scheduler> sched_;
+    SlabPool framePool_;
 };
 
 inline void EventHandle::cancel() {

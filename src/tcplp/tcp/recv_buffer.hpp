@@ -57,6 +57,9 @@ public:
     /// Application read: removes up to `n` in-sequence bytes.
     Bytes read(std::size_t n) { return ring_.read(n); }
 
+    /// read() into a reusable scratch vector (allocation-free once warm).
+    std::size_t readInto(std::size_t n, Bytes& out) { return ring_.readInto(n, out); }
+
     /// SACK blocks describing buffered out-of-order data, as offsets past
     /// rcv_nxt, at most `maxBlocks` ranges (most recently useful first is
     /// approximated by lowest-offset first).
@@ -81,10 +84,7 @@ public:
 private:
     void shiftMap(std::size_t by) {
         // The bitmap is indexed relative to rcv_nxt; advance the origin.
-        Bitmap next(oooMap_.size());
-        for (std::size_t i = by; i < oooMap_.size(); ++i)
-            if (oooMap_.test(i)) next.set(i - by);
-        oooMap_ = std::move(next);
+        oooMap_.shiftDown(by);
     }
 
     RingBuffer ring_;

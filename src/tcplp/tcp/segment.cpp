@@ -22,48 +22,62 @@ std::size_t Segment::optionBytes() const {
 }
 
 PacketBuffer Segment::encode() const {
-    Bytes out;
-    out.reserve(headerBytes());
-    putU16(out, srcPort);
-    putU16(out, dstPort);
-    putU32(out, seq);
-    putU32(out, ack);
+    // The wire header is at most 60 bytes (headerWords <= 15, asserted
+    // below), so stage it on the stack: segment encode runs once per TCP
+    // transmission and must not allocate on the datapath. The buffer is
+    // sized for the raw sum of every option (64) so its bound holds even on
+    // the option combinations the assert rejects.
+    std::uint8_t out[64];
+    std::size_t n = 0;
+    auto put8 = [&](std::uint8_t v) { out[n++] = v; };
+    auto put16 = [&](std::uint16_t v) {
+        put8(std::uint8_t(v >> 8));
+        put8(std::uint8_t(v));
+    };
+    auto put32 = [&](std::uint32_t v) {
+        put16(std::uint16_t(v >> 16));
+        put16(std::uint16_t(v));
+    };
+    put16(srcPort);
+    put16(dstPort);
+    put32(seq);
+    put32(ack);
     const std::size_t headerWords = headerBytes() / 4;
     TCPLP_ASSERT(headerWords <= 15);
-    out.push_back(std::uint8_t(headerWords << 4));
-    out.push_back(flags.encode());
-    putU16(out, window);
-    putU16(out, 0);  // checksum: the simulated medium models corruption as loss
-    putU16(out, 0);  // urgent pointer: unsupported, as in TCPlp (§4.1)
+    put8(std::uint8_t(headerWords << 4));
+    put8(flags.encode());
+    put16(window);
+    put16(0);  // checksum: the simulated medium models corruption as loss
+    put16(0);  // urgent pointer: unsupported, as in TCPlp (§4.1)
 
-    const std::size_t optStart = out.size();
+    const std::size_t optStart = n;
     if (mssOption) {
-        out.push_back(kOptMss);
-        out.push_back(4);
-        putU16(out, *mssOption);
+        put8(kOptMss);
+        put8(4);
+        put16(*mssOption);
     }
     if (sackPermitted) {
-        out.push_back(kOptSackPermitted);
-        out.push_back(2);
+        put8(kOptSackPermitted);
+        put8(2);
     }
     if (timestamps) {
-        out.push_back(kOptTimestamps);
-        out.push_back(10);
-        putU32(out, timestamps->value);
-        putU32(out, timestamps->echo);
+        put8(kOptTimestamps);
+        put8(10);
+        put32(timestamps->value);
+        put32(timestamps->echo);
     }
     if (!sackBlocks.empty()) {
         TCPLP_ASSERT(sackBlocks.size() <= 3);
-        out.push_back(kOptSack);
-        out.push_back(std::uint8_t(2 + sackBlocks.size() * 8));
+        put8(kOptSack);
+        put8(std::uint8_t(2 + sackBlocks.size() * 8));
         for (const SackBlock& b : sackBlocks) {
-            putU32(out, b.begin);
-            putU32(out, b.end);
+            put32(b.begin);
+            put32(b.end);
         }
     }
-    while ((out.size() - optStart) % 4 != 0) out.push_back(kOptNop);
-    TCPLP_ASSERT(out.size() == headerBytes());
-    return PacketBuffer::compose(out, payload.view());
+    while ((n - optStart) % 4 != 0) put8(kOptNop);
+    TCPLP_ASSERT(n == headerBytes());
+    return PacketBuffer::compose(BytesView(out, n), payload.view());
 }
 
 namespace {

@@ -7,18 +7,22 @@
 // buffer can be very small: it only needs to contain a few nodes of a linked
 // list". Mutable writes (`append`, the C-API case on RIOT/OpenThread) are
 // copied into owned chunks, costing the "few kilobytes of additional memory"
-// the paper reports for that platform.
+// the paper reports for that platform. Owned chunks live in slab-pooled
+// PacketBuffer storage and the node FIFO is a RingDeque, so a steady-state
+// send/ack cycle recycles storage instead of hitting the heap.
 //
 // Byte addressing is stream-relative: offset 0 is the first unacknowledged
 // byte (snd_una). ack() slides the origin forward and releases whole nodes.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <memory>
 
 #include "tcplp/common/assert.hpp"
 #include "tcplp/common/bytes.hpp"
+#include "tcplp/common/packet_buffer.hpp"
+#include "tcplp/common/ring_deque.hpp"
 
 namespace tcplp::tcp {
 
@@ -34,8 +38,10 @@ public:
     std::size_t append(BytesView data) {
         const std::size_t n = std::min(data.size(), free());
         if (n == 0) return 0;
-        auto chunk = std::make_shared<Bytes>(data.begin(), data.begin() + long(n));
-        nodes_.push_back(Node{std::move(chunk), 0, n, /*owned=*/true});
+        Node node;
+        node.owned = PacketBuffer::copyOf(BytesView(data.data(), n), /*headroom=*/0);
+        node.len = n;
+        nodes_.push_back(std::move(node));
         size_ += n;
         return n;
     }
@@ -47,7 +53,10 @@ public:
     std::size_t appendShared(std::shared_ptr<const Bytes> data) {
         const std::size_t n = data->size();
         if (n > free()) return 0;
-        nodes_.push_back(Node{std::move(data), 0, n, /*owned=*/false});
+        Node node;
+        node.shared = std::move(data);
+        node.len = n;
+        nodes_.push_back(std::move(node));
         size_ += n;
         return n;
     }
@@ -58,21 +67,19 @@ public:
         Bytes out;
         if (offset >= size_) return out;
         len = std::min(len, size_ - offset);
-        out.reserve(len);
-        std::size_t pos = 0;
-        for (const Node& node : nodes_) {
-            if (out.size() == len) break;
-            const std::size_t nodeEnd = pos + node.len;
-            if (nodeEnd > offset) {
-                const std::size_t start = (offset > pos) ? offset - pos : 0;
-                const std::size_t want = std::min(node.len - start, len - out.size());
-                const std::uint8_t* base = node.data->data() + node.off + start;
-                out.insert(out.end(), base, base + want);
-            }
-            pos = nodeEnd;
-            if (pos >= offset + len) break;
-        }
-        TCPLP_ASSERT(out.size() == len);
+        out.resize(len);
+        gather(offset, len, out.data());
+        return out;
+    }
+
+    /// read() into slab-pooled PacketBuffer storage — the transmission path
+    /// uses this so segment payload assembly allocates nothing once the
+    /// per-simulation pool is warm.
+    PacketBuffer readSegment(std::size_t offset, std::size_t len) const {
+        if (offset >= size_) return PacketBuffer::allocate(0);
+        len = std::min(len, size_ - offset);
+        PacketBuffer out = PacketBuffer::allocate(len);
+        gather(offset, len, out.mutableData());
         return out;
     }
 
@@ -100,21 +107,44 @@ public:
     std::size_t ownedBytes() const {
         std::size_t n = 0;
         for (const Node& node : nodes_)
-            if (node.owned) n += node.data->size();
+            if (node.owned.valid()) n += node.owned.size();
         return n;
     }
 
 private:
     struct Node {
-        std::shared_ptr<const Bytes> data;
+        // Exactly one of these holds the chunk: `owned` for copied data
+        // (slab-pooled), `shared` for aliased application storage.
+        PacketBuffer owned;
+        std::shared_ptr<const Bytes> shared;
         std::size_t off = 0;
         std::size_t len = 0;
-        bool owned = true;
+        const std::uint8_t* bytes() const {
+            return owned.valid() ? owned.data() : shared->data();
+        }
     };
+
+    void gather(std::size_t offset, std::size_t len, std::uint8_t* dst) const {
+        std::size_t written = 0;
+        std::size_t pos = 0;
+        for (const Node& node : nodes_) {
+            if (written == len) break;
+            const std::size_t nodeEnd = pos + node.len;
+            if (nodeEnd > offset) {
+                const std::size_t start = (offset > pos) ? offset - pos : 0;
+                const std::size_t want = std::min(node.len - start, len - written);
+                std::memcpy(dst + written, node.bytes() + node.off + start, want);
+                written += want;
+            }
+            pos = nodeEnd;
+            if (pos >= offset + len) break;
+        }
+        TCPLP_ASSERT(written == len);
+    }
 
     std::size_t capacity_;
     std::size_t size_ = 0;
-    std::deque<Node> nodes_;
+    RingDeque<Node> nodes_;
 };
 
 }  // namespace tcplp::tcp

@@ -256,7 +256,7 @@ void TcpSocket::sendSegment(Seq seq, std::size_t len, bool fin, bool syn) {
     }
     if (len > 0) {
         const std::uint32_t offset = std::uint32_t(seq - tcb_.sndUna);
-        seg.payload = sendBuf_.read(offset, len);
+        seg.payload = sendBuf_.readSegment(offset, len);
         TCPLP_ASSERT(seg.payload.size() == len);
         if (offset + len >= sendBuf_.size()) seg.flags.psh = true;
         if (seqLt(seq, tcb_.sndMax)) ++stats_.retransmissions;
@@ -858,10 +858,11 @@ void TcpSocket::processData(const Segment& seg) {
     const std::size_t advanced = recvBuf_.insert(offset, data);
     tcb_.rcvNxt += std::uint32_t(advanced);
 
-    // Deliver in-sequence bytes to the application (auto-drain).
+    // Deliver in-sequence bytes to the application (auto-drain). The scratch
+    // vector is a member so its capacity is reused delivery after delivery.
     if (advanced > 0 && onData_) {
-        const Bytes delivered = recvBuf_.read(recvBuf_.readable());
-        onData_(delivered);
+        recvBuf_.readInto(recvBuf_.readable(), drainScratch_);
+        onData_(drainScratch_);
     }
 
     const bool outOfOrder = offset != 0 || recvBuf_.outOfOrderBytes() > 0;

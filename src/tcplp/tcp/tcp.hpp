@@ -232,6 +232,7 @@ private:
 
     SendBuffer sendBuf_;
     RecvBuffer recvBuf_;
+    Bytes drainScratch_;  // reused by the auto-drain delivery path
     std::vector<SackBlock> scoreboard_;  // peer-SACKed ranges
 
     sim::Timer rexmitTimer_;
