@@ -72,6 +72,7 @@ AnemometerResult runAnemometer(const AnemometerOptions& options) {
     // §7.1's fix is assumed throughout the application study: a random
     // delay between link retries defuses hidden-terminal collisions.
     cfg.nodeDefaults.macConfig.retryDelayMax = 40 * sim::kMillisecond;
+    cfg.nodeDefaults.tcpCc = options.cc;
     auto tb = Testbed::office(cfg);
     for (phy::NodeId id : kSensorIds) {
         // Sleepy devices park the radio during the inter-retry delay.
@@ -140,6 +141,7 @@ AnemometerResult runAnemometer(const AnemometerOptions& options) {
             // Duty-cycled multihop paths have multi-second RTT tails (poll
             // latency compounds per loss); a 1 s RTO floor fires spuriously.
             moteCfg.minRto = 2 * sim::kSecond;
+            moteCfg.cc = rig->node->config().tcpCc;
             rig->moteTcpConfig = moteCfg;
             rig->cloudAddr = tb->cloud().address();
             rig->socket = &rig->tcpStack->createSocket(moteCfg);

@@ -38,6 +38,9 @@ struct AnemometerOptions {
     double nightLoss = 0.01;
     double peakLoss = 0.12;
     std::size_t mssFrames = 5;               // 3 for the daytime study (§9.5)
+    /// Congestion-control strategy for the sensors' TCP sockets; threaded
+    /// through mesh::NodeConfig::tcpCc so the rig reads it off its node.
+    tcp::CcKind cc = tcp::CcKind::kNewReno;
     std::uint64_t seed = 1;
     /// Simulator ready-queue backend (pure perf knob; identical results).
     sim::SchedulerKind scheduler = sim::SchedulerKind::kBinaryHeap;

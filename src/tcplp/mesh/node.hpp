@@ -29,6 +29,7 @@
 #include "tcplp/mesh/neighbor_table.hpp"
 #include "tcplp/mesh/route_manager.hpp"
 #include "tcplp/phy/radio.hpp"
+#include "tcplp/tcp/cc.hpp"
 
 namespace tcplp::mesh {
 
@@ -67,6 +68,12 @@ struct NodeConfig {
     /// installs. Off (the default) reproduces the static-route behavior
     /// byte-for-byte — no extra RNG draws, no extra events.
     NeighborConfig neighbor{};
+
+    /// Congestion-control strategy for TCP endpoints hosted on this node.
+    /// Only a selection token (tcp/cc.hpp, header-only): harness rigs that
+    /// build a TcpConfig for a node's sockets copy it into TcpConfig::cc
+    /// (see harness/anemometer.cpp). kNewReno = the paper's stock behavior.
+    tcp::CcKind tcpCc = tcp::CcKind::kNewReno;
 };
 
 struct NodeStats {

@@ -240,6 +240,12 @@ constexpr GoldenEntry kGoldenEntries[] = {
     // failover/failback and permanent-failure injection end to end.
     {"relay_failover", nullptr},
     {"partition_heal", nullptr},
+    // Congestion-control shootout scenarios: pin the pluggable-CC strategy
+    // rows (per-cc goodput, loss_cuts / cuts_skipped, cwnd dynamics) so a
+    // behavior change in any strategy — or in the ccMetrics schema — is a
+    // deliberate golden update.
+    {"fairness_cc_shootout", nullptr},
+    {"lossy_line_cc_shootout", nullptr},
     {"city_scale",
      +[](ScenarioDef& d) {
          // The full scenario is a 1,024-node grid plus a legacy-engine

@@ -151,6 +151,7 @@ ChaosBulkResult runChaosBulk(const ScenarioSpec& spec, std::uint64_t seed) {
         c->timestamps = w.timestamps;
         c->dropOutOfOrder = w.dropOutOfOrder;
         c->ecn = w.ecn;
+        c->cc = w.cc;
     }
     if (f.maxRetransmits) senderCfg.maxRetransmits = *f.maxRetransmits;
     if (f.keepAliveIdle) senderCfg.keepAliveIdle = *f.keepAliveIdle;

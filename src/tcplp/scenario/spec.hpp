@@ -75,6 +75,11 @@ struct TopologySpec {
     /// extra row keys. Off by default so legacy rows — and their golden
     /// artifacts — are unchanged (same pattern as selfHealing).
     bool datapathCounters = false;
+    /// Surface congestion-control dynamics as extra row keys (cwnd summary
+    /// stats from the tracer hook plus the strategy's loss_cuts /
+    /// cuts_skipped counters). Off by default so legacy rows — and their
+    /// golden artifacts — are unchanged (same pattern as selfHealing).
+    bool ccMetrics = false;
     /// Run on the pre-slab/pre-batching engine: linear-scan channel
     /// delivery (one event per transmission) and no frame-storage pooling.
     /// Both switches are RNG-neutral — listeners are visited in ascending
@@ -126,6 +131,10 @@ struct WorkloadSpec {
     bool timestamps = true;
     bool dropOutOfOrder = false;
     bool ecn = false;
+    /// Congestion-control strategy for every TCP endpoint of the workload
+    /// (the `cc` shootout axis; see ccFromAxis). kNewReno is the paper's
+    /// stock behavior and keeps legacy scenarios byte-identical.
+    tcp::CcKind cc = tcp::CcKind::kNewReno;
 
     /// Non-declarative escape hatch for the Fig. 7 cwnd trace.
     tcp::TcpSocket::CwndTracer cwndTracer;
@@ -202,6 +211,16 @@ inline bool faultFromAxis(double value) { return value >= 0.5; }
 inline sim::SchedulerKind schedulerFromAxis(double value) {
     return value >= 0.5 ? sim::SchedulerKind::kTimerWheel
                         : sim::SchedulerKind::kBinaryHeap;
+}
+
+/// Canonical mapping of the `cc` sweep axis onto the strategy enum:
+/// 0 = NewReno (the paper's stock behavior), 1 = CERL-style loss
+/// differentiation, 2 = Westwood-style bandwidth estimation. Bind hooks use
+/// this so every shootout scenario spells the axis the same way.
+inline tcp::CcKind ccFromAxis(double value) {
+    if (value >= 1.5) return tcp::CcKind::kWestwood;
+    if (value >= 0.5) return tcp::CcKind::kCerl;
+    return tcp::CcKind::kNewReno;
 }
 
 }  // namespace tcplp::scenario

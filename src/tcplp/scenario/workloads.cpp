@@ -72,6 +72,46 @@ harness::TestbedConfig testbedConfigFor(const TopologySpec& t, std::uint64_t see
     return cfg;
 }
 
+/// Streams the cwnd tracer's samples into the summary stats CcDynamics
+/// wants. Installed only when TopologySpec::ccMetrics, chained after any
+/// user-supplied tracer so the Fig. 7 escape hatch keeps working.
+struct CwndProbe {
+    std::uint32_t min = 0, max = 0;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+
+    void sample(std::uint32_t cwnd) {
+        if (count == 0 || cwnd < min) min = cwnd;
+        if (cwnd > max) max = cwnd;
+        sum += double(cwnd);
+        ++count;
+    }
+
+    /// Installs the probe on `s`, wrapping (and preserving) `inner`.
+    void attach(tcp::TcpSocket& s, tcp::TcpSocket::CwndTracer inner) {
+        s.setCwndTracer([this, inner = std::move(inner)](
+                            sim::Time now, std::uint32_t cwnd, std::uint32_t ssthresh) {
+            sample(cwnd);
+            if (inner) inner(now, cwnd, ssthresh);
+        });
+    }
+
+    /// Folds the probe's samples and the socket's final CC state into the
+    /// row-facing summary. A run with no trace events (no cwnd change ever)
+    /// degenerates to the socket's final window.
+    CcDynamics finish(const tcp::TcpSocket& s) const {
+        CcDynamics d;
+        const std::uint32_t cwnd = s.tcb().cwnd;
+        d.cwndMin = count ? min : cwnd;
+        d.cwndMax = count ? max : cwnd;
+        d.cwndMean = count ? sum / double(count) : double(cwnd);
+        d.ssthreshFinal = s.tcb().ssthresh;
+        d.lossCuts = s.ccStats().lossCuts;
+        d.cutsSkipped = s.ccStats().cutsSkipped;
+        return d;
+    }
+};
+
 double jainIndex(const std::vector<double>& xs) {
     double sum = 0.0, sumSq = 0.0;
     for (double x : xs) {
@@ -217,6 +257,7 @@ BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
         c->timestamps = w.timestamps;
         c->dropOutOfOrder = w.dropOutOfOrder;
         c->ecn = w.ecn;
+        c->cc = w.cc;
     }
 
     receiverStack.listen(80, receiverCfg, [&](tcp::TcpSocket& s) {
@@ -224,7 +265,12 @@ BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
         s.setOnPeerFin([&s] { s.close(); });
     });
     tcp::TcpSocket& sender = senderStack.createSocket(senderCfg);
-    if (w.cwndTracer) sender.setCwndTracer(w.cwndTracer);
+    CwndProbe probe;
+    if (t.ccMetrics) {
+        probe.attach(sender, w.cwndTracer);
+    } else if (w.cwndTracer) {
+        sender.setCwndTracer(w.cwndTracer);
+    }
     app::BulkSender bulk(sender, w.totalBytes);
     const ip6::Address dst = w.uplink || pair ? peer.address() : mote.address();
     sender.connect(dst, 80);
@@ -242,6 +288,7 @@ BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     const auto rexmit = sender.stats().retransmissions;
     r.segmentLoss = sent > 0 ? double(rexmit) / double(sent) : 0.0;
     r.mesh = meshRouteTotals(*tb);
+    if (t.ccMetrics) r.cc = probe.finish(sender);
     r.rngDigest = tb->simulator().rng().stateDigest();
     return r;
 }
@@ -281,6 +328,7 @@ SleepyRunResult runSleepyBulk(const ScenarioSpec& spec, std::uint64_t seed) {
         w.uplink ? moteTcpConfig(mss, w.windowSegments) : serverTcpConfig(mss);
     tcp::TcpConfig receiverCfg =
         w.uplink ? serverTcpConfig(mss) : moteTcpConfig(mss, w.windowSegments);
+    senderCfg.cc = receiverCfg.cc = w.cc;
 
     receiverStack.listen(80, receiverCfg, [&](tcp::TcpSocket& s) {
         s.setOnData([&](BytesView d) { meter.onData(d); });
@@ -335,8 +383,10 @@ TwoFlowResult runTwoFlow(const ScenarioSpec& spec, std::uint64_t seed) {
     const std::uint16_t mss = resolveMss(w);
     tcp::TcpConfig moteCfg = moteTcpConfig(mss, w.windowSegments);
     moteCfg.ecn = w.ecn;
+    moteCfg.cc = w.cc;
     tcp::TcpConfig servCfg = serverTcpConfig(mss);
     servCfg.ecn = w.ecn;
+    servCfg.cc = w.cc;
 
     tcp::TcpStack stackA(*tb->findNode(firstSrc));
     tcp::TcpStack stackB(second);
@@ -352,6 +402,11 @@ TwoFlowResult runTwoFlow(const ScenarioSpec& spec, std::uint64_t seed) {
 
     tcp::TcpSocket& a = stackA.createSocket(moteCfg);
     tcp::TcpSocket& b = stackB.createSocket(moteCfg);
+    CwndProbe probeA, probeB;
+    if (t.ccMetrics) {
+        probeA.attach(a, {});
+        probeB.attach(b, {});
+    }
     app::BulkSender sendA(a, w.totalBytes);
     app::BulkSender sendB(b, w.totalBytes);
     a.connect(tb->cloud().address(), 80);
@@ -370,6 +425,10 @@ TwoFlowResult runTwoFlow(const ScenarioSpec& spec, std::uint64_t seed) {
     r.lossB = b.stats().segsSent ? 100.0 * double(b.stats().retransmissions) /
                                        double(b.stats().segsSent)
                                  : 0.0;
+    if (t.ccMetrics) {
+        r.ccA = probeA.finish(a);
+        r.ccB = probeB.finish(b);
+    }
     r.rngDigest = tb->simulator().rng().stateDigest();
     return r;
 }
@@ -405,10 +464,11 @@ MultiFlowResult runMultiFlow(const ScenarioSpec& spec, std::uint64_t seed) {
         const std::uint16_t port = std::uint16_t(80 + i);
         tcp::TcpStack& senderStack = f.uplink ? *rig.moteStack : cloudStack;
         tcp::TcpStack& receiverStack = f.uplink ? cloudStack : *rig.moteStack;
-        const tcp::TcpConfig senderCfg =
+        tcp::TcpConfig senderCfg =
             f.uplink ? moteTcpConfig(mss, w.windowSegments) : serverTcpConfig(mss);
-        const tcp::TcpConfig receiverCfg =
+        tcp::TcpConfig receiverCfg =
             f.uplink ? serverTcpConfig(mss) : moteTcpConfig(mss, w.windowSegments);
+        senderCfg.cc = receiverCfg.cc = w.cc;
         app::GoodputMeter* meter = rig.meter.get();
         receiverStack.listen(port, receiverCfg, [meter](tcp::TcpSocket& s) {
             s.setOnData([meter](BytesView d) { meter->onData(d); });
@@ -527,6 +587,7 @@ harness::AnemometerResult runAnemometerSpec(const ScenarioSpec& spec,
     harness::AnemometerOptions o = spec.workload.anemometer;
     o.seed = seed;
     o.scheduler = spec.topology.scheduler;
+    o.cc = spec.workload.cc;
     if (spec.workload.deliveryTap) o.deliveryTap = spec.workload.deliveryTap;
     return harness::runAnemometer(o);
 }
@@ -571,6 +632,17 @@ MetricRow runScenario(const ScenarioSpec& spec, std::uint64_t seed) {
                     .set("failbacks", r.mesh.failbacks)
                     .set("blackhole_drops", r.mesh.blackholeDrops);
             }
+            // CC-dynamics keys exist only when the spec opts in, so legacy
+            // scenario rows (and their golden artifacts) are unchanged.
+            if (spec.topology.ccMetrics) {
+                row.set("cc_name", tcp::ccName(spec.workload.cc))
+                    .set("cwnd_min", std::uint64_t(r.cc.cwndMin))
+                    .set("cwnd_max", std::uint64_t(r.cc.cwndMax))
+                    .set("cwnd_mean", r.cc.cwndMean)
+                    .set("ssthresh_final", std::uint64_t(r.cc.ssthreshFinal))
+                    .set("loss_cuts", r.cc.lossCuts)
+                    .set("cuts_skipped", r.cc.cutsSkipped);
+            }
             row.set("rng_digest", r.rngDigest);
             break;
         }
@@ -584,8 +656,24 @@ MetricRow runScenario(const ScenarioSpec& spec, std::uint64_t seed) {
                 .set("rtt_a_ms", r.rttA)
                 .set("rtt_b_ms", r.rttB)
                 .set("rexmit_a_pct", r.lossA)
-                .set("rexmit_b_pct", r.lossB)
-                .set("rng_digest", r.rngDigest);
+                .set("rexmit_b_pct", r.lossB);
+            if (spec.topology.ccMetrics) {
+                row.set("cc_name", tcp::ccName(spec.workload.cc));
+                const struct {
+                    const char* suffix;
+                    const CcDynamics* d;
+                } sides[] = {{"_a", &r.ccA}, {"_b", &r.ccB}};
+                for (const auto& side : sides) {
+                    const std::string s = side.suffix;
+                    row.set("cwnd_min" + s, std::uint64_t(side.d->cwndMin))
+                        .set("cwnd_max" + s, std::uint64_t(side.d->cwndMax))
+                        .set("cwnd_mean" + s, side.d->cwndMean)
+                        .set("ssthresh_final" + s, std::uint64_t(side.d->ssthreshFinal))
+                        .set("loss_cuts" + s, side.d->lossCuts)
+                        .set("cuts_skipped" + s, side.d->cutsSkipped);
+                }
+            }
+            row.set("rng_digest", r.rngDigest);
             break;
         }
         case WorkloadKind::kMultiFlow: {

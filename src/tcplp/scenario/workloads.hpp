@@ -76,6 +76,19 @@ struct MeshRouteTotals {
 };
 MeshRouteTotals meshRouteTotals(const harness::Testbed& tb);
 
+/// Congestion-window dynamics of one sender over a run: summary stats from
+/// the cwnd tracer hook plus the strategy's loss-response counters.
+/// Collected (and surfaced as row keys) only when TopologySpec::ccMetrics,
+/// so legacy rows and their golden artifacts are unchanged.
+struct CcDynamics {
+    std::uint32_t cwndMin = 0;
+    std::uint32_t cwndMax = 0;
+    double cwndMean = 0.0;
+    std::uint32_t ssthreshFinal = 0;
+    std::uint64_t lossCuts = 0;      // multiplicative decreases taken
+    std::uint64_t cutsSkipped = 0;   // noise-classified losses (CERL)
+};
+
 struct BulkRunResult {
     double goodputKbps = 0.0;
     double rttMedianMs = 0.0;
@@ -86,6 +99,7 @@ struct BulkRunResult {
     std::size_t bytes = 0;
     bool contentOk = false;
     MeshRouteTotals mesh{};
+    CcDynamics cc{};
     std::uint64_t rngDigest = 0;
 };
 
@@ -101,6 +115,7 @@ struct TwoFlowResult {
     double goodputA = 0.0, goodputB = 0.0;
     double rttA = 0.0, rttB = 0.0;
     double lossA = 0.0, lossB = 0.0;  // rexmit %
+    CcDynamics ccA{}, ccB{};
     std::uint64_t rngDigest = 0;
 };
 

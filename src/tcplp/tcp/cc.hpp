@@ -1,0 +1,45 @@
+// Congestion-control selection and summary counters.
+//
+// Kept separate from congestion.hpp (the strategy interface) so that config
+// structs in other layers — mesh::NodeConfig, the scenario specs — can name
+// a variant without pulling in the TCP engine headers. This header depends
+// on nothing but <cstdint>.
+#pragma once
+
+#include <cstdint>
+
+namespace tcplp::tcp {
+
+/// Which congestion-control strategy a socket runs (TcpConfig::cc).
+///
+///  * kNewReno  — the paper's stock behavior (RFC 5681/6582), extracted
+///                verbatim from the pre-refactor engine; the default
+///                everywhere, byte-identical to the hardcoded path.
+///  * kCerl     — CERL-style loss differentiation: estimate the bottleneck
+///                queue from RTT - baseRTT and skip the window cut when a
+///                loss is classified as link noise rather than congestion.
+///  * kWestwood — Westwood-style bandwidth estimation: an EWMA-filtered
+///                ACK-rate estimate sets ssthresh = BWE x RTTmin on loss
+///                instead of flight/2.
+enum class CcKind : std::uint8_t { kNewReno = 0, kCerl = 1, kWestwood = 2 };
+
+inline const char* ccName(CcKind k) {
+    switch (k) {
+        case CcKind::kNewReno: return "newreno";
+        case CcKind::kCerl: return "cerl";
+        case CcKind::kWestwood: return "westwood";
+    }
+    return "?";
+}
+
+/// Per-connection congestion-response counters, surfaced by the shootout
+/// rows (loss_cuts / cuts_skipped) to explain *why* a variant wins.
+struct CcStats {
+    /// Multiplicative decreases taken: fast-retransmit entries, RTO fires
+    /// and ECE responses that actually cut ssthresh/cwnd.
+    std::uint64_t lossCuts = 0;
+    /// Losses classified as link noise where the cut was skipped (kCerl).
+    std::uint64_t cutsSkipped = 0;
+};
+
+}  // namespace tcplp::tcp

@@ -1,0 +1,15 @@
+#include "tcplp/tcp/congestion.hpp"
+
+namespace tcplp::tcp {
+
+std::unique_ptr<CongestionControl> makeCongestionControl(CcKind kind, Tcb& tcb,
+                                                         const CcEnv& env) {
+    switch (kind) {
+        case CcKind::kCerl: return std::make_unique<CerlCc>(tcb, env);
+        case CcKind::kWestwood: return std::make_unique<WestwoodCc>(tcb, env);
+        case CcKind::kNewReno: break;
+    }
+    return std::make_unique<NewRenoCc>(tcb, env);
+}
+
+}  // namespace tcplp::tcp

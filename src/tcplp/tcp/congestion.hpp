@@ -1,0 +1,325 @@
+// tcp::CongestionControl: the strategy interface behind every cwnd/ssthresh
+// mutation in the TCP engine.
+//
+// The socket owns protocol correctness (what to retransmit, when to rewind
+// sndNxt, recovery-point bookkeeping); the strategy owns the *window
+// response* — how much to send after each ACK, duplicate ACK, recovery
+// entry/exit, RTO and ECN echo. Every hook mutates the shared Tcb through
+// setCwnd(), the single capped setter: no strategy can push cwnd past
+// min(send-buffer capacity, 64 KiB, TcpConfig::cwndCapBytes), which on a
+// multihop 802.15.4 path is the difference between one loss and a burst.
+//
+// Deliberately not included from tcp.hpp (only the socket's .cpp needs the
+// concrete hooks); depends on the Tcb and the simulated clock only, so the
+// variants are unit-testable without a socket (tests/test_congestion.cpp
+// drives them with scripted hook sequences).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "tcplp/sim/time.hpp"
+#include "tcplp/tcp/cc.hpp"
+#include "tcplp/tcp/tcb.hpp"
+
+namespace tcplp::tcp {
+
+/// No window scaling (paper §4.1): the advertised and congestion windows
+/// both top out at the 16-bit limit.
+constexpr std::uint32_t kMaxWindow = 65535;
+
+/// Per-socket constants handed to a strategy at construction. The cap is
+/// fixed for the socket's lifetime (buffers never resize), so strategies
+/// need no back-reference into the socket.
+struct CcEnv {
+    std::uint32_t cwndCap = kMaxWindow;
+    std::uint32_t initialCwndSegments = 2;
+};
+
+class CongestionControl {
+public:
+    CongestionControl(Tcb& tcb, const CcEnv& env) : tcb_(tcb), env_(env) {}
+    virtual ~CongestionControl() = default;
+    CongestionControl(const CongestionControl&) = delete;
+    CongestionControl& operator=(const CongestionControl&) = delete;
+
+    virtual CcKind kind() const = 0;
+    const char* name() const { return ccName(kind()); }
+    const CcStats& stats() const { return ccStats_; }
+    std::uint32_t cwndCap() const { return env_.cwndCap; }
+
+    // --- Event hooks, called by TcpSocket at the historical mutation
+    // --- sites (cwnd tracing stays socket-side, after each hook) ---------
+
+    /// Connection opened (active or passive): initial window, ssthresh
+    /// cleared to the maximum. tcb.mss is final (MSS option applied).
+    virtual void onOpen() {
+        setCwnd(env_.initialCwndSegments * tcb_.mss);
+        tcb_.ssthresh = kMaxWindow;
+    }
+
+    /// SYN-ACK receipt after MSS renegotiation: the window restarts from
+    /// the initial value but ssthresh survives.
+    virtual void onIdleRestart() { setCwnd(env_.initialCwndSegments * tcb_.mss); }
+
+    /// One RTT measurement (already fed into srtt/rttvar).
+    virtual void onRttSample(sim::Time sample) { (void)sample; }
+
+    /// Forward ACK of `acked` bytes outside fast recovery (acked > 0).
+    virtual void onAck(sim::Time now, std::uint32_t acked) = 0;
+
+    /// Fourth-and-later duplicate ACK while in fast recovery: window
+    /// inflation (RFC 5681 step 4).
+    virtual void onDupAckInflate() { setCwnd(tcb_.cwnd + tcb_.mss); }
+
+    /// Third duplicate ACK: decide the ssthresh cut, arm the NewReno
+    /// recovery point and inflate for the three segments that left the
+    /// network. The socket retransmits the presumed-lost segment after
+    /// this returns (retransmission never reads cwnd/ssthresh).
+    virtual void onEnterRecovery(sim::Time now) = 0;
+
+    /// NewReno partial ACK (RFC 6582): deflate by the amount acked, then
+    /// re-inflate by one MSS for the retransmitted segment.
+    virtual void onPartialAck(sim::Time now, std::uint32_t acked) {
+        (void)now;
+        setCwnd((tcb_.cwnd > acked ? tcb_.cwnd - acked : std::uint32_t(tcb_.mss)) +
+                tcb_.mss);
+    }
+
+    /// ACK covering the recovery point: leave fast recovery.
+    virtual void onExitRecovery(sim::Time now) {
+        (void)now;
+        tcb_.inFastRecovery = false;
+        tcb_.dupAcks = 0;
+        setCwnd(tcb_.ssthresh);
+    }
+
+    /// Retransmission timeout (RFC 5681 §3.1): collapse to one segment.
+    virtual void onRtoFire(sim::Time now) = 0;
+
+    /// ECE echo from the peer (RFC 3168). Returns true when a reduction was
+    /// taken (at most one per window of data); the socket counts and traces
+    /// only then.
+    virtual bool onEce() {
+        if (!seqGt(tcb_.sndUna, tcb_.ecnRecover)) return false;
+        tcb_.ssthresh = std::max(flight() / 2, std::uint32_t(2 * tcb_.mss));
+        setCwnd(tcb_.ssthresh);
+        tcb_.ecnRecover = tcb_.sndMax;
+        tcb_.cwrPending = true;
+        ++ccStats_.lossCuts;
+        return true;
+    }
+
+protected:
+    /// THE cwnd setter: every strategy mutation funnels through this clamp.
+    void setCwnd(std::uint32_t value) { tcb_.cwnd = std::min(value, env_.cwndCap); }
+
+    std::uint32_t flight() const { return std::uint32_t(tcb_.sndNxt - tcb_.sndUna); }
+
+    /// The stock NewReno additive increase (slow start below ssthresh,
+    /// +MSS per RTT above), shared by every variant's steady state.
+    void additiveIncrease(std::uint32_t acked) {
+        if (tcb_.cwnd < tcb_.ssthresh) {
+            setCwnd(tcb_.cwnd + std::min(acked, std::uint32_t(tcb_.mss)));
+        } else {
+            const std::uint32_t add = std::max<std::uint32_t>(
+                1, std::uint32_t(tcb_.mss) * tcb_.mss /
+                       std::max<std::uint32_t>(tcb_.cwnd, 1));
+            setCwnd(tcb_.cwnd + add);
+        }
+    }
+
+    /// The stock multiplicative-decrease recovery entry, shared shape for
+    /// every variant (they differ only in the ssthresh they pick first).
+    void armRecovery() {
+        tcb_.recover = tcb_.sndMax;
+        tcb_.inFastRecovery = true;
+        setCwnd(tcb_.ssthresh + 3 * tcb_.mss);
+    }
+
+    Tcb& tcb_;
+    CcEnv env_;
+    CcStats ccStats_;
+};
+
+// --- NewReno (RFC 5681/6582): the paper's stock behavior -------------------
+
+class NewRenoCc final : public CongestionControl {
+public:
+    using CongestionControl::CongestionControl;
+    CcKind kind() const override { return CcKind::kNewReno; }
+
+    void onAck(sim::Time, std::uint32_t acked) override { additiveIncrease(acked); }
+
+    void onEnterRecovery(sim::Time) override {
+        tcb_.ssthresh = std::max(flight() / 2, std::uint32_t(2 * tcb_.mss));
+        ++ccStats_.lossCuts;
+        armRecovery();
+    }
+
+    void onRtoFire(sim::Time) override {
+        tcb_.ssthresh = std::max(flight() / 2, std::uint32_t(2 * tcb_.mss));
+        setCwnd(tcb_.mss);
+        tcb_.inFastRecovery = false;
+        tcb_.dupAcks = 0;
+        ++ccStats_.lossCuts;
+    }
+};
+
+// --- CERL-style loss differentiation ---------------------------------------
+//
+// LLN losses are mostly link noise, not queue overflow (the PAPERS.md lane:
+// energy-efficient WSN transport). CERL keeps a running baseRTT (the
+// propagation floor) and, at each loss, estimates the bottleneck backlog
+//
+//     queued = flight x (1 - baseRTT / RTT)
+//
+// — the fraction of the flight that is sitting in queues rather than on the
+// wire. A loss with an empty queue cannot be congestion: the cut is skipped
+// (ssthresh holds at the current operating point) and only the lost segment
+// is repaired. A loss with a standing queue takes the stock NewReno cut.
+// RTOs always collapse cwnd to one segment (the rewind is protocol-mandated)
+// but a noise-classified RTO keeps ssthresh at the prior operating point so
+// slow start regrows the window in one RTT instead of log2(cwnd) of them.
+
+class CerlCc final : public CongestionControl {
+public:
+    CerlCc(Tcb& tcb, const CcEnv& env) : CongestionControl(tcb, env) {}
+    CcKind kind() const override { return CcKind::kCerl; }
+
+    void onRttSample(sim::Time sample) override {
+        lastRtt_ = sample;
+        if (baseRtt_ == 0 || sample < baseRtt_) baseRtt_ = sample;
+    }
+
+    void onAck(sim::Time, std::uint32_t acked) override { additiveIncrease(acked); }
+
+    void onEnterRecovery(sim::Time) override {
+        if (lossIsNoise()) {
+            // Hold the operating point: ssthresh pins the current window so
+            // the post-recovery deflation returns exactly here.
+            tcb_.ssthresh = std::max(tcb_.cwnd, std::uint32_t(2 * tcb_.mss));
+            ++ccStats_.cutsSkipped;
+        } else {
+            tcb_.ssthresh = std::max(flight() / 2, std::uint32_t(2 * tcb_.mss));
+            ++ccStats_.lossCuts;
+        }
+        armRecovery();
+    }
+
+    void onRtoFire(sim::Time) override {
+        if (lossIsNoise()) {
+            tcb_.ssthresh = std::max(tcb_.cwnd, std::uint32_t(2 * tcb_.mss));
+            ++ccStats_.cutsSkipped;
+        } else {
+            tcb_.ssthresh = std::max(flight() / 2, std::uint32_t(2 * tcb_.mss));
+            ++ccStats_.lossCuts;
+        }
+        setCwnd(tcb_.mss);
+        tcb_.inFastRecovery = false;
+        tcb_.dupAcks = 0;
+    }
+
+    /// Exposed for the scripted unit tests.
+    sim::Time baseRtt() const { return baseRtt_; }
+
+private:
+    bool lossIsNoise() const {
+        // No RTT signal yet: assume congestion (the safe, stock response).
+        if (baseRtt_ == 0 || lastRtt_ <= 0) return false;
+        const sim::Time rtt = std::max(lastRtt_, baseRtt_);
+        const double queuedFraction = 1.0 - double(baseRtt_) / double(rtt);
+        const double queuedBytes = double(flight()) * queuedFraction;
+        // Less than ~1.5 segments of standing queue at the loss: link noise.
+        return queuedBytes < 1.5 * double(tcb_.mss);
+    }
+
+    sim::Time baseRtt_ = 0;  // propagation-delay floor (min RTT seen)
+    sim::Time lastRtt_ = 0;  // most recent sample
+};
+
+// --- Westwood-style bandwidth estimation -----------------------------------
+//
+// The ACK stream measures the path's delivery rate directly: accumulate the
+// bytes each ACK covers and, once per RTT-ish interval, fold the rate into
+// an EWMA bandwidth estimate (Westwood+'s long filter). On loss, instead of
+// halving blindly, ssthresh is set to the pipe the estimate says the path
+// sustains — BWE x RTTmin — so random link losses on an underutilized path
+// do not halve the operating point, while genuine congestion (which shows
+// up as a depressed delivery rate) still shrinks it.
+
+class WestwoodCc final : public CongestionControl {
+public:
+    WestwoodCc(Tcb& tcb, const CcEnv& env) : CongestionControl(tcb, env) {}
+    CcKind kind() const override { return CcKind::kWestwood; }
+
+    void onRttSample(sim::Time sample) override {
+        if (rttMin_ == 0 || sample < rttMin_) rttMin_ = sample;
+    }
+
+    void onAck(sim::Time now, std::uint32_t acked) override {
+        accumulate(now, acked);
+        additiveIncrease(acked);
+    }
+
+    void onPartialAck(sim::Time now, std::uint32_t acked) override {
+        accumulate(now, acked);
+        CongestionControl::onPartialAck(now, acked);
+    }
+
+    void onEnterRecovery(sim::Time now) override {
+        tcb_.ssthresh = lossThreshold(now);
+        ++ccStats_.lossCuts;
+        armRecovery();
+    }
+
+    void onRtoFire(sim::Time now) override {
+        tcb_.ssthresh = lossThreshold(now);
+        setCwnd(tcb_.mss);
+        tcb_.inFastRecovery = false;
+        tcb_.dupAcks = 0;
+        ++ccStats_.lossCuts;
+    }
+
+    /// Bytes/second the EWMA filter currently believes the path delivers.
+    double bandwidthEstimate() const { return bwe_; }
+    sim::Time rttMin() const { return rttMin_; }
+
+private:
+    void accumulate(sim::Time now, std::uint32_t acked) {
+        if (sampleStart_ == 0) sampleStart_ = now;
+        accumBytes_ += acked;
+        // One bandwidth sample per RTT (floor 50 ms so idle-period restarts
+        // do not fold one giant interval into the filter).
+        const sim::Time interval =
+            std::max<sim::Time>(tcb_.srtt, 50 * sim::kMillisecond);
+        if (now - sampleStart_ < interval) return;
+        const double sample =
+            double(accumBytes_) / (double(now - sampleStart_) / double(sim::kSecond));
+        bwe_ = bwe_ == 0.0 ? sample : 0.875 * bwe_ + 0.125 * sample;
+        sampleStart_ = now;
+        accumBytes_ = 0;
+    }
+
+    std::uint32_t lossThreshold(sim::Time) const {
+        const double floor = 2.0 * tcb_.mss;
+        if (bwe_ <= 0.0 || rttMin_ == 0) {
+            // No estimate yet: stock NewReno cut.
+            return std::max(flight() / 2, std::uint32_t(floor));
+        }
+        const double pipe = bwe_ * (double(rttMin_) / double(sim::kSecond));
+        return std::uint32_t(std::max(pipe, floor));
+    }
+
+    double bwe_ = 0.0;            // EWMA delivery rate, bytes/second
+    sim::Time rttMin_ = 0;        // propagation floor for the pipe estimate
+    sim::Time sampleStart_ = 0;   // current accumulation interval
+    std::uint64_t accumBytes_ = 0;
+};
+
+/// Factory used by the socket (and the scripted unit tests).
+std::unique_ptr<CongestionControl> makeCongestionControl(CcKind kind, Tcb& tcb,
+                                                         const CcEnv& env);
+
+}  // namespace tcplp::tcp

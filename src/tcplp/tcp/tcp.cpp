@@ -4,14 +4,9 @@
 
 #include "tcplp/common/assert.hpp"
 #include "tcplp/common/log.hpp"
+#include "tcplp/tcp/congestion.hpp"
 
 namespace tcplp::tcp {
-
-namespace {
-/// FIN sequence bookkeeping lives outside Tcb to keep the paper-comparable
-/// struct lean; stored per socket.
-constexpr std::uint32_t kMaxWindow = 65535;  // no window scaling (§4.1)
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // TcpSocket
@@ -32,9 +27,15 @@ TcpSocket::TcpSocket(TcpStack& stack, TcpConfig config)
       keepAliveTimer_(stack.simulator(), [this] { keepAliveTimeout(); }) {
     tcb_.mss = config.mss;
     tcb_.rto = config.initialRto;
+    // The cap is constant for the socket's lifetime (buffers never resize),
+    // so the strategy captures it once instead of reaching into the socket.
+    cc_ = makeCongestionControl(config_.cc, tcb_,
+                                CcEnv{cwndCap(), config_.initialCwndSegments});
 }
 
 TcpSocket::~TcpSocket() = default;
+
+const CcStats& TcpSocket::ccStats() const { return cc_->stats(); }
 
 std::uint32_t TcpSocket::tsNow() const {
     return std::uint32_t(stack_.simulator().now() / sim::kMillisecond);
@@ -54,13 +55,6 @@ std::uint32_t TcpSocket::cwndCap() const {
     return cap;
 }
 
-void TcpSocket::clampCwnd() {
-    // Recovery-phase window inflation must also respect the cap: on a
-    // multihop 802.15.4 path, overshooting the configured window floods the
-    // relays and converts one loss into a burst of losses.
-    tcb_.cwnd = std::min(tcb_.cwnd, cwndCap());
-}
-
 // --- Application interface --------------------------------------------------
 
 void TcpSocket::connect(const ip6::Address& dst, std::uint16_t dstPort) {
@@ -78,8 +72,7 @@ void TcpSocket::connect(const ip6::Address& dst, std::uint16_t dstPort) {
     tcb_.sndUna = tcb_.iss;
     tcb_.sndNxt = tcb_.iss;
     tcb_.sndMax = tcb_.iss;
-    tcb_.cwnd = config_.initialCwndSegments * tcb_.mss;
-    tcb_.ssthresh = kMaxWindow;
+    cc_->onOpen();
     setState(State::kSynSent);
     output();
 }
@@ -377,12 +370,9 @@ void TcpSocket::rexmitTimeout() {
         return;
     }
 
-    // Loss response (RFC 5681 §3.1 on timeout).
-    const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
-    tcb_.ssthresh = std::max(flight / 2, std::uint32_t(2 * tcb_.mss));
-    tcb_.cwnd = tcb_.mss;
-    tcb_.inFastRecovery = false;
-    tcb_.dupAcks = 0;
+    // Loss response (RFC 5681 §3.1 on timeout): the strategy decides the
+    // ssthresh, the cwnd collapse to one segment is protocol-mandated.
+    cc_->onRtoFire(stack_.simulator().now());
     traceCwnd();
 
     // Rewind and retransmit from the oldest unacknowledged byte.
@@ -512,8 +502,7 @@ void TcpSocket::beginPassiveOpen(const Segment& syn, const ip6::Address& peer) {
         tcb_.tsRecent = syn.timestamps->value;
     }
     tcb_.ecnEnabled = config_.ecn && syn.flags.ece && syn.flags.cwr;
-    tcb_.cwnd = config_.initialCwndSegments * tcb_.mss;
-    tcb_.ssthresh = kMaxWindow;
+    cc_->onOpen();
 
     setState(State::kSynReceived);
     output();
@@ -552,7 +541,7 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
                 tcb_.tsRecent = seg.timestamps->value;
             }
             tcb_.ecnEnabled = config_.ecn && seg.flags.ece;
-            tcb_.cwnd = config_.initialCwndSegments * tcb_.mss;
+            cc_->onIdleRestart();  // MSS renegotiated: restart the window
             rexmitTimer_.stop();
             tcb_.rxtShift = 0;
             setState(State::kEstablished);
@@ -645,7 +634,10 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
     }
 
     if (tcb_.sackEnabled) processSackBlocks(seg.sackBlocks);
-    if (tcb_.ecnEnabled && seg.flags.ece) ccOnEce();
+    if (tcb_.ecnEnabled && seg.flags.ece && cc_->onEce()) {
+        ++stats_.ecnResponses;
+        traceCwnd();
+    }
     processAck(seg);
     updateWindow(seg);
     if (!seg.payload.empty()) processData(seg);
@@ -706,8 +698,7 @@ void TcpSocket::processAck(const Segment& seg) {
         if (tcb_.dupAcks == 3) {
             enterFastRecovery();
         } else if (tcb_.dupAcks > 3 && tcb_.inFastRecovery) {
-            tcb_.cwnd += tcb_.mss;  // window inflation
-            clampCwnd();
+            cc_->onDupAckInflate();  // window inflation (RFC 5681)
             traceCwnd();
             // SACK-driven hole filling (Table 1: Selective ACKs).
             if (tcb_.sackEnabled) {
@@ -768,13 +759,12 @@ void TcpSocket::processAck(const Segment& seg) {
                     std::min<std::size_t>(tcb_.mss, sendBuf_.size() - off);
                 sendSegment(rexmitFrom, holeLen, false, false);
             }
-            tcb_.cwnd = (tcb_.cwnd > acked) ? tcb_.cwnd - acked : tcb_.mss;
-            tcb_.cwnd += tcb_.mss;
-            clampCwnd();
+            cc_->onPartialAck(stack_.simulator().now(), acked);
             traceCwnd();
         }
-    } else {
-        ccOnAck(acked);
+    } else if (acked > 0) {
+        cc_->onAck(stack_.simulator().now(), acked);
+        traceCwnd();
     }
 
     if (!partialAck) {
@@ -928,31 +918,18 @@ void TcpSocket::updateRtt(sim::Time sample) {
         tcb_.rttvar += ((err < 0 ? -err : err) - tcb_.rttvar) / 4;
     }
     tcb_.rto = baseRto();
+    cc_->onRttSample(sample);
 }
 
 // --- Congestion control ---------------------------------------------------
-
-void TcpSocket::ccOnAck(std::uint32_t acked) {
-    if (acked == 0) return;
-    if (tcb_.cwnd < tcb_.ssthresh) {
-        // Slow start.
-        tcb_.cwnd += std::min(acked, std::uint32_t(tcb_.mss));
-    } else {
-        // Congestion avoidance: +MSS per RTT.
-        const std::uint32_t add =
-            std::max<std::uint32_t>(1, std::uint32_t(tcb_.mss) * tcb_.mss / std::max<std::uint32_t>(tcb_.cwnd, 1));
-        tcb_.cwnd += add;
-    }
-    clampCwnd();
-    traceCwnd();
-}
+// Window policy lives in the strategy (tcp/congestion.hpp); the socket keeps
+// the protocol side — what to retransmit and when to restart the timer.
 
 void TcpSocket::enterFastRecovery() {
     if (tcb_.inFastRecovery) return;
-    const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
-    tcb_.ssthresh = std::max(flight / 2, std::uint32_t(2 * tcb_.mss));
-    tcb_.recover = tcb_.sndMax;
-    tcb_.inFastRecovery = true;
+    // The strategy cuts (or holds) ssthresh, arms the recovery point and
+    // inflates cwnd; retransmission below never reads cwnd/ssthresh.
+    cc_->onEnterRecovery(stack_.simulator().now());
     ++stats_.fastRetransmissions;
 
     // Retransmit the presumed-lost segment (first SACK hole if known).
@@ -969,8 +946,6 @@ void TcpSocket::enterFastRecovery() {
         sendSegment(finSeq_, 0, true, false);  // lost FIN
     }
 
-    tcb_.cwnd = tcb_.ssthresh + 3 * tcb_.mss;
-    clampCwnd();
     traceCwnd();
     rexmitTimer_.stop();
     armRexmit();
@@ -978,21 +953,7 @@ void TcpSocket::enterFastRecovery() {
 
 void TcpSocket::exitFastRecovery(Seq ack) {
     (void)ack;
-    tcb_.inFastRecovery = false;
-    tcb_.dupAcks = 0;
-    tcb_.cwnd = tcb_.ssthresh;
-    traceCwnd();
-}
-
-void TcpSocket::ccOnEce() {
-    // One reduction per window of data (RFC 3168).
-    if (!seqGt(tcb_.sndUna, tcb_.ecnRecover)) return;
-    const std::uint32_t flight = std::uint32_t(tcb_.sndNxt - tcb_.sndUna);
-    tcb_.ssthresh = std::max(flight / 2, std::uint32_t(2 * tcb_.mss));
-    tcb_.cwnd = tcb_.ssthresh;
-    tcb_.ecnRecover = tcb_.sndMax;
-    tcb_.cwrPending = true;
-    ++stats_.ecnResponses;
+    cc_->onExitRecovery(stack_.simulator().now());
     traceCwnd();
 }
 

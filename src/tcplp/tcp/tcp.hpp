@@ -25,12 +25,15 @@
 #include "tcplp/common/stats.hpp"
 #include "tcplp/ip6/netif.hpp"
 #include "tcplp/sim/simulator.hpp"
+#include "tcplp/tcp/cc.hpp"
 #include "tcplp/tcp/recv_buffer.hpp"
 #include "tcplp/tcp/segment.hpp"
 #include "tcplp/tcp/send_buffer.hpp"
 #include "tcplp/tcp/tcb.hpp"
 
 namespace tcplp::tcp {
+
+class CongestionControl;
 
 struct TcpConfig {
     std::size_t sendBufferBytes = 2048;   // ~4 segments at MSS 462 (§6.2)
@@ -81,6 +84,10 @@ struct TcpConfig {
     /// the LLN configuration (the extra frames worsen self-interference on
     /// multihop 802.15.4 paths).
     bool limitedTransmit = false;
+    /// Congestion-control strategy (tcp/congestion.hpp). kNewReno is the
+    /// paper's stock behavior and replays the pre-strategy engine
+    /// byte-for-byte; the wireless variants change only the loss response.
+    CcKind cc = CcKind::kNewReno;
 };
 
 struct TcpStats {
@@ -157,6 +164,9 @@ public:
     const Tcb& tcb() const { return tcb_; }
     const TcpConfig& config() const { return config_; }
     const TcpStats& stats() const { return stats_; }
+    /// Congestion-response counters of the active strategy (loss_cuts /
+    /// cuts_skipped in the shootout rows).
+    const CcStats& ccStats() const;
     std::uint16_t localPort() const { return localPort_; }
     std::uint32_t flightSize() const { return std::uint32_t(tcb_.sndNxt - tcb_.sndUna); }
     sim::Time currentRto() const { return tcb_.rto; }
@@ -189,11 +199,8 @@ private:
     void updateWindow(const Segment& seg);
     void enterFastRecovery();
     void exitFastRecovery(Seq ack);
-    void ccOnAck(std::uint32_t acked);
-    void ccOnEce();
     void traceCwnd();
     std::uint32_t cwndCap() const;
-    void clampCwnd();
 
     // SACK scoreboard (sender side).
     void mergeSack(SackBlock block);
@@ -225,6 +232,9 @@ private:
     TcpConfig config_;
     Tcb tcb_;
     TcpStats stats_;
+    /// The congestion-control strategy (tcp/congestion.hpp); owns every
+    /// cwnd/ssthresh mutation and clamps them all through one capped setter.
+    std::unique_ptr<CongestionControl> cc_;
 
     std::uint16_t localPort_ = 0;
     std::uint16_t remotePort_ = 0;
