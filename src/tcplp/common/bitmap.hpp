@@ -65,6 +65,15 @@ public:
         for (std::size_t i = nw - wordShift; i < nw; ++i) words_[i] = 0;
     }
 
+    /// Grows to `bits` (new bits start clear); shrinking is not supported.
+    /// Used by receive-buffer autotuning — existing bit positions keep
+    /// their values, so parked out-of-order ranges survive a grow.
+    void grow(std::size_t bits) {
+        TCPLP_ASSERT(bits >= bits_);
+        bits_ = bits;
+        words_.resize((bits + 63) / 64, 0);
+    }
+
     /// Length of the run of set bits starting at `begin`.
     std::size_t countContiguousFrom(std::size_t begin) const {
         std::size_t n = 0;

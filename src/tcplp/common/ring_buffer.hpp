@@ -91,6 +91,19 @@ public:
         size_ = 0;
     }
 
+    /// Grows capacity, preserving the readable bytes AND any bytes deposited
+    /// past the tail via writeAt() (the in-place reassembly queue): the whole
+    /// old ring is re-linearized starting at head_, so every tail-relative
+    /// offset is unchanged afterwards. Shrinking is not supported.
+    void grow(std::size_t newCapacity) {
+        TCPLP_ASSERT(newCapacity >= capacity());
+        if (newCapacity == capacity()) return;
+        Bytes next(newCapacity, 0);
+        for (std::size_t i = 0; i < data_.size(); ++i) next[i] = data_[wrap(head_ + i)];
+        data_ = std::move(next);
+        head_ = 0;
+    }
+
 private:
     std::size_t wrap(std::size_t i) const { return i % data_.size(); }
 

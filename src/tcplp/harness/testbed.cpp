@@ -13,6 +13,7 @@ Testbed::Testbed(TestbedConfig config)
       simulator_(sim::SimConfig{config.seed, config.scheduler}),
       channel_(simulator_, config.radioRangeMeters) {
     if (config_.linkLoss > 0.0) channel_.setDefaultLoss(config_.linkLoss);
+    channel_.setBitsPerSecond(config_.airBitsPerSecond);
 }
 
 Testbed::~Testbed() { simulator_.cancelAllPending(); }
@@ -29,7 +30,10 @@ mesh::Node& Testbed::addNode(phy::NodeId id, phy::Position pos, mesh::NodeConfig
             sim::Rng::deriveStream(config_.seed, mesh::kLivenessStreamId + id);
     }
     nodes_.push_back(std::make_unique<mesh::Node>(simulator_, &channel_, id, pos, config));
-    return *nodes_.back();
+    mesh::Node& node = *nodes_.back();
+    if (config_.busMicrosPerByte && node.radio() != nullptr)
+        node.radio()->setSpiMicrosPerByte(*config_.busMicrosPerByte);
+    return node;
 }
 
 void Testbed::addBorderRouterAndCloud(phy::NodeId routerId, phy::Position pos,

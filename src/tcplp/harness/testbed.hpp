@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "tcplp/mesh/node.hpp"
@@ -30,6 +31,13 @@ struct TestbedConfig {
     double radioRangeMeters = 12.0;  // adjacent in range, 2-apart out of range
     sim::Time wiredOneWayDelay = 6 * sim::kMillisecond;  // 12 ms RTT to cloud
     double linkLoss = 0.0;  // per-frame fading probability on mesh links
+    /// Air bit rate for every radio frame. phy::kBitsPerSecond keeps the
+    /// stock 802.15.4 symbol timing byte-for-byte; the ESP32-class link
+    /// preset raises it into the tens of Mb/s.
+    double airBitsPerSecond = phy::kBitsPerSecond;
+    /// Frame-bus cost per byte for every mesh radio (MCU <-> transceiver
+    /// copy); nullopt = the Radio's stock 21 us/B SPI model.
+    std::optional<double> busMicrosPerByte;
     /// office(): these node ids become duty-cycled leaf devices attached to
     /// their BFS parent (the sensors of §9; empty = all routers).
     std::vector<phy::NodeId> sleepyLeaves{};

@@ -8,10 +8,12 @@
 namespace tcplp::mac {
 
 namespace {
-sim::Time ackAirTime() {
+/// ACK air time at the rate of the channel this radio is attached to (the
+/// 802.15.4 default reproduces the historical constant exactly).
+sim::Time ackAirTime(phy::Radio& radio) {
     Frame ack;
     ack.type = FrameType::kAck;
-    return ack.airTime();
+    return radio.channel().frameAirTime(ack);
 }
 }  // namespace
 
@@ -26,7 +28,7 @@ CsmaMac::CsmaMac(phy::Radio& radio, CsmaConfig config)
 }
 
 void CsmaMac::send(NodeId dst, PacketBuffer payload, SendCallback done) {
-    TCPLP_ASSERT(payload.size() <= phy::kMaxMacPayloadBytes);
+    TCPLP_ASSERT(payload.size() <= config_.maxPayloadBytes);
     SendOp op;
     op.frame.type = FrameType::kData;
     op.frame.src = id();
@@ -97,6 +99,10 @@ bool CsmaMac::hasTrafficFor(NodeId child) const {
 }
 
 void CsmaMac::startNext() {
+    // A completion callback is running with an aggregation burst open:
+    // frames it queues wait for finishCurrent's burst check (they tailgate
+    // the proven channel claim) instead of opening a fresh CSMA ladder.
+    if (deferStarts_) return;
     if (current_ || queue_.empty()) {
         if (!current_ && queue_.empty() && idleCallback_) idleCallback_();
         return;
@@ -105,6 +111,9 @@ void CsmaMac::startNext() {
     queue_.pop_front();
     current_->csmaBackoffs = 0;
     current_->be = config_.minBe;
+    // A fresh channel acquisition opens a new aggregation burst: up to
+    // aggFrames - 1 follow-on frames may skip their own CSMA ladder.
+    burstRemaining_ = std::max(0, config_.aggFrames - 1);
     csmaAttempt();
 }
 
@@ -173,7 +182,7 @@ void CsmaMac::transmitCurrent() {
             return;
         }
         awaitingAck_ = true;
-        waitThen(config_.turnaround + ackAirTime() + config_.ackTimeout,
+        waitThen(config_.turnaround + ackAirTime(radio_) + config_.ackTimeout,
                  [this] { ackTimedOut(); });
     });
 }
@@ -216,6 +225,8 @@ void CsmaMac::reset() {
     waitHandle_.cancel();
     current_.reset();
     awaitingAck_ = false;
+    burstRemaining_ = 0;
+    deferStarts_ = false;
     queue_.clear();
     indirectQueues_.clear();
     lastDeliveredSeq_.clear();
@@ -254,8 +265,42 @@ void CsmaMac::finishCurrent(bool success) {
         if (txOutcome_ && op.frame.ackRequest && !op.indirect)
             txOutcome_(op.frame.dst, success);
     }
+    // A-MPDU-style aggregation: a frame that was ACKed without needing a
+    // retry proves the channel is still ours — chain the next queued frame
+    // after one turnaround, skipping the CSMA backoff ladder entirely. Any
+    // retry or CCA failure voids the claim and the burst ends. While the
+    // completion callbacks run, starts are deferred so that a follow-on
+    // frame they queue (the datapath hands fragments over one completion at
+    // a time) tailgates the burst instead of opening its own ladder. At
+    // aggFrames = 1, burstEligible is always false, deferStarts_ never
+    // arms, and this path is bit-identical to the pre-aggregation MAC.
+    const bool burstEligible = success && op.retries == 0 && burstRemaining_ > 0;
+    deferStarts_ = burstEligible;
     if (op.pollDone) op.pollDone(success, lastAckPending_);
     if (op.done) op.done(SendResult{success, op.transmissions});
+    deferStarts_ = false;
+
+    if (burstEligible && !current_ && !queue_.empty()) {
+        --burstRemaining_;
+        ++stats_.aggregatedFrames;
+        current_ = std::move(queue_.front());
+        queue_.pop_front();
+        current_->csmaBackoffs = 0;
+        current_->be = config_.minBe;
+        waitThen(config_.turnaround, [this] {
+            if (!current_) return;
+            // Our own radio may be busy ACKing a frame received during the
+            // turnaround (bidirectional TCP traffic makes this routine on a
+            // relay). The burst degrades to a fresh CSMA ladder for this
+            // frame instead of colliding with our own ACK transmission.
+            if (radio_.txIdle()) {
+                transmitCurrent();
+            } else {
+                csmaAttempt();
+            }
+        });
+        return;
+    }
     startNext();
 }
 

@@ -74,6 +74,13 @@ struct NodeConfig {
     /// build a TcpConfig for a node's sockets copy it into TcpConfig::cc
     /// (see harness/anemometer.cpp). kNewReno = the paper's stock behavior.
     tcp::CcKind tcpCc = tcp::CcKind::kNewReno;
+
+    /// TCP receive-memory budget for sockets hosted on this node: the hard
+    /// ceiling receive-buffer autotuning may grow toward (copied into
+    /// TcpConfig::recvBufferMaxBytes by harness rigs, clamping any
+    /// workload-requested budget). 0 = no budget — autotuning stays off
+    /// unless a rig asks for it, and an unbudgeted node never clamps.
+    std::size_t tcpRecvBudgetBytes = 0;
 };
 
 struct NodeStats {

@@ -199,7 +199,8 @@ double Channel::lossFor(NodeId src, NodeId dst, sim::Time now) const {
 void Channel::startTransmission(Radio* transmitter, const Frame& frame) {
     ++framesTransmitted_;
     const std::uint64_t txId = nextTxId_++;
-    const sim::Time end = simulator_.now() + frame.airTime();
+    const sim::Time air = frameAirTime(frame);
+    const sim::Time end = simulator_.now() + air;
     active_.push_back(Transmission{txId, transmitter, frame, end});
 
     // Let every other in-range radio react to the rising carrier.
@@ -209,7 +210,7 @@ void Channel::startTransmission(Radio* transmitter, const Frame& frame) {
 
     if (effectiveMode() == DeliveryMode::kLinearScan) {
         // Frozen seed behavior: one delivery event per transmission.
-        simulator_.schedule(frame.airTime(), [this, txId] { deliverOne(txId); });
+        simulator_.schedule(air, [this, txId] { deliverOne(txId); });
         return;
     }
 
@@ -228,7 +229,7 @@ void Channel::startTransmission(Radio* transmitter, const Frame& frame) {
     }
     batch.txIds.push_back(txId);
     batches_.push_back(std::move(batch));
-    simulator_.schedule(frame.airTime(), [this, end] { deliverBatch(end); });
+    simulator_.schedule(air, [this, end] { deliverBatch(end); });
 }
 
 Channel::Transmission Channel::retireActive(std::uint64_t txId) {

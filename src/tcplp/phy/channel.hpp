@@ -58,6 +58,7 @@
 // when one transmitter had two frames ending at the same tick.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -108,6 +109,20 @@ public:
 
     sim::Simulator& simulator() { return simulator_; }
     double range() const { return range_; }
+
+    /// Air bit rate of this medium. The 802.15.4 default replays
+    /// Frame::airTime() to the microsecond (frameAirTime short-circuits to
+    /// it), so every existing scenario is byte-identical; higher rates model
+    /// ESP32-class links (tens of Mb/s) for the high-BDP sweeps.
+    double bitsPerSecond() const { return bitsPerSecond_; }
+    void setBitsPerSecond(double bps) { bitsPerSecond_ = bps; }
+    /// Time `frame` keeps the carrier up at this channel's bit rate.
+    sim::Time frameAirTime(const Frame& frame) const {
+        if (bitsPerSecond_ == kBitsPerSecond) return frame.airTime();
+        const double us = double(frame.mpduBytes() + kPhySyncHeaderBytes) * 8.0 *
+                          1e6 / bitsPerSecond_;
+        return std::max<sim::Time>(1, sim::Time(us));
+    }
 
     void setDeliveryMode(DeliveryMode mode) {
         mode_ = mode;
@@ -259,6 +274,7 @@ private:
 
     sim::Simulator& simulator_;
     double range_;
+    double bitsPerSecond_ = kBitsPerSecond;
     DeliveryMode mode_ = DeliveryMode::kAuto;
     // What kAuto currently resolves to (kAuto itself never stored here);
     // updated by addRadio()/setDeliveryMode(), read on every CCA/delivery.

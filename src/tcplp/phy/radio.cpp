@@ -106,7 +106,7 @@ void Radio::radiate(const Frame& frame, std::function<void()> airDone) {
     // carrier is up (state kTx), and that state is asserted away above.
     airDone_ = std::move(airDone);
     channel_.startTransmission(this, frame);
-    simulator_.schedule(frame.airTime(), [this] {
+    simulator_.schedule(channel_.frameAirTime(frame), [this] {
         changeState(idleState());
         auto cb = std::move(airDone_);
         airDone_ = nullptr;

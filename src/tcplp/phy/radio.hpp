@@ -30,6 +30,10 @@ public:
     /// Moves the radio; the channel re-files it in the spatial grid index.
     void setPosition(Position pos);
     RadioState state() const { return state_; }
+    /// True when transmit() may be called right now: no frame being loaded
+    /// or radiated. The MAC's burst path checks this before skipping CCA —
+    /// this radio may be mid-ACK for a frame it just received.
+    bool txIdle() const { return !txBusy_ && state_ != RadioState::kTx; }
     EnergyMeter& energy() { return energy_; }
     const EnergyMeter& energy() const { return energy_; }
     sim::Simulator& simulator() { return simulator_; }

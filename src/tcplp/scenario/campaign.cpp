@@ -255,6 +255,19 @@ constexpr GoldenEntry kGoldenEntries[] = {
          d.base = cityScaleSpec(15 * sim::kSecond, 120);
          d.axes = {{"config", {0}}};
      }},
+    // High-BDP frontier scenarios: pin RFC 7323 negotiation, shift-aware
+    // window codec, receive-buffer autotuning, the ESP32-class link preset
+    // and MAC frame aggregation end to end — a byte change in any of them
+    // is a deliberate golden update.
+    {"bdp_pipe",
+     +[](ScenarioDef& d) {
+         // The full ceiling curve runs 15 s per point; the corpus pins a
+         // 5-second slice of the same grid — identical code paths
+         // (negotiation, autotune growth, scaled adverts), CI-sized cost.
+         d.base.workload.timeLimit = 5 * sim::kSecond;
+     }},
+    {"bdp_line",
+     +[](ScenarioDef& d) { d.base.workload.timeLimit = 8 * sim::kSecond; }},
 };
 
 }  // namespace

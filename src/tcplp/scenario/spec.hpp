@@ -36,6 +36,17 @@ enum class TopologyKind : std::uint8_t {
     kPipe,        // in-memory lossy pipe, no radio (§8 model validation)
 };
 
+/// Radio-link class for radio topologies. k802154 is the paper's stock
+/// 250 kb/s AT86RF233 profile; kEsp32 models an ESP32-class high-rate SoC
+/// link (tens of Mb/s air rate, microsecond CSMA slots, fast frame bus,
+/// 1.5 KiB frames) — the regime where the static 16-bit window binds and
+/// RFC 7323 scaling starts to matter. Bound from the `link` sweep axis
+/// (see linkPresetFromAxis).
+enum class LinkPreset : std::uint8_t {
+    k802154,
+    kEsp32,
+};
+
 struct TopologySpec {
     TopologyKind kind = TopologyKind::kLine;
     /// Simulator ready-queue backend (binary heap or hierarchical timer
@@ -88,6 +99,17 @@ struct TopologySpec {
     /// (and the datapath counters) differ. The city_scale bench sweeps this
     /// to report the engine speedup.
     bool legacyDatapath = false;
+    /// Radio-link class (air rate, CSMA slot timings, frame bus, MAC
+    /// payload budget). k802154 keeps every legacy byte stream.
+    LinkPreset linkPreset = LinkPreset::k802154;
+    /// A-MPDU-style MAC aggregation: frames per channel acquisition (the
+    /// `agg` sweep axis; see aggFramesFromAxis). nullopt/1 = stock
+    /// 802.15.4 one-ladder-per-frame behavior, byte-identical.
+    std::optional<int> macAggFrames;
+    /// Per-node TCP receive-memory budget (mesh::NodeConfig's
+    /// tcpRecvBudgetBytes): caps how far autotuning may grow a mote-side
+    /// receive buffer. nullopt = the preset's default (0 = unbudgeted).
+    std::optional<std::size_t> tcpRecvBudgetBytes;
 
     // kPipe parameters (§8).
     sim::Time pipeOneWayDelay = 50 * sim::kMillisecond;
@@ -135,6 +157,22 @@ struct WorkloadSpec {
     /// (the `cc` shootout axis; see ccFromAxis). kNewReno is the paper's
     /// stock behavior and keeps legacy scenarios byte-identical.
     tcp::CcKind cc = tcp::CcKind::kNewReno;
+
+    // High-BDP knobs (RFC 7323). All default off: legacy scenarios keep
+    // their 16-bit adverts, fixed buffers and golden byte streams.
+    /// RFC 7323 window scaling on every TCP endpoint of the workload (the
+    /// `wscale` sweep axis; see wscaleFromAxis).
+    bool windowScaling = false;
+    /// Receive-buffer autotuning budget for the receiving endpoint
+    /// (TcpConfig::recvBufferMaxBytes): the buffer starts at its profile
+    /// size and grows toward the measured delivered x RTT product, never
+    /// past this. 0 = fixed buffer (the `rcvAutotune` axis). Clamped by the
+    /// receiving node's NodeConfig::tcpRecvBudgetBytes when that is set.
+    std::size_t recvAutotuneBudgetBytes = 0;
+    /// Static buffer override for the BDP ceiling sweeps: the sender's send
+    /// buffer (and, when autotuning is off, the receiver's receive buffer)
+    /// in bytes. 0 = the legacy mote/server profile sizes.
+    std::size_t bdpBufferBytes = 0;
 
     /// Non-declarative escape hatch for the Fig. 7 cwnd trace.
     tcp::TcpSocket::CwndTracer cwndTracer;
@@ -221,6 +259,24 @@ inline tcp::CcKind ccFromAxis(double value) {
     if (value >= 1.5) return tcp::CcKind::kWestwood;
     if (value >= 0.5) return tcp::CcKind::kCerl;
     return tcp::CcKind::kNewReno;
+}
+
+/// Canonical mapping of the `wscale` sweep axis: 0 = 16-bit adverts (the
+/// paper's stock stack), 1 = RFC 7323 window scaling negotiated on both
+/// ends. Bind hooks use this so every BDP scenario spells the axis the
+/// same way.
+inline bool wscaleFromAxis(double value) { return value >= 0.5; }
+
+/// Canonical mapping of the `agg` sweep axis onto CsmaConfig::aggFrames:
+/// the axis value IS the burst size (1 = stock one-CSMA-ladder-per-frame).
+inline int aggFramesFromAxis(double value) {
+    return value >= 1.5 ? int(value + 0.5) : 1;
+}
+
+/// Canonical mapping of the `link` sweep axis onto the radio-link preset:
+/// 0 = 802.15.4 (stock), 1 = ESP32-class high-rate link.
+inline LinkPreset linkPresetFromAxis(double value) {
+    return value >= 0.5 ? LinkPreset::kEsp32 : LinkPreset::k802154;
 }
 
 }  // namespace tcplp::scenario

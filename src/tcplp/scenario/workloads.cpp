@@ -49,10 +49,27 @@ std::uint16_t resolveMss(const WorkloadSpec& w) {
 
 namespace {
 
+/// ESP32-class high-rate link (the `link` axis): tens of Mb/s air rate,
+/// Wi-Fi-style microsecond CSMA slots, a fast frame bus instead of the
+/// 21 us/B mote SPI, 1.5 KiB frames, and a real (but finite) receive-memory
+/// budget. The regime where BDP outgrows the 16-bit window.
+void applyEsp32Preset(harness::TestbedConfig& cfg) {
+    cfg.airBitsPerSecond = 24e6;
+    cfg.busMicrosPerByte = 0.4;
+    cfg.nodeDefaults.macConfig.backoffUnit = 9;  // Wi-Fi slot time
+    cfg.nodeDefaults.macConfig.ccaTime = 4;
+    cfg.nodeDefaults.macPayloadBudget = 1500;
+    cfg.nodeDefaults.macConfig.maxPayloadBytes = 1500;
+    cfg.nodeDefaults.tcpRecvBudgetBytes = 256 * 1024;
+}
+
 harness::TestbedConfig testbedConfigFor(const TopologySpec& t, std::uint64_t seed) {
     harness::TestbedConfig cfg;
     cfg.seed = seed;
     cfg.scheduler = t.scheduler;
+    if (t.linkPreset == LinkPreset::kEsp32) applyEsp32Preset(cfg);
+    if (t.macAggFrames) cfg.nodeDefaults.macConfig.aggFrames = *t.macAggFrames;
+    if (t.tcpRecvBudgetBytes) cfg.nodeDefaults.tcpRecvBudgetBytes = *t.tcpRecvBudgetBytes;
     cfg.linkLoss = t.linkLoss;
     cfg.nodeSpacingMeters = t.spacingMeters;
     cfg.radioRangeMeters = t.rangeMeters;
@@ -70,6 +87,27 @@ harness::TestbedConfig testbedConfigFor(const TopologySpec& t, std::uint64_t see
     if (t.redQueue) cfg.nodeDefaults.queueConfig.discipline = ip6::QueueDiscipline::kRed;
     if (t.ecnMarking) cfg.nodeDefaults.queueConfig.ecnMarking = true;
     return cfg;
+}
+
+/// Applies the workload's high-BDP knobs (RFC 7323 scaling, static buffer
+/// override, receive autotuning) to a sender/receiver config pair.
+/// `nodeBudgetBytes` is the receiving node's NodeConfig::tcpRecvBudgetBytes;
+/// when set it clamps the workload-requested autotune budget. All three
+/// knobs default off, leaving every legacy config byte-identical.
+void applyHighBdp(const WorkloadSpec& w, tcp::TcpConfig& sender,
+                  tcp::TcpConfig& receiver, std::size_t nodeBudgetBytes) {
+    if (w.bdpBufferBytes > 0) {
+        sender.sendBufferBytes = w.bdpBufferBytes;
+        // With autotuning the receive buffer starts at its profile size and
+        // earns its way up; without it the override opens it statically.
+        if (w.recvAutotuneBudgetBytes == 0) receiver.recvBufferBytes = w.bdpBufferBytes;
+    }
+    if (w.windowScaling) sender.windowScaling = receiver.windowScaling = true;
+    if (w.recvAutotuneBudgetBytes > 0) {
+        std::size_t budget = w.recvAutotuneBudgetBytes;
+        if (nodeBudgetBytes > 0) budget = std::min(budget, nodeBudgetBytes);
+        receiver.recvBufferMaxBytes = budget;
+    }
 }
 
 /// Streams the cwnd tracer's samples into the summary stats CcDynamics
@@ -259,6 +297,8 @@ BulkRunResult runBulk(const ScenarioSpec& spec, std::uint64_t seed) {
         c->ecn = w.ecn;
         c->cc = w.cc;
     }
+    mesh::Node& receiverNode = w.uplink || pair ? peer : mote;
+    applyHighBdp(w, senderCfg, receiverCfg, receiverNode.config().tcpRecvBudgetBytes);
 
     receiverStack.listen(80, receiverCfg, [&](tcp::TcpSocket& s) {
         s.setOnData([&](BytesView d) { meter.onData(d); });
@@ -564,11 +604,23 @@ PipeRunResult runPipeBulk(const ScenarioSpec& spec, std::uint64_t seed) {
     tcp::TcpStack serverStack(pipe.b());
 
     app::GoodputMeter meter(simulator);
-    serverStack.listen(80, serverTcpConfig(), [&](tcp::TcpSocket& s) {
+    tcp::TcpConfig clientCfg = moteTcpConfig();
+    tcp::TcpConfig servCfg = serverTcpConfig();
+    // Legacy pipe runs ignore the MSS knobs (the §8 model pins 462); an
+    // explicit mssBytes with the frame-count sweep disabled opts in — the
+    // bdp sweeps use wire-sized segments to keep event counts sane.
+    if (w.mssFrames == 0 && w.mssBytes > 0) {
+        clientCfg = moteTcpConfig(w.mssBytes);
+        servCfg = serverTcpConfig(w.mssBytes);
+    }
+    // No mesh node behind a pipe endpoint: the workload budget applies
+    // unclamped (the bdp scenarios model an unconstrained wired receiver).
+    applyHighBdp(w, clientCfg, servCfg, 0);
+    serverStack.listen(80, servCfg, [&](tcp::TcpSocket& s) {
         s.setOnData([&](BytesView d) { meter.onData(d); });
         s.setOnPeerFin([&s] { s.close(); });
     });
-    tcp::TcpSocket& client = clientStack.createSocket(moteTcpConfig());
+    tcp::TcpSocket& client = clientStack.createSocket(clientCfg);
     app::BulkSender sender(client, w.totalBytes);
     client.connect(pipe.b().address(), 80);
     simulator.runUntil(w.timeLimit);

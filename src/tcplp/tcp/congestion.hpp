@@ -25,13 +25,15 @@
 
 namespace tcplp::tcp {
 
-/// No window scaling (paper §4.1): the advertised and congestion windows
-/// both top out at the 16-bit limit.
+/// The 16-bit window-field limit. Without RFC 7323 window scaling (the
+/// paper's §4.1 configuration, and the default) the advertised and
+/// congestion windows both top out here; with scaling negotiated the cwnd
+/// cap comes from the send buffer instead (TcpSocket::cwndCap).
 constexpr std::uint32_t kMaxWindow = 65535;
 
 /// Per-socket constants handed to a strategy at construction. The cap is
-/// fixed for the socket's lifetime (buffers never resize), so strategies
-/// need no back-reference into the socket.
+/// fixed for the socket's lifetime (the send buffer never resizes), so
+/// strategies need no back-reference into the socket.
 struct CcEnv {
     std::uint32_t cwndCap = kMaxWindow;
     std::uint32_t initialCwndSegments = 2;
@@ -56,7 +58,10 @@ public:
     /// cleared to the maximum. tcb.mss is final (MSS option applied).
     virtual void onOpen() {
         setCwnd(env_.initialCwndSegments * tcb_.mss);
-        tcb_.ssthresh = kMaxWindow;
+        // "Cleared to the maximum": the cap when it exceeds 64 KiB (window
+        // scaling), the historical 16-bit limit otherwise — identical for
+        // every unscaled socket.
+        tcb_.ssthresh = std::max(kMaxWindow, env_.cwndCap);
     }
 
     /// SYN-ACK receipt after MSS renegotiation: the window restarts from

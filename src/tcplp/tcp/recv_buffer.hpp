@@ -81,6 +81,16 @@ public:
     /// Total out-of-order bytes currently parked past the in-seq data.
     std::size_t outOfOrderBytes() const { return oooMap_.popcount(); }
 
+    /// Grows the buffer in place (receive-buffer autotuning). In-sequence
+    /// bytes, parked out-of-order bytes, and their bitmap offsets are all
+    /// preserved; only the advertisable window gets larger. No-op if
+    /// `newCapacity` does not exceed the current capacity.
+    void grow(std::size_t newCapacity) {
+        if (newCapacity <= capacity()) return;
+        ring_.grow(newCapacity);
+        oooMap_.grow(newCapacity);
+    }
+
 private:
     void shiftMap(std::size_t by) {
         // The bitmap is indexed relative to rcv_nxt; advance the origin.

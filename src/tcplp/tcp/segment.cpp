@@ -7,6 +7,7 @@ namespace {
 constexpr std::uint8_t kOptEnd = 0;
 constexpr std::uint8_t kOptNop = 1;
 constexpr std::uint8_t kOptMss = 2;
+constexpr std::uint8_t kOptWindowScale = 3;
 constexpr std::uint8_t kOptSackPermitted = 4;
 constexpr std::uint8_t kOptSack = 5;
 constexpr std::uint8_t kOptTimestamps = 8;
@@ -15,6 +16,7 @@ constexpr std::uint8_t kOptTimestamps = 8;
 std::size_t Segment::optionBytes() const {
     std::size_t n = 0;
     if (mssOption) n += 4;
+    if (windowScale) n += 3;
     if (sackPermitted) n += 2;
     if (timestamps) n += 10;
     if (!sackBlocks.empty()) n += 2 + sackBlocks.size() * 8;
@@ -55,6 +57,11 @@ PacketBuffer Segment::encode() const {
         put8(kOptMss);
         put8(4);
         put16(*mssOption);
+    }
+    if (windowScale) {
+        put8(kOptWindowScale);
+        put8(3);
+        put8(*windowScale);
     }
     if (sackPermitted) {
         put8(kOptSackPermitted);
@@ -109,6 +116,10 @@ std::size_t decodeHeader(BytesView in, Segment& s) {
             case kOptMss:
                 if (len != 4) return 0;
                 s.mssOption = getU16(in, off + 2);
+                break;
+            case kOptWindowScale:
+                if (len != 3) return 0;
+                s.windowScale = in[off + 2];
                 break;
             case kOptSackPermitted:
                 if (len != 2) return 0;

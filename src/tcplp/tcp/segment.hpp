@@ -3,10 +3,11 @@
 // Segments are encoded to real header bytes (20-byte base header + options,
 // padded to 4-byte words) so that header-overhead numbers (Table 6) and the
 // MSS-vs-frame-count trade-off (§6.1) fall out of actual encodings rather
-// than constants. Option kinds follow the RFCs: MSS (2), SACK-permitted (4),
-// SACK (5), Timestamps (8).
+// than constants. Option kinds follow the RFCs: MSS (2), Window Scale (3),
+// SACK-permitted (4), SACK (5), Timestamps (8).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -55,6 +56,10 @@ struct Timestamps {
     std::uint32_t echo = 0;   // echoed peer clock (TSecr)
 };
 
+/// Largest window-scale shift either side may use (RFC 7323 §2.3); peers
+/// offering more are clamped here, never rejected.
+inline constexpr std::uint8_t kMaxWindowShift = 14;
+
 struct Segment {
     std::uint16_t srcPort = 0;
     std::uint16_t dstPort = 0;
@@ -65,11 +70,26 @@ struct Segment {
 
     // Options.
     std::optional<std::uint16_t> mssOption;          // SYN only
+    std::optional<std::uint8_t> windowScale;          // SYN only (RFC 7323)
     bool sackPermitted = false;                       // SYN only
     std::vector<SackBlock> sackBlocks;                // up to 3 with timestamps
     std::optional<Timestamps> timestamps;
 
     PacketBuffer payload;
+
+    /// Shift-aware window codec (RFC 7323 §2.2/§2.3). Every read or write of
+    /// the 16-bit `window` field outside the wire codec must go through this
+    /// pair — a grep-lint test enforces it — so no call-site can truncate a
+    /// scaled window through std::uint16_t on its own. The window field of a
+    /// SYN is never scaled, so both functions ignore `shift` when flags.syn.
+    void setWindowBytes(std::uint32_t bytes, std::uint8_t shift) {
+        const std::uint8_t s = flags.syn ? std::uint8_t(0) : shift;
+        window = std::uint16_t(std::min<std::uint32_t>(bytes >> s, 0xffff));
+    }
+    std::uint32_t windowBytes(std::uint8_t shift) const {
+        const std::uint8_t s = flags.syn ? std::uint8_t(0) : shift;
+        return std::uint32_t(window) << s;
+    }
 
     std::size_t optionBytes() const;
     /// Full header size: 20 + padded options (20–44 B per paper Table 6).

@@ -66,6 +66,12 @@ struct Tcb {
     std::uint32_t tsRecent = 0;  // peer TSval to echo
     bool tsEnabled = false;
 
+    // Window scaling (RFC 7323 §2). Shifts stay 0 unless BOTH sides offered
+    // WSopt on their SYN; the shifts apply to every non-SYN segment.
+    bool wsEnabled = false;
+    std::uint8_t sndWndShift = 0;  // peer's shift: applied when reading seg.window
+    std::uint8_t rcvWndShift = 0;  // our shift: applied when advertising
+
     // SACK negotiation.
     bool sackEnabled = false;
 

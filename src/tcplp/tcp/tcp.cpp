@@ -27,8 +27,10 @@ TcpSocket::TcpSocket(TcpStack& stack, TcpConfig config)
       keepAliveTimer_(stack.simulator(), [this] { keepAliveTimeout(); }) {
     tcb_.mss = config.mss;
     tcb_.rto = config.initialRto;
-    // The cap is constant for the socket's lifetime (buffers never resize),
-    // so the strategy captures it once instead of reaching into the socket.
+    // The cap is constant for the socket's lifetime (the send buffer never
+    // resizes; only the receive buffer can autotune, and that side has no
+    // cwnd), so the strategy captures it once instead of reaching into the
+    // socket.
     cc_ = makeCongestionControl(config_.cc, tcb_,
                                 CcEnv{cwndCap(), config_.initialCwndSegments});
 }
@@ -50,9 +52,29 @@ void TcpSocket::traceCwnd() {
 }
 
 std::uint32_t TcpSocket::cwndCap() const {
-    std::uint32_t cap = std::uint32_t(std::min<std::size_t>(sendBuf_.capacity(), kMaxWindow));
+    // Without RFC 7323 scaling the peer can never advertise past the 16-bit
+    // field, so capping cwnd there too is free; with scaling enabled the
+    // send buffer alone bounds the window.
+    std::uint32_t cap = std::uint32_t(
+        std::min<std::size_t>(sendBuf_.capacity(), std::size_t(0xffffffffu)));
+    if (!config_.windowScaling) cap = std::min(cap, kMaxWindow);
     if (config_.cwndCapBytes > 0) cap = std::min(cap, config_.cwndCapBytes);
     return cap;
+}
+
+std::uint8_t TcpSocket::desiredRcvShift() const {
+    // Cover the largest window this socket could ever advertise: the
+    // autotune ceiling when set, the fixed buffer otherwise.
+    const std::size_t maxBuf =
+        std::max(config_.recvBufferBytes, config_.recvBufferMaxBytes);
+    std::uint8_t shift = 0;
+    while (shift < kMaxWindowShift && (maxBuf >> shift) > 0xffff) ++shift;
+    return shift;
+}
+
+std::uint32_t TcpSocket::swsThreshold() const {
+    return std::min<std::uint32_t>(tcb_.mss,
+                                   std::uint32_t(recvBuf_.capacity() / 2));
 }
 
 // --- Application interface --------------------------------------------------
@@ -237,6 +259,11 @@ void TcpSocket::sendSegment(Seq seq, std::size_t len, bool fin, bool syn) {
     seg.flags.fin = fin;
     if (syn) {
         seg.mssOption = config_.mss;
+        // WSopt (RFC 7323 §2.2): offered on our SYN when configured; echoed
+        // on a SYN-ACK only if the peer's SYN carried it (tcb_.wsEnabled was
+        // decided in beginPassiveOpen).
+        if (tcb_.state == State::kSynSent ? config_.windowScaling : tcb_.wsEnabled)
+            seg.windowScale = desiredRcvShift();
         seg.sackPermitted = config_.sack;
         if (config_.timestamps) seg.timestamps = Timestamps{tsNow(), 0};
         if (config_.ecn && tcb_.state == State::kSynSent) {
@@ -265,8 +292,15 @@ void TcpSocket::emit(Segment& seg) {
         seg.flags.ack = true;
         seg.ack = tcb_.rcvNxt;
     }
-    const std::uint32_t advWnd = std::min<std::uint32_t>(recvBuf_.window(), kMaxWindow);
-    seg.window = std::uint16_t(advWnd);
+    const std::uint32_t maxAdv = std::uint32_t(
+        std::min<std::uint64_t>(std::uint64_t(kMaxWindow) << tcb_.rcvWndShift, 0xffffffffu));
+    std::uint32_t advWnd = std::uint32_t(std::min<std::size_t>(recvBuf_.window(), maxAdv));
+    // Receiver-side SWS avoidance (RFC 1122 §4.2.3.3): once a zero window
+    // was advertised, keep it shut until at least min(MSS, capacity/2) has
+    // opened — a trickle-reading application must not pull the peer into
+    // a 1-byte probe/ACK oscillation.
+    if (sentAdvWndZero_ && !seg.flags.syn && advWnd < swsThreshold()) advWnd = 0;
+    seg.setWindowBytes(advWnd, tcb_.rcvWndShift);
     sentAdvWndZero_ = (advWnd == 0);
 
     if (tcb_.tsEnabled && !seg.timestamps)
@@ -304,9 +338,11 @@ void TcpSocket::sendAckNow() {
 
 Bytes TcpSocket::read(std::size_t n) {
     Bytes out = recvBuf_.read(n);
-    // If the last advertised window was zero and space just opened, send a
-    // window update so the peer's persist timer can stand down.
-    if (!out.empty() && sentAdvWndZero_ && recvBuf_.window() > 0) sendAckNow();
+    // If the last advertised window was zero and enough space opened (the
+    // SWS threshold — not just one byte), send a window update so the
+    // peer's persist timer can stand down.
+    if (!out.empty() && sentAdvWndZero_ && recvBuf_.window() >= swsThreshold())
+        sendAckNow();
     return out;
 }
 
@@ -491,11 +527,18 @@ void TcpSocket::beginPassiveOpen(const Segment& syn, const ip6::Address& peer) {
     tcb_.sndUna = tcb_.iss;
     tcb_.sndNxt = tcb_.iss;
     tcb_.sndMax = tcb_.iss;
-    tcb_.sndWnd = syn.window;
+    tcb_.sndWnd = syn.windowBytes(0);  // a SYN's window is never scaled
     tcb_.sndWl1 = syn.seq;
     tcb_.sndWl2 = 0;
 
     if (syn.mssOption) tcb_.mss = std::min(config_.mss, *syn.mssOption);
+    if (config_.windowScaling && syn.windowScale) {
+        // RFC 7323 §2.2: scaling is on only when both SYNs carry WSopt; a
+        // peer shift above 14 is clamped, not rejected.
+        tcb_.wsEnabled = true;
+        tcb_.sndWndShift = std::min(*syn.windowScale, kMaxWindowShift);
+        tcb_.rcvWndShift = desiredRcvShift();
+    }
     tcb_.sackEnabled = config_.sack && syn.sackPermitted;
     if (config_.timestamps && syn.timestamps) {
         tcb_.tsEnabled = true;
@@ -531,10 +574,15 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
             tcb_.irs = seg.seq;
             tcb_.rcvNxt = seg.seq + 1;
             tcb_.sndUna = seg.ack;
-            tcb_.sndWnd = seg.window;
+            tcb_.sndWnd = seg.windowBytes(0);  // SYN-ACK window is unscaled
             tcb_.sndWl1 = seg.seq;
             tcb_.sndWl2 = seg.ack;
             if (seg.mssOption) tcb_.mss = std::min(config_.mss, *seg.mssOption);
+            if (config_.windowScaling && seg.windowScale) {
+                tcb_.wsEnabled = true;
+                tcb_.sndWndShift = std::min(*seg.windowScale, kMaxWindowShift);
+                tcb_.rcvWndShift = desiredRcvShift();
+            }
             tcb_.sackEnabled = config_.sack && seg.sackPermitted;
             if (config_.timestamps && seg.timestamps) {
                 tcb_.tsEnabled = true;
@@ -620,7 +668,7 @@ void TcpSocket::input(const Segment& seg, ip6::Ecn ipEcn) {
     if (tcb_.state == State::kSynReceived) {
         if (seqGt(seg.ack, tcb_.sndUna) && seqLe(seg.ack, tcb_.sndMax)) {
             tcb_.sndUna = seg.ack;
-            tcb_.sndWnd = seg.window;
+            tcb_.sndWnd = seg.windowBytes(tcb_.sndWndShift);
             tcb_.sndWl1 = seg.seq;
             tcb_.sndWl2 = seg.ack;
             rexmitTimer_.stop();
@@ -652,10 +700,10 @@ bool TcpSocket::tryHeaderPrediction(const Segment& seg) {
     if (tcb_.state != State::kEstablished) return false;
     if (seg.flags.syn || seg.flags.fin || seg.flags.rst || seg.flags.ece) return false;
     if (seg.seq != tcb_.rcvNxt) return false;
-    if (seg.window != std::min<std::uint32_t>(tcb_.sndWnd, kMaxWindow) &&
-        !(seg.window == tcb_.sndWnd)) {
-        return false;
-    }
+    // "Window unchanged": compare in bytes through the shift-aware decode —
+    // the raw 16-bit field must never be compared against the 32-bit
+    // tcb_.sndWnd directly (it silently truncates once scaling is on).
+    if (seg.windowBytes(tcb_.sndWndShift) != tcb_.sndWnd) return false;
     const bool pureAck = seg.payload.empty() && seqGt(seg.ack, tcb_.sndUna) &&
                          seqLe(seg.ack, tcb_.sndMax) && !tcb_.inFastRecovery;
     const bool pureData = !seg.payload.empty() && seg.ack == tcb_.sndUna &&
@@ -678,8 +726,8 @@ void TcpSocket::processAck(const Segment& seg) {
         // Duplicate ACK detection (RFC 5681): no payload, no window change,
         // outstanding data.
         const bool dup = seg.payload.empty() && seg.ack == tcb_.sndUna &&
-                         seg.window == tcb_.sndWnd && tcb_.sndNxt != tcb_.sndUna &&
-                         !seg.flags.fin;
+                         seg.windowBytes(tcb_.sndWndShift) == tcb_.sndWnd &&
+                         tcb_.sndNxt != tcb_.sndUna && !seg.flags.fin;
         if (!dup) return;
         ++stats_.dupAcksReceived;
         ++tcb_.dupAcks;
@@ -807,10 +855,19 @@ void TcpSocket::maybeFinishClose(bool finAcked) {
 }
 
 void TcpSocket::updateWindow(const Segment& seg) {
+    // A segment acking data we never sent already drew a challenge ACK in
+    // processAck; its window field is just as untrustworthy. Without this
+    // guard it would pass the WL1/WL2 check below (its bogus future ack
+    // exceeds sndWl2), overwrite sndWnd, AND park sndWl2 at the bogus ack —
+    // blocking every legitimate window update until sndUna catches up.
+    if (seqGt(seg.ack, tcb_.sndMax)) return;
+    // RFC 793 SND.WL1/SND.WL2 ordering: only a segment at least as recent
+    // as the last window update may change the window — a reordered old
+    // segment must not overwrite sndWnd with its stale value.
     if (seqLt(tcb_.sndWl1, seg.seq) ||
         (tcb_.sndWl1 == seg.seq && seqLe(tcb_.sndWl2, seg.ack))) {
         const std::uint32_t oldWnd = tcb_.sndWnd;
-        tcb_.sndWnd = seg.window;
+        tcb_.sndWnd = seg.windowBytes(tcb_.sndWndShift);
         tcb_.sndWl1 = seg.seq;
         tcb_.sndWl2 = seg.ack;
         if (oldWnd == 0 && tcb_.sndWnd > 0) {
@@ -845,8 +902,24 @@ void TcpSocket::processData(const Segment& seg) {
         return;
     }
 
+    // Receiver-side RTT for the autotune stop condition. A pure receiver
+    // never ACK-clocks its own data, so srtt stays 0 here; but with RFC 7323
+    // timestamps the peer echoes the tsval of our latest ACK, making
+    // now - echo a round-trip sample. Min-tracked so the early, unbloated
+    // segments pin the *base* RTT before autotune growth can fill queues.
+    if (config_.recvBufferMaxBytes > recvBuf_.capacity() && tcb_.tsEnabled &&
+        seg.timestamps && seg.timestamps->echo != 0) {
+        const std::uint32_t rttMs = tsNow() - seg.timestamps->echo;
+        if (std::int32_t(rttMs) >= 0 && rttMs < 120000) {
+            const sim::Time sample = sim::Time(rttMs) * sim::kMillisecond;
+            if (autotuneBaseRtt_ == 0 || sample < autotuneBaseRtt_)
+                autotuneBaseRtt_ = sample;
+        }
+    }
+
     const std::size_t advanced = recvBuf_.insert(offset, data);
     tcb_.rcvNxt += std::uint32_t(advanced);
+    if (advanced > 0) maybeAutotune();
 
     // Deliver in-sequence bytes to the application (auto-drain). The scratch
     // vector is a member so its capacity is reused delivery after delivery.
@@ -869,6 +942,43 @@ void TcpSocket::processData(const Segment& seg) {
             scheduleDelack();
         }
     }
+}
+
+void TcpSocket::maybeAutotune() {
+    // DRS-style receive-buffer autotuning (Fisk & Feng): a sender limited by
+    // our advertised window delivers exactly one buffer's worth per RTT, so
+    // the time for rcvNxt to advance one capacity past the mark *is* the
+    // RTT whenever the buffer binds. Target twice the bytes delivered per
+    // measured interval — a buffer-limited flow doubles each round until
+    // the buffer stops binding or the budget is reached.
+    if (config_.recvBufferMaxBytes <= recvBuf_.capacity()) return;
+    const sim::Time now = stack_.simulator().now();
+    if (!autotuneArmed_) {
+        autotuneArmed_ = true;
+        autotuneMark_ = tcb_.rcvNxt;
+        autotuneMarkAt_ = now;
+        return;
+    }
+    const std::uint32_t delivered = std::uint32_t(tcb_.rcvNxt - autotuneMark_);
+    if (delivered < recvBuf_.capacity()) return;  // buffer has not turned over
+    const sim::Time interval = now - autotuneMarkAt_;
+    autotuneLastRtt_ = interval;
+    autotuneMark_ = tcb_.rcvNxt;
+    autotuneMarkAt_ = now;
+    // DRS's stop condition: growth helps only while the buffer *binds* —
+    // the sender then turns the whole buffer over in about one RTT. Slower
+    // turnover means the flow is cwnd- or loss-limited, and growing the
+    // window further would only bloat queues. The comparison must use the
+    // *base* (minimum-seen) RTT — sampled passively from timestamp echoes
+    // in processData — not a smoothed current estimate: once queues build,
+    // a smoothed RTT inflates in lockstep with the turnover interval and
+    // the bound would chase its own tail, growing to the budget regardless
+    // of path BDP (the trap the bdp_line radio sweep pins against the
+    // genuinely window-starved bdp_pipe grid).
+    if (autotuneBaseRtt_ > 0 && interval > 2 * autotuneBaseRtt_) return;
+    const std::size_t target = std::min<std::size_t>(
+        2 * std::size_t(delivered), config_.recvBufferMaxBytes);
+    if (target > recvBuf_.capacity()) recvBuf_.grow(target);
 }
 
 void TcpSocket::processFin(const Segment& seg) {

@@ -88,6 +88,20 @@ struct TcpConfig {
     /// paper's stock behavior and replays the pre-strategy engine
     /// byte-for-byte; the wireless variants change only the loss response.
     CcKind cc = CcKind::kNewReno;
+    /// RFC 7323 window scaling. Off by default: the paper's mote buffers
+    /// never need more than 16 bits of window, and the option must not
+    /// appear on the wire in any golden-pinned scenario. When on, WSopt is
+    /// offered on the SYN/SYN-ACK and the negotiated shifts (clamped to 14)
+    /// scale every non-SYN window field through Segment::setWindowBytes /
+    /// windowBytes.
+    bool windowScaling = false;
+    /// Receive-buffer autotuning budget (bytes); 0 = fixed buffer. When set,
+    /// the receive buffer starts at recvBufferBytes and grows toward the
+    /// measured delivered-bytes-per-RTT (DRS-style) up to this ceiling — the
+    /// adaptive analog of Fig. 5's static window sweep. The advertised
+    /// window scale is derived from this ceiling so growth never outruns
+    /// what the handshake promised.
+    std::size_t recvBufferMaxBytes = 0;
 };
 
 struct TcpStats {
@@ -150,6 +164,11 @@ public:
     /// Manual read mode (no onData callback): pull up to n buffered bytes.
     Bytes read(std::size_t n);
     std::size_t readable() const { return recvBuf_.readable(); }
+    /// Current receive-buffer capacity (grows under autotuning).
+    std::size_t recvBufferCapacity() const { return recvBuf_.capacity(); }
+    /// Last buffer-turnover interval the autotuner measured (~RTT when the
+    /// buffer binds); 0 until the first growth decision.
+    sim::Time autotuneLastRtt() const { return autotuneLastRtt_; }
     /// Connection failed/reset/timed out.
     void setOnError(EventCallback cb) { onError_ = std::move(cb); }
     /// R1 notification (RFC 1122 §4.2.3.5): retransmissions are piling up
@@ -201,6 +220,16 @@ private:
     void exitFastRecovery(Seq ack);
     void traceCwnd();
     std::uint32_t cwndCap() const;
+
+    // Window scaling + receiver-side SWS avoidance + autotuning.
+    /// The shift we offer in WSopt: smallest shift whose 16-bit window can
+    /// cover the largest buffer this socket may ever advertise.
+    std::uint8_t desiredRcvShift() const;
+    /// RFC 1122 §4.2.3.3: after a zero-window episode the window stays shut
+    /// until at least min(MSS, capacity/2) has opened up.
+    std::uint32_t swsThreshold() const;
+    /// DRS-style receive-buffer autotuning: grow toward delivered-per-RTT.
+    void maybeAutotune();
 
     // SACK scoreboard (sender side).
     void mergeSack(SackBlock block);
@@ -255,6 +284,16 @@ private:
     sim::Time lastRecvAt_ = 0;           // last segment from the peer
     int persistProbesUnanswered_ = 0;
     int keepAliveUnanswered_ = 0;
+
+    // Receive-buffer autotuning state (outside Tcb for the same reason).
+    // The self-clocking DRS estimate: a window-limited sender delivers one
+    // full buffer per RTT, so the time for rcvNxt to advance one buffer
+    // capacity past the mark *is* the RTT whenever the buffer binds.
+    bool autotuneArmed_ = false;
+    Seq autotuneMark_ = 0;               // rcvNxt when the mark was planted
+    sim::Time autotuneMarkAt_ = 0;       // when the mark was planted
+    sim::Time autotuneLastRtt_ = 0;      // last measured turn-over interval
+    sim::Time autotuneBaseRtt_ = 0;      // min srtt seen at turn-over checks
 
     DataCallback onData_;
     EventCallback onConnected_;

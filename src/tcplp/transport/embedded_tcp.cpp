@@ -99,7 +99,7 @@ void EmbeddedTcpSocket::emit(tcp::Segment& seg) {
         seg.flags.ack = true;
         seg.ack = rcvNxt_;
     }
-    seg.window = 0x0400;  // one segment's worth: the whole point
+    seg.setWindowBytes(0x0400, 0);  // one segment's worth: the whole point
     ++stats_.segsSent;
     ip6::Packet p;
     p.src = netif_.address();

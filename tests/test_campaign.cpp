@@ -361,7 +361,7 @@ TEST(Campaign, GoldenSubsetCoversTheCuratedScenariosWhenLinked) {
     // CLI diffs the registered subset against it so a dropped driver fails
     // loudly instead of silently shrinking the corpus check.
     const std::vector<std::string> names = goldenSubsetNames();
-    ASSERT_EQ(names.size(), 13u);
+    ASSERT_EQ(names.size(), 15u);
     EXPECT_EQ(names.front(), "sweep_smoke");
-    EXPECT_EQ(names.back(), "city_scale");
+    EXPECT_EQ(names.back(), "bdp_line");
 }
